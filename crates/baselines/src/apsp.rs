@@ -1,0 +1,83 @@
+//! Seed-pair all-pairs-shortest-paths — the expensive Step 1 of the KMB
+//! algorithm that the paper (and Mehlhorn) replaces with Voronoi cells.
+//! Table I compares exactly these two kernels.
+
+use crate::shortest_path::{dijkstra, SsspResult};
+use stgraph::csr::{CsrGraph, Distance, Vertex};
+
+/// Shortest-path data between every pair of seeds: one Dijkstra per seed.
+#[derive(Clone, Debug)]
+pub struct SeedApsp {
+    /// The seeds, in the order given.
+    pub seeds: Vec<Vertex>,
+    /// Per-seed SSSP results, parallel to `seeds`.
+    pub sssp: Vec<SsspResult>,
+}
+
+impl SeedApsp {
+    /// Runs one Dijkstra per seed. `O(|S| (V + E) log V)`.
+    pub fn compute(g: &CsrGraph, seeds: &[Vertex]) -> Self {
+        SeedApsp {
+            seeds: seeds.to_vec(),
+            sssp: seeds.iter().map(|&s| dijkstra(g, s)).collect(),
+        }
+    }
+
+    /// Shortest distance from `seeds[i]` to vertex `v`.
+    pub fn dist(&self, i: usize, v: Vertex) -> Distance {
+        self.sssp[i].dist[v as usize]
+    }
+
+    /// Shortest distance between `seeds[i]` and `seeds[j]`.
+    pub fn seed_dist(&self, i: usize, j: usize) -> Distance {
+        self.sssp[i].dist[self.seeds[j] as usize]
+    }
+
+    /// The vertices of a shortest path from `seeds[i]` to `v`, from seed to
+    /// `v` inclusive. Panics if unreachable.
+    pub fn path(&self, i: usize, v: Vertex) -> Vec<Vertex> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.sssp[i].pred[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        assert_eq!(
+            cur, self.seeds[i],
+            "vertex {v} unreachable from seed {}",
+            self.seeds[i]
+        );
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::builder::GraphBuilder;
+
+    fn line() -> CsrGraph {
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges([(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2)]);
+        b.build()
+    }
+
+    #[test]
+    fn seed_distances_symmetric() {
+        let g = line();
+        let apsp = SeedApsp::compute(&g, &[0, 2, 4]);
+        assert_eq!(apsp.seed_dist(0, 1), 4);
+        assert_eq!(apsp.seed_dist(1, 0), 4);
+        assert_eq!(apsp.seed_dist(0, 2), 8);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = line();
+        let apsp = SeedApsp::compute(&g, &[0, 4]);
+        assert_eq!(apsp.path(0, 3), vec![0, 1, 2, 3]);
+        assert_eq!(apsp.path(1, 0), vec![4, 3, 2, 1, 0]);
+        assert_eq!(apsp.path(0, 0), vec![0]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Helpers shared by the sequential Steiner algorithms: errors, the final
+//! "MST of the induced subgraph + prune Steiner leaves" steps (KMB steps
+//! 4–5), and cross-cell distance-graph construction from Voronoi data.
+
+use crate::shortest_path::VoronoiResult;
+use std::collections::HashMap;
+use stgraph::csr::{CsrGraph, Distance, Vertex, Weight};
+use stgraph::mst::{kruskal, AuxEdge};
+use stgraph::steiner_tree::SteinerTree;
+
+pub use stgraph::error::SteinerError;
+
+/// Validates a seed set against a graph: non-empty, in range, distinct.
+/// Returns the deduplicated seed list.
+pub fn check_seeds(g: &CsrGraph, seeds: &[Vertex]) -> Result<Vec<Vertex>, SteinerError> {
+    if seeds.is_empty() {
+        return Err(SteinerError::NoSeeds);
+    }
+    let mut out = seeds.to_vec();
+    for &s in &out {
+        if s as usize >= g.num_vertices() {
+            return Err(SteinerError::SeedOutOfRange(s));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// A cross-cell candidate: the bridge edge `(u, v)` and the full path
+/// length `d1(s, u) + d(u, v) + d1(v, t)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrossEdge {
+    /// Seed pair `(s, t)` with `s < t`.
+    pub cells: (Vertex, Vertex),
+    /// Bridge endpoints `(u, v)` with `u ∈ N(s)`, `v ∈ N(t)`.
+    pub bridge: (Vertex, Vertex),
+    /// Bridge edge weight `d(u, v)`.
+    pub bridge_weight: Weight,
+    /// Total connecting-path length `d1'(s, t)` through this bridge.
+    pub total: Distance,
+}
+
+/// Enumerates every cross-cell edge of `g` under the Voronoi labelling,
+/// one [`CrossEdge`] per undirected graph edge whose endpoints lie in
+/// different cells.
+pub fn cross_edges(g: &CsrGraph, vr: &VoronoiResult) -> Vec<CrossEdge> {
+    let mut out = Vec::new();
+    for (u, v, w) in g.undirected_edges() {
+        let (Some(s), Some(t)) = (vr.src[u as usize], vr.src[v as usize]) else {
+            continue;
+        };
+        if s == t {
+            continue;
+        }
+        let total = vr.dist[u as usize] + w + vr.dist[v as usize];
+        let (cells, bridge) = if s < t {
+            ((s, t), (u, v))
+        } else {
+            ((t, s), (v, u))
+        };
+        out.push(CrossEdge {
+            cells,
+            bridge,
+            bridge_weight: w,
+            total,
+        });
+    }
+    out
+}
+
+/// Reduces cross-cell edges to the unique minimum per cell pair —
+/// Mehlhorn's distance graph `G_1'`. Ties break on the lexicographically
+/// smallest `(total, bridge)` so the result is deterministic.
+pub fn min_cross_edges(edges: &[CrossEdge]) -> Vec<CrossEdge> {
+    let mut best: HashMap<(Vertex, Vertex), CrossEdge> = HashMap::new();
+    for &e in edges {
+        best.entry(e.cells)
+            .and_modify(|cur| {
+                if (e.total, e.bridge) < (cur.total, cur.bridge) {
+                    *cur = e;
+                }
+            })
+            .or_insert(e);
+    }
+    let mut out: Vec<CrossEdge> = best.into_values().collect();
+    out.sort_unstable_by_key(|e| (e.cells, e.total));
+    out
+}
+
+/// Expands a chosen cross edge into concrete graph edges: the bridge plus
+/// the predecessor paths from both endpoints back to their seeds.
+pub fn expand_cross_edge(
+    g: &CsrGraph,
+    vr: &VoronoiResult,
+    e: &CrossEdge,
+    into: &mut Vec<(Vertex, Vertex, Weight)>,
+) {
+    let (u, v) = e.bridge;
+    into.push((u, v, e.bridge_weight));
+    for endpoint in [u, v] {
+        let mut cur = endpoint;
+        while let Some(p) = vr.pred[cur as usize] {
+            let w = g
+                .edge_weight(p, cur)
+                .expect("predecessor edges exist in the graph");
+            into.push((p, cur, w));
+            cur = p;
+        }
+    }
+}
+
+/// KMB steps 4–5: given an edge multiset forming a connected subgraph that
+/// spans all seeds, computes an MST of that subgraph and then repeatedly
+/// deletes non-seed leaves. Returns the finished tree.
+pub fn finalize_subgraph(
+    seeds: &[Vertex],
+    edges: impl IntoIterator<Item = (Vertex, Vertex, Weight)>,
+) -> SteinerTree {
+    // Deduplicate and compact vertex ids for the MST kernel.
+    let mut uniq: Vec<(Vertex, Vertex, Weight)> = edges
+        .into_iter()
+        .map(|(u, v, w)| if u < v { (u, v, w) } else { (v, u, w) })
+        .collect();
+    uniq.sort_unstable();
+    uniq.dedup();
+
+    let mut ids: HashMap<Vertex, u32> = HashMap::new();
+    let mut rev: Vec<Vertex> = Vec::new();
+    let id_of = |v: Vertex, ids: &mut HashMap<Vertex, u32>, rev: &mut Vec<Vertex>| -> u32 {
+        *ids.entry(v).or_insert_with(|| {
+            rev.push(v);
+            (rev.len() - 1) as u32
+        })
+    };
+    let aux: Vec<AuxEdge> = uniq
+        .iter()
+        .map(|&(u, v, w)| {
+            (
+                id_of(u, &mut ids, &mut rev),
+                id_of(v, &mut ids, &mut rev),
+                w,
+            )
+        })
+        .collect();
+    // Seeds with no incident subgraph edge (|S| = 1 case) still need ids.
+    for &s in seeds {
+        id_of(s, &mut ids, &mut rev);
+    }
+
+    let chosen = kruskal(rev.len(), &aux);
+    let mut tree_edges: Vec<(Vertex, Vertex, Weight)> = chosen.iter().map(|&i| uniq[i]).collect();
+
+    // Iteratively prune non-seed leaves.
+    let seed_set: std::collections::HashSet<Vertex> = seeds.iter().copied().collect();
+    loop {
+        let mut degree: HashMap<Vertex, u32> = HashMap::new();
+        for &(u, v, _) in &tree_edges {
+            *degree.entry(u).or_default() += 1;
+            *degree.entry(v).or_default() += 1;
+        }
+        let before = tree_edges.len();
+        tree_edges.retain(|&(u, v, _)| {
+            let u_prunable = degree[&u] == 1 && !seed_set.contains(&u);
+            let v_prunable = degree[&v] == 1 && !seed_set.contains(&v);
+            !(u_prunable || v_prunable)
+        });
+        if tree_edges.len() == before {
+            break;
+        }
+    }
+    SteinerTree::new(seeds.iter().copied(), tree_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest_path::voronoi_cells;
+    use stgraph::builder::GraphBuilder;
+
+    #[test]
+    fn check_seeds_rejects_empty() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(check_seeds(&g, &[]), Err(SteinerError::NoSeeds));
+    }
+
+    #[test]
+    fn check_seeds_rejects_out_of_range() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(
+            check_seeds(&g, &[0, 9]),
+            Err(SteinerError::SeedOutOfRange(9))
+        );
+    }
+
+    #[test]
+    fn check_seeds_dedups() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(check_seeds(&g, &[2, 0, 2]).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn cross_edges_on_split_path() {
+        // 0 -1- 1 -5- 2 -1- 3, seeds 0 and 3.
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 2, 5), (2, 3, 1)]);
+        let g = b.build();
+        let vr = voronoi_cells(&g, &[0, 3]);
+        let ce = cross_edges(&g, &vr);
+        assert_eq!(ce.len(), 1);
+        assert_eq!(ce[0].cells, (0, 3));
+        assert_eq!(ce[0].bridge, (1, 2));
+        assert_eq!(ce[0].total, 1 + 5 + 1);
+    }
+
+    #[test]
+    fn min_cross_edges_keeps_cheapest_per_pair() {
+        // Two parallel routes between cells of 0 and 3.
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([
+            (0, 1, 1),
+            (1, 3, 10), // route A: total 1+10+0
+            (0, 2, 1),
+            (2, 3, 2), // route B: total 1+2+0
+            (4, 5, 1), // unrelated component
+        ]);
+        let g = b.build();
+        let vr = voronoi_cells(&g, &[0, 3]);
+        let all = cross_edges(&g, &vr);
+        let min = min_cross_edges(&all);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min[0].bridge, (2, 3));
+        assert_eq!(min[0].total, 3);
+    }
+
+    #[test]
+    fn finalize_prunes_steiner_leaves() {
+        // Tree: 0-1, 1-2, 1-3 where only 0 and 2 are seeds; 3 must go.
+        let t = finalize_subgraph(&[0, 2], [(0, 1, 1), (1, 2, 1), (1, 3, 1)]);
+        assert_eq!(t.edges, vec![(0, 1, 1), (1, 2, 1)]);
+    }
+
+    #[test]
+    fn finalize_breaks_cycles_minimally() {
+        // Cycle 0-1-2-0; seeds 0, 1, 2. MST must drop the heaviest edge.
+        let t = finalize_subgraph(&[0, 1, 2], [(0, 1, 1), (1, 2, 2), (0, 2, 9)]);
+        assert_eq!(t.total_distance(), 3);
+        assert_eq!(t.num_edges(), 2);
+    }
+
+    #[test]
+    fn expand_cross_edge_includes_paths() {
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges([(0, 1, 1), (1, 2, 5), (2, 3, 1), (3, 4, 1)]);
+        let g = b.build();
+        let vr = voronoi_cells(&g, &[0, 4]);
+        let ce = cross_edges(&g, &vr);
+        let mut edges = Vec::new();
+        expand_cross_edge(&g, &vr, &ce[0], &mut edges);
+        let mut norm: Vec<_> = edges
+            .into_iter()
+            .map(|(u, v, w)| (u.min(v), u.max(v), w))
+            .collect();
+        norm.sort_unstable();
+        assert_eq!(norm, vec![(0, 1, 1), (1, 2, 5), (2, 3, 1), (3, 4, 1)]);
+    }
+}

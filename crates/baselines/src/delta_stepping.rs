@@ -1,0 +1,181 @@
+//! Δ-stepping SSSP (Meyer & Sanders) — the work-efficient parallel
+//! shortest-path algorithm the paper discusses as the alternative Voronoi
+//! kernel (§III: Ceccarello et al. used it for multi-source computation;
+//! the authors chose asynchronous Bellman-Ford instead because Δ-stepping's
+//! iterative bucket structure "does not naturally extend to distributed
+//! memory"). This sequential implementation exists for the ablation bench:
+//! it quantifies the bucket algorithm's relaxation counts against Dijkstra
+//! and Bellman-Ford on the same inputs.
+//!
+//! Vertices live in buckets of width Δ; each round settles the lowest
+//! non-empty bucket by repeatedly relaxing its *light* edges (weight < Δ),
+//! then relaxes *heavy* edges once. Δ = 1 degenerates to Dijkstra-like
+//! behavior, Δ = ∞ to Bellman-Ford.
+
+use crate::shortest_path::SsspResult;
+use stgraph::csr::{CsrGraph, Distance, Vertex, Weight, INF};
+
+/// Statistics from one Δ-stepping run, for the kernel-comparison bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSteppingStats {
+    /// Edge relaxations attempted.
+    pub relaxations: u64,
+    /// Bucket-settling phases executed.
+    pub phases: u64,
+}
+
+/// Runs Δ-stepping from `source` with bucket width `delta >= 1`.
+pub fn delta_stepping(
+    g: &CsrGraph,
+    source: Vertex,
+    delta: Weight,
+) -> (SsspResult, DeltaSteppingStats) {
+    assert!(delta >= 1, "bucket width must be at least 1");
+    let n = g.num_vertices();
+    let mut dist: Vec<Distance> = vec![INF; n];
+    let mut pred: Vec<Option<Vertex>> = vec![None; n];
+    let mut stats = DeltaSteppingStats::default();
+
+    // Buckets as a growable ring of vecs; vertex membership is lazy
+    // (stale entries are skipped by the dist check).
+    let mut buckets: Vec<Vec<Vertex>> = Vec::new();
+    let bucket_of = |d: Distance| (d / delta) as usize;
+    let push = |buckets: &mut Vec<Vec<Vertex>>, v: Vertex, d: Distance| {
+        let b = bucket_of(d);
+        if buckets.len() <= b {
+            buckets.resize_with(b + 1, Vec::new);
+        }
+        buckets[b].push(v);
+    };
+
+    dist[source as usize] = 0;
+    push(&mut buckets, source, 0);
+
+    let mut current = 0usize;
+    while current < buckets.len() {
+        if buckets[current].is_empty() {
+            current += 1;
+            continue;
+        }
+        stats.phases += 1;
+        // Settle the bucket: light-edge relaxations may re-insert vertices
+        // into the same bucket, so iterate until it drains.
+        let mut settled: Vec<Vertex> = Vec::new();
+        while let Some(u) = buckets[current].pop() {
+            let du = dist[u as usize];
+            if bucket_of(du) != current {
+                continue; // stale entry
+            }
+            settled.push(u);
+            for (v, w) in g.edges(u) {
+                if w >= delta {
+                    continue; // heavy edges wait until the bucket drains
+                }
+                stats.relaxations += 1;
+                let nd = du + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    pred[v as usize] = Some(u);
+                    push(&mut buckets, v, nd);
+                }
+            }
+        }
+        // One pass of heavy edges from everything settled in this bucket.
+        for &u in &settled {
+            let du = dist[u as usize];
+            for (v, w) in g.edges(u) {
+                if w < delta {
+                    continue;
+                }
+                stats.relaxations += 1;
+                let nd = du + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    pred[v as usize] = Some(u);
+                    push(&mut buckets, v, nd);
+                }
+            }
+        }
+        current += 1;
+    }
+    (SsspResult { dist, pred }, stats)
+}
+
+/// Picks the textbook bucket width: average edge weight (a common default;
+/// Meyer & Sanders suggest Θ(1/max-degree) scaling for theory, but mean
+/// weight works well on weighted scale-free graphs).
+pub fn default_delta(g: &CsrGraph) -> Weight {
+    if g.num_arcs() == 0 {
+        return 1;
+    }
+    let sum: u128 = g
+        .vertices()
+        .map(|v| {
+            g.neighbor_weights(v)
+                .iter()
+                .map(|&w| w as u128)
+                .sum::<u128>()
+        })
+        .sum();
+    ((sum / g.num_arcs() as u128) as Weight).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest_path::dijkstra;
+    use stgraph::builder::GraphBuilder;
+    use stgraph::datasets::Dataset;
+
+    #[test]
+    fn matches_dijkstra_on_diamond() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 3, 1), (0, 2, 3), (2, 3, 1)]);
+        let g = b.build();
+        for delta in [1u64, 2, 5, 100] {
+            let (r, _) = delta_stepping(&g, 0, delta);
+            assert_eq!(r.dist, vec![0, 1, 3, 2], "delta = {delta}");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_scale_free_graphs() {
+        for seed in 0..4u64 {
+            let g = Dataset::Lvj.generate_tiny(seed);
+            let reference = dijkstra(&g, 0);
+            for delta in [1u64, 16, 256, u64::MAX / 4] {
+                let (r, _) = delta_stepping(&g, 0, delta);
+                assert_eq!(r.dist, reference.dist, "seed {seed}, delta {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_delta_is_positive() {
+        let g = Dataset::Ptn.generate_tiny(1);
+        assert!(default_delta(&g) >= 1);
+        assert_eq!(default_delta(&stgraph::CsrGraph::empty(3)), 1);
+    }
+
+    #[test]
+    fn small_delta_does_less_wasted_work_than_huge_delta() {
+        let g = Dataset::Lvj.generate_tiny(5);
+        let (_, tight) = delta_stepping(&g, 0, default_delta(&g));
+        let (_, loose) = delta_stepping(&g, 0, u64::MAX / 4);
+        assert!(
+            tight.relaxations <= loose.relaxations,
+            "tight {} vs loose {}",
+            tight.relaxations,
+            loose.relaxations
+        );
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_inf() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 4);
+        let g = b.build();
+        let (r, _) = delta_stepping(&g, 0, 2);
+        assert_eq!(r.dist[2], INF);
+    }
+}

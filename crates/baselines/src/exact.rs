@@ -1,0 +1,227 @@
+//! Exact Steiner minimal trees via the Dreyfus–Wagner dynamic program.
+//!
+//! The paper measures approximation quality against SCIP-Jack, an exact
+//! branch-and-cut ILP solver we cannot rebuild faithfully; Dreyfus–Wagner
+//! provides the same ground truth (`D_min`) on the instance sizes this
+//! suite evaluates. Complexity is `O(3^k n + 2^k (n log n + m))` with
+//! `k = |S|` — exponential in the seed count, so the solver refuses
+//! instances whose DP table would exceed a state budget.
+//!
+//! DP over `dp[mask][v]` = minimum weight of a tree spanning the seed
+//! subset `mask` plus vertex `v`, with the classic merge + grow steps;
+//! back-pointers allow reconstructing an optimal tree, not just its value.
+
+use crate::common::{check_seeds, SteinerError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use stgraph::csr::{CsrGraph, Distance, Vertex, Weight, INF};
+use stgraph::steiner_tree::SteinerTree;
+
+/// Maximum number of DP states (`2^k * n`) the solver will allocate.
+/// 1<<27 states ≈ 2 GiB of table; far above anything the suite runs.
+const MAX_STATES: u128 = 1 << 27;
+
+const NO_PRED: u32 = u32::MAX;
+
+/// Computes a Steiner *minimal* tree for `seeds` in `g`.
+pub fn dreyfus_wagner(g: &CsrGraph, seeds: &[Vertex]) -> Result<SteinerTree, SteinerError> {
+    let seeds = check_seeds(g, seeds)?;
+    let k = seeds.len();
+    let n = g.num_vertices();
+    if k == 1 {
+        return Ok(SteinerTree::new(seeds, []));
+    }
+    let states = (1u128 << k) * n as u128;
+    if k >= 26 || states > MAX_STATES {
+        return Err(SteinerError::ExactTooLarge { states });
+    }
+
+    let full = (1usize << k) - 1;
+    // dp[mask][v]; back-pointers: pred (grow step) and merge_sub (merge step).
+    let mut dp: Vec<Vec<Distance>> = vec![vec![INF; n]; full + 1];
+    let mut pred: Vec<Vec<u32>> = vec![vec![NO_PRED; n]; full + 1];
+    let mut merge_sub: Vec<Vec<u32>> = vec![vec![0; n]; full + 1];
+
+    for (i, &s) in seeds.iter().enumerate() {
+        dp[1 << i][s as usize] = 0;
+    }
+
+    let mut heap: BinaryHeap<Reverse<(Distance, u32)>> = BinaryHeap::new();
+    for mask in 1..=full {
+        // Merge: combine two subtrees meeting at v.
+        if mask.count_ones() > 1 {
+            let mut sub = (mask - 1) & mask;
+            while sub > 0 {
+                let rest = mask ^ sub;
+                // Visit each unordered split once.
+                if sub < rest {
+                    sub = (sub - 1) & mask;
+                    continue;
+                }
+                // Split borrows: sub and rest are strictly below mask.
+                let (lo, hi) = dp.split_at_mut(mask);
+                for (v, slot) in hi[0].iter_mut().enumerate() {
+                    let (a, b) = (lo[sub][v], lo[rest][v]);
+                    if a != INF && b != INF && a + b < *slot {
+                        *slot = a + b;
+                        merge_sub[mask][v] = sub as u32;
+                        pred[mask][v] = NO_PRED;
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+        }
+        // Grow: Dijkstra from all current entries of dp[mask].
+        heap.clear();
+        for (v, &d) in dp[mask].iter().enumerate() {
+            if d != INF {
+                heap.push(Reverse((d, v as u32)));
+            }
+        }
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dp[mask][v as usize] {
+                continue;
+            }
+            for (u, w) in g.edges(v) {
+                let nd = d + w;
+                if nd < dp[mask][u as usize] {
+                    dp[mask][u as usize] = nd;
+                    pred[mask][u as usize] = v;
+                    merge_sub[mask][u as usize] = 0;
+                    heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+    }
+
+    let root = seeds[0] as usize;
+    if dp[full][root] == INF {
+        return Err(crate::mehlhorn::first_disconnected_pair(g, &seeds));
+    }
+
+    // Reconstruct edges by walking the back-pointers.
+    let mut edges: Vec<(Vertex, Vertex, Weight)> = Vec::new();
+    let mut stack = vec![(full, root as u32)];
+    while let Some((mask, v)) = stack.pop() {
+        if pred[mask][v as usize] != NO_PRED {
+            let u = pred[mask][v as usize];
+            let w = g.edge_weight(u, v).expect("DP grew along graph edges");
+            edges.push((u, v, w));
+            stack.push((mask, u));
+        } else if merge_sub[mask][v as usize] != 0 {
+            let sub = merge_sub[mask][v as usize] as usize;
+            stack.push((sub, v));
+            stack.push((mask ^ sub, v));
+        }
+        // Else: base case, a singleton mask anchored at its seed.
+    }
+    Ok(SteinerTree::new(seeds, edges))
+}
+
+/// Convenience: just the optimal distance `D_min`.
+pub fn steiner_minimal_distance(g: &CsrGraph, seeds: &[Vertex]) -> Result<Distance, SteinerError> {
+    dreyfus_wagner(g, seeds).map(|t| t.total_distance())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::builder::GraphBuilder;
+
+    fn steiner_star() -> CsrGraph {
+        // Triangle of weight-4 sides plus a weight-2 hub: optimum is the
+        // hub star with total 6.
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([
+            (0, 1, 4),
+            (1, 2, 4),
+            (0, 2, 4),
+            (0, 3, 2),
+            (1, 3, 2),
+            (2, 3, 2),
+        ]);
+        b.build()
+    }
+
+    #[test]
+    fn finds_hub_star_optimum() {
+        let g = steiner_star();
+        let t = dreyfus_wagner(&g, &[0, 1, 2]).unwrap();
+        assert_eq!(t.total_distance(), 6);
+        assert!(t.validate(&g).is_ok());
+        assert_eq!(t.steiner_vertices(), vec![3]);
+    }
+
+    #[test]
+    fn two_seeds_is_shortest_path() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 3), (1, 2, 3), (0, 3, 1), (3, 2, 1)]);
+        let g = b.build();
+        let t = dreyfus_wagner(&g, &[0, 2]).unwrap();
+        assert_eq!(t.total_distance(), 2);
+    }
+
+    #[test]
+    fn all_seeds_is_mst() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 3, 10), (0, 2, 9)]);
+        let g = b.build();
+        let t = dreyfus_wagner(&g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(t.total_distance(), 6);
+    }
+
+    #[test]
+    fn single_seed_empty() {
+        let g = steiner_star();
+        let t = dreyfus_wagner(&g, &[1]).unwrap();
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn disconnected_error() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (2, 3, 1)]);
+        let g = b.build();
+        assert!(matches!(
+            dreyfus_wagner(&g, &[0, 2]),
+            Err(SteinerError::SeedsDisconnected(_, _))
+        ));
+    }
+
+    #[test]
+    fn too_many_seeds_rejected() {
+        let mut b = GraphBuilder::new(30);
+        for i in 0..29u32 {
+            b.add_edge(i, i + 1, 1);
+        }
+        let g = b.build();
+        let seeds: Vec<u32> = (0..28).collect();
+        assert!(matches!(
+            dreyfus_wagner(&g, &seeds),
+            Err(SteinerError::ExactTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn optimal_beats_or_ties_approximations() {
+        use crate::{kmb::kmb, mehlhorn::mehlhorn, www::www};
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(21);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<u32> = verts.iter().step_by(verts.len() / 5).copied().collect();
+        let opt = dreyfus_wagner(&g, &seeds).unwrap().total_distance();
+        for (name, t) in [
+            ("kmb", kmb(&g, &seeds).unwrap()),
+            ("mehlhorn", mehlhorn(&g, &seeds).unwrap()),
+            ("www", www(&g, &seeds).unwrap()),
+        ] {
+            let d = t.total_distance();
+            assert!(d >= opt, "{name} beat the optimum: {d} < {opt}");
+            let bound = 2.0 * (1.0 - 1.0 / seeds.len() as f64) * opt as f64;
+            assert!(
+                d as f64 <= bound + 1e-9,
+                "{name} exceeded the 2(1-1/|S|) bound: {d} > {bound}"
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The KMB algorithm (Kou, Markowsky, Berman 1981) — Algorithm 1 of the
+//! paper, the classic `2(1 - 1/l)`-approximation.
+//!
+//! 1. Build the complete distance graph `G_1` over the seeds (APSP).
+//! 2. MST `G_2` of `G_1`.
+//! 3. Replace each `G_2` edge by a corresponding shortest path in `G`.
+//! 4. MST `G_4` of that subgraph.
+//! 5. Prune until no leaf is a Steiner vertex.
+
+use crate::apsp::SeedApsp;
+use crate::common::{check_seeds, finalize_subgraph, SteinerError};
+use stgraph::csr::{CsrGraph, Vertex, Weight, INF};
+use stgraph::mst::{kruskal, AuxEdge};
+use stgraph::steiner_tree::SteinerTree;
+
+/// Runs KMB. Errors if the seeds are not pairwise connected.
+pub fn kmb(g: &CsrGraph, seeds: &[Vertex]) -> Result<SteinerTree, SteinerError> {
+    let seeds = check_seeds(g, seeds)?;
+    if seeds.len() == 1 {
+        return Ok(SteinerTree::new(seeds, []));
+    }
+    // Step 1: complete distance graph over seeds.
+    let apsp = SeedApsp::compute(g, &seeds);
+    let k = seeds.len();
+    let mut g1: Vec<AuxEdge> = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let d = apsp.seed_dist(i, j);
+            if d == INF {
+                return Err(SteinerError::SeedsDisconnected(seeds[i], seeds[j]));
+            }
+            g1.push((i as u32, j as u32, d));
+        }
+    }
+    // Step 2: MST of G_1.
+    let g2 = kruskal(k, &g1);
+    // Step 3: expand each MST edge into a shortest path in G.
+    let mut subgraph: Vec<(Vertex, Vertex, Weight)> = Vec::new();
+    for &ei in &g2 {
+        let (i, j, _) = g1[ei];
+        let path = apsp.path(i as usize, seeds[j as usize]);
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let w = g.edge_weight(a, b).expect("path edges exist");
+            subgraph.push((a, b, w));
+        }
+    }
+    // Steps 4-5: MST of the subgraph, prune Steiner leaves.
+    Ok(finalize_subgraph(&seeds, subgraph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::builder::GraphBuilder;
+
+    /// The classic KMB worked example: a star whose center shortcut beats
+    /// the pairwise shortest paths.
+    fn steiner_star() -> CsrGraph {
+        // Seeds 0,1,2 on a triangle with weight-4 sides; hub 3 connects to
+        // each seed with weight 2. Optimal: the hub star, total 6.
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([
+            (0, 1, 4),
+            (1, 2, 4),
+            (0, 2, 4),
+            (0, 3, 2),
+            (1, 3, 2),
+            (2, 3, 2),
+        ]);
+        b.build()
+    }
+
+    #[test]
+    fn kmb_two_seeds_is_shortest_path() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 10)]);
+        let g = b.build();
+        let t = kmb(&g, &[0, 3]).unwrap();
+        assert_eq!(t.total_distance(), 3);
+        assert!(t.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn kmb_on_star_within_bound() {
+        let g = steiner_star();
+        let t = kmb(&g, &[0, 1, 2]).unwrap();
+        assert!(t.validate(&g).is_ok());
+        // Optimal is 6 (hub star); KMB guarantees <= 2(1 - 1/3) * 6 = 8.
+        assert!(t.total_distance() <= 8, "got {}", t.total_distance());
+    }
+
+    #[test]
+    fn kmb_single_seed() {
+        let g = steiner_star();
+        let t = kmb(&g, &[2]).unwrap();
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn kmb_disconnected_seeds_error() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (2, 3, 1)]);
+        let g = b.build();
+        assert_eq!(kmb(&g, &[0, 3]), Err(SteinerError::SeedsDisconnected(0, 3)));
+    }
+
+    #[test]
+    fn kmb_all_vertices_seeds_is_mst() {
+        // When S = V, the Steiner tree is the MST of G.
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 3, 10), (0, 2, 9)]);
+        let g = b.build();
+        let t = kmb(&g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(t.total_distance(), 6);
+    }
+}

@@ -1,0 +1,131 @@
+//! Mehlhorn's algorithm (1988): the Voronoi-cell formulation of KMB, and
+//! the basis of the paper's parallel algorithm.
+//!
+//! Instead of APSP among seeds, compute the Voronoi cell of every seed with
+//! one multi-source Dijkstra, reduce the cross-cell edges to the cheapest
+//! bridge per cell pair (`G_1'`), take its MST, expand the chosen bridges
+//! into shortest paths, then apply KMB steps 4–5. Mehlhorn proves every MST
+//! of `G_1'` is an MST of the KMB distance graph `G_1`, so the
+//! `2(1 - 1/l)` bound carries over.
+
+use crate::common::{
+    check_seeds, cross_edges, expand_cross_edge, finalize_subgraph, min_cross_edges, SteinerError,
+};
+use crate::shortest_path::voronoi_cells;
+use std::collections::HashMap;
+use stgraph::csr::{CsrGraph, Vertex, Weight};
+use stgraph::mst::{kruskal, AuxEdge};
+use stgraph::steiner_tree::SteinerTree;
+
+/// Runs Mehlhorn's sequential algorithm.
+pub fn mehlhorn(g: &CsrGraph, seeds: &[Vertex]) -> Result<SteinerTree, SteinerError> {
+    let seeds = check_seeds(g, seeds)?;
+    if seeds.len() == 1 {
+        return Ok(SteinerTree::new(seeds, []));
+    }
+    // Step 1: Voronoi cells of all seeds at once.
+    let vr = voronoi_cells(g, &seeds);
+    // Step 2: distance graph G_1' = cheapest bridge per cell pair.
+    let candidates = min_cross_edges(&cross_edges(g, &vr));
+    // Compact seed ids for the MST kernel.
+    let seed_index: HashMap<Vertex, u32> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    let aux: Vec<AuxEdge> = candidates
+        .iter()
+        .map(|e| (seed_index[&e.cells.0], seed_index[&e.cells.1], e.total))
+        .collect();
+    // Step 3: MST of G_1'. A spanning tree of k seeds has k-1 edges; fewer
+    // means some seeds are not mutually reachable.
+    let chosen = kruskal(seeds.len(), &aux);
+    if chosen.len() + 1 < seeds.len() {
+        return Err(first_disconnected_pair(g, &seeds));
+    }
+    // Step 4: expand chosen bridges into graph edges.
+    let mut subgraph: Vec<(Vertex, Vertex, Weight)> = Vec::new();
+    for &i in &chosen {
+        expand_cross_edge(g, &vr, &candidates[i], &mut subgraph);
+    }
+    // Steps 5-6 (KMB 4-5): final MST + Steiner-leaf pruning.
+    Ok(finalize_subgraph(&seeds, subgraph))
+}
+
+/// Identifies a concrete disconnected seed pair for the error message.
+pub(crate) fn first_disconnected_pair(g: &CsrGraph, seeds: &[Vertex]) -> SteinerError {
+    let cc = stgraph::traversal::connected_components(g);
+    for w in seeds.windows(2) {
+        if !cc.same_component(w[0], w[1]) {
+            return SteinerError::SeedsDisconnected(w[0], w[1]);
+        }
+    }
+    // Fall back to the first pair; callers only reach this when some pair
+    // is disconnected.
+    SteinerError::SeedsDisconnected(seeds[0], *seeds.last().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmb::kmb;
+    use stgraph::builder::GraphBuilder;
+    use stgraph::datasets::Dataset;
+
+    #[test]
+    fn two_seeds_shortest_path() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 10)]);
+        let g = b.build();
+        let t = mehlhorn(&g, &[0, 3]).unwrap();
+        assert_eq!(t.total_distance(), 3);
+        assert!(t.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn matches_kmb_distance_on_small_graphs() {
+        // Mehlhorn's MST of G_1' is an MST of G_1, so with identical final
+        // steps the total distance matches KMB's whenever shortest paths
+        // are unique; on random weighted graphs ties are rare but possible,
+        // so compare with tolerance zero only on equality of *bounds*:
+        // both must be valid and KMB's distance can differ only via ties.
+        let g = Dataset::Cts.generate_tiny(11);
+        let seeds = [3u32, 77, 150, 200, 410];
+        let tm = mehlhorn(&g, &seeds).unwrap();
+        let tk = kmb(&g, &seeds).unwrap();
+        assert!(tm.validate(&g).is_ok());
+        assert!(tk.validate(&g).is_ok());
+        // Identical MST-of-G1 weight implies close agreement; allow ties.
+        let (a, b) = (tm.total_distance(), tk.total_distance());
+        let diff = a.abs_diff(b) as f64 / a.max(b) as f64;
+        assert!(diff < 0.05, "mehlhorn {a} vs kmb {b}");
+    }
+
+    #[test]
+    fn disconnected_seeds_error() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (2, 3, 1)]);
+        let g = b.build();
+        assert!(matches!(
+            mehlhorn(&g, &[0, 3]),
+            Err(SteinerError::SeedsDisconnected(_, _))
+        ));
+    }
+
+    #[test]
+    fn single_seed() {
+        let g = Dataset::Cts.generate_tiny(1);
+        let t = mehlhorn(&g, &[5]).unwrap();
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn tree_is_valid_on_scale_free_graph() {
+        let g = Dataset::Lvj.generate_tiny(5);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<u32> = verts.iter().step_by(verts.len() / 8).copied().collect();
+        let t = mehlhorn(&g, &seeds).unwrap();
+        assert!(t.validate(&g).is_ok(), "{:?}", t.validate(&g));
+    }
+}

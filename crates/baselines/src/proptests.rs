@@ -1,0 +1,133 @@
+//! Property-based tests: the approximation algorithms against the exact
+//! solver and each other, on random connected weighted graphs.
+
+use crate::exact::dreyfus_wagner;
+use crate::kmb::kmb;
+use crate::mehlhorn::mehlhorn;
+use crate::shortest_path::{bellman_ford, dijkstra, voronoi_cells};
+use crate::www::www;
+use proptest::prelude::*;
+use stgraph::builder::GraphBuilder;
+use stgraph::csr::{CsrGraph, Vertex};
+use stgraph::mst::{kruskal, prim, tree_weight, AuxEdge};
+
+/// Strategy: a connected weighted graph (random spanning tree + extra
+/// edges) with a seed subset.
+fn arb_connected_instance(
+    max_n: usize,
+    max_extra: usize,
+    max_seeds: usize,
+) -> impl Strategy<Value = (CsrGraph, Vec<Vertex>)> {
+    (3..max_n).prop_flat_map(move |n| {
+        let tree_weights = proptest::collection::vec(1..50u64, n - 1);
+        let tree_parents: Vec<_> = (1..n).map(|v| 0..v).collect();
+        let extras =
+            proptest::collection::vec((0..n as Vertex, 0..n as Vertex, 1..50u64), 0..max_extra);
+        let num_seeds = 2..max_seeds.min(n);
+        (tree_weights, tree_parents, extras, num_seeds).prop_flat_map(move |(tw, tp, extras, k)| {
+            let mut b = GraphBuilder::new(n);
+            for (v, (&w, &p)) in tw.iter().zip(tp.iter()).enumerate() {
+                b.add_edge((v + 1) as Vertex, p as Vertex, w);
+            }
+            for (u, v, w) in extras {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            proptest::collection::hash_set(0..n as Vertex, k).prop_map(move |seeds| {
+                let mut seeds: Vec<Vertex> = seeds.into_iter().collect();
+                seeds.sort_unstable();
+                (g.clone(), seeds)
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn approximations_respect_bound(
+        (g, seeds) in arb_connected_instance(14, 20, 6)
+    ) {
+        let opt = dreyfus_wagner(&g, &seeds).unwrap().total_distance();
+        let bound = 2.0 * (1.0 - 1.0 / seeds.len() as f64) * opt as f64 + 1e-9;
+        for (name, t) in [
+            ("kmb", kmb(&g, &seeds).unwrap()),
+            ("mehlhorn", mehlhorn(&g, &seeds).unwrap()),
+            ("www", www(&g, &seeds).unwrap()),
+        ] {
+            prop_assert!(t.validate(&g).is_ok(), "{name}: {:?}", t.validate(&g));
+            let d = t.total_distance();
+            prop_assert!(d >= opt, "{name} beat the optimum");
+            prop_assert!(d as f64 <= bound, "{name}: {d} > bound {bound} (opt {opt})");
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_sound(
+        (g, seeds) in arb_connected_instance(12, 15, 5)
+    ) {
+        let opt = dreyfus_wagner(&g, &seeds).unwrap().total_distance();
+        let lb = crate::lower_bound::steiner_lower_bound(&g, &seeds).unwrap();
+        prop_assert!(lb <= opt, "lower bound {lb} exceeds optimum {opt}");
+    }
+
+    #[test]
+    fn mst_kernels_agree(
+        n in 2usize..25,
+        raw in proptest::collection::vec((0u32..25, 0u32..25, 1u64..100), 1..60)
+    ) {
+        let edges: Vec<AuxEdge> = raw
+            .into_iter()
+            .filter(|&(u, v, _)| u != v && (u as usize) < n && (v as usize) < n)
+            .collect();
+        let k = kruskal(n, &edges);
+        let p = prim(n, &edges);
+        prop_assert_eq!(k.len(), p.len());
+        prop_assert_eq!(tree_weight(&edges, &k), tree_weight(&edges, &p));
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra(
+        (g, seeds) in arb_connected_instance(20, 25, 3)
+    ) {
+        let s = seeds[0];
+        let d = dijkstra(&g, s);
+        let b = bellman_ford(&g, s);
+        prop_assert_eq!(d.dist, b.dist);
+    }
+
+    #[test]
+    fn voronoi_assigns_nearest_seed(
+        (g, seeds) in arb_connected_instance(20, 25, 5)
+    ) {
+        let vr = voronoi_cells(&g, &seeds);
+        let per_seed: Vec<_> = seeds.iter().map(|&s| dijkstra(&g, s)).collect();
+        for v in g.vertices() {
+            let best = per_seed.iter().map(|r| r.dist[v as usize]).min().unwrap();
+            prop_assert_eq!(vr.dist[v as usize], best);
+            // The assigned seed achieves that distance.
+            let si = seeds.iter().position(|&s| Some(s) == vr.src[v as usize]).unwrap();
+            prop_assert_eq!(per_seed[si].dist[v as usize], best);
+        }
+    }
+
+    #[test]
+    fn www_and_mehlhorn_equal_weight(
+        (g, seeds) in arb_connected_instance(16, 20, 6)
+    ) {
+        // Both compute an MST of G_1'; after identical finalization the
+        // totals agree whenever tie-breaking picks paths of equal weight,
+        // which our deterministic orderings guarantee at the MST level.
+        let a = www(&g, &seeds).unwrap();
+        let b = mehlhorn(&g, &seeds).unwrap();
+        // MST weight of G_1' equal => expanded subgraphs have equal path
+        // totals; final re-MST can only shave equally or differently by
+        // ties, so allow a small relative gap.
+        let (da, db) = (a.total_distance() as f64, b.total_distance() as f64);
+        prop_assert!((da - db).abs() / da.max(db).max(1.0) < 0.15,
+            "www {da} vs mehlhorn {db}");
+    }
+}

@@ -1,0 +1,251 @@
+//! Sequential shortest-path kernels: Dijkstra, Bellman–Ford, and
+//! multi-source Dijkstra (which computes exact Voronoi cells in one pass —
+//! the sequential reference for the distributed Voronoi kernel).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use stgraph::csr::{CsrGraph, Distance, Vertex, INF};
+
+/// Result of a single-source shortest path computation.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Shortest distance from the source (`INF` if unreachable).
+    pub dist: Vec<Distance>,
+    /// Predecessor on a shortest path (`None` for the source and
+    /// unreachable vertices).
+    pub pred: Vec<Option<Vertex>>,
+}
+
+/// Dijkstra's algorithm with a binary heap. `O((V + E) log V)`.
+///
+/// ```
+/// use baselines::shortest_path::dijkstra;
+/// use stgraph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 5);
+/// b.add_edge(1, 2, 5);
+/// b.add_edge(0, 2, 100);
+/// let g = b.build();
+/// let sssp = dijkstra(&g, 0);
+/// assert_eq!(sssp.dist, vec![0, 5, 10]);
+/// assert_eq!(sssp.pred[2], Some(1)); // via the cheap route
+/// ```
+pub fn dijkstra(g: &CsrGraph, source: Vertex) -> SsspResult {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut pred: Vec<Option<Vertex>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in g.edges(u) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                pred[v as usize] = Some(u);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    SsspResult { dist, pred }
+}
+
+/// Textbook Bellman–Ford (round-based edge relaxation). `O(V * E)` worst
+/// case, provided for cross-checking the asynchronous distributed kernel,
+/// which shares its relaxation rule.
+pub fn bellman_ford(g: &CsrGraph, source: Vertex) -> SsspResult {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut pred: Vec<Option<Vertex>> = vec![None; n];
+    dist[source as usize] = 0;
+    // With positive weights, at most n - 1 rounds are needed; stop early
+    // when a round makes no change.
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for u in g.vertices() {
+            let du = dist[u as usize];
+            if du == INF {
+                continue;
+            }
+            for (v, w) in g.edges(u) {
+                if du + w < dist[v as usize] {
+                    dist[v as usize] = du + w;
+                    pred[v as usize] = Some(u);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    SsspResult { dist, pred }
+}
+
+/// Result of a multi-source Dijkstra: exact Voronoi cells.
+#[derive(Clone, Debug)]
+pub struct VoronoiResult {
+    /// Nearest seed (`src(v)` in the paper), `None` if unreachable from
+    /// every seed.
+    pub src: Vec<Option<Vertex>>,
+    /// Distance to the nearest seed (`INF` if unreachable).
+    pub dist: Vec<Distance>,
+    /// Predecessor toward the nearest seed.
+    pub pred: Vec<Option<Vertex>>,
+}
+
+/// Multi-source Dijkstra from every seed simultaneously: each vertex ends
+/// up with its nearest seed, the distance to it, and a predecessor on the
+/// shortest path — i.e. the Voronoi cells `N(s)` of §II. Ties between seeds
+/// are broken toward the smaller seed id, matching the distributed kernel's
+/// tie-breaking so results are comparable.
+pub fn voronoi_cells(g: &CsrGraph, seeds: &[Vertex]) -> VoronoiResult {
+    let n = g.num_vertices();
+    let mut src: Vec<Option<Vertex>> = vec![None; n];
+    let mut dist = vec![INF; n];
+    let mut pred: Vec<Option<Vertex>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Distance, Vertex, Vertex)>> = BinaryHeap::new();
+    for &s in seeds {
+        dist[s as usize] = 0;
+        src[s as usize] = Some(s);
+        heap.push(Reverse((0, s, s)));
+    }
+    while let Some(Reverse((d, seed, u))) = heap.pop() {
+        // Lazy deletion: skip entries that no longer match the state.
+        if d != dist[u as usize] || src[u as usize] != Some(seed) {
+            continue;
+        }
+        for (v, w) in g.edges(u) {
+            let nd = d + w;
+            let improves = nd < dist[v as usize]
+                || (nd == dist[v as usize] && src[v as usize].is_none_or(|cur| seed < cur));
+            if improves {
+                dist[v as usize] = nd;
+                src[v as usize] = Some(seed);
+                pred[v as usize] = Some(u);
+                heap.push(Reverse((nd, seed, v)));
+            }
+        }
+    }
+    // Seeds have no predecessor.
+    for &s in seeds {
+        pred[s as usize] = None;
+    }
+    VoronoiResult { src, dist, pred }
+}
+
+/// Reconstructs the path from `v` back to its cell's seed by following
+/// predecessors; returns the edges `(a, b)` walked. Empty for a seed.
+pub fn trace_to_seed(vr: &VoronoiResult, mut v: Vertex) -> Vec<(Vertex, Vertex)> {
+    let mut edges = Vec::new();
+    while let Some(p) = vr.pred[v as usize] {
+        edges.push((p, v));
+        v = p;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::builder::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -1- 3
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 3, 1), (0, 2, 3), (2, 3, 1)]);
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_distances() {
+        let g = diamond();
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 3, 2]);
+        assert_eq!(r.pred[3], Some(1));
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[2], INF);
+        assert_eq!(r.pred[2], None);
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra() {
+        let g = diamond();
+        let d = dijkstra(&g, 0);
+        let b = bellman_ford(&g, 0);
+        assert_eq!(d.dist, b.dist);
+    }
+
+    #[test]
+    fn voronoi_two_seeds_split_path() {
+        // 0 -1- 1 -1- 2 -1- 3 -1- 4; seeds 0 and 4.
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]);
+        let g = b.build();
+        let vr = voronoi_cells(&g, &[0, 4]);
+        assert_eq!(vr.src[0], Some(0));
+        assert_eq!(vr.src[1], Some(0));
+        // Vertex 2 is equidistant; tie breaks to smaller seed id 0.
+        assert_eq!(vr.src[2], Some(0));
+        assert_eq!(vr.src[3], Some(4));
+        assert_eq!(vr.dist, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn voronoi_distance_equals_min_dijkstra() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(3);
+        let seeds = [0u32, 50, 100, 200];
+        let vr = voronoi_cells(&g, &seeds);
+        let per_seed: Vec<_> = seeds.iter().map(|&s| dijkstra(&g, s)).collect();
+        for v in g.vertices() {
+            let best = per_seed.iter().map(|r| r.dist[v as usize]).min().unwrap();
+            assert_eq!(vr.dist[v as usize], best, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn voronoi_pred_paths_lead_to_own_seed() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(4);
+        let seeds = [1u32, 17, 33];
+        let vr = voronoi_cells(&g, &seeds);
+        for v in g.vertices() {
+            if vr.src[v as usize].is_none() {
+                continue;
+            }
+            let mut cur = v;
+            let mut hops = 0;
+            while let Some(p) = vr.pred[cur as usize] {
+                assert_eq!(
+                    vr.src[p as usize], vr.src[cur as usize],
+                    "pred chain crosses cells at {cur}"
+                );
+                cur = p;
+                hops += 1;
+                assert!(hops <= g.num_vertices(), "pred cycle at {v}");
+            }
+            assert_eq!(Some(cur), vr.src[v as usize], "chain from {v} ends at seed");
+        }
+    }
+
+    #[test]
+    fn trace_to_seed_returns_path_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let g = b.build();
+        let vr = voronoi_cells(&g, &[0]);
+        let path = trace_to_seed(&vr, 3);
+        assert_eq!(path, vec![(2, 3), (1, 2), (0, 1)]);
+        assert!(trace_to_seed(&vr, 0).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the full Steiner pipelines: KMB vs WWW vs
+//! Mehlhorn vs the distributed solver (Table VI in micro form) plus the
+//! refinement ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use steiner::{solve_partitioned, SolverConfig};
+use stgraph::datasets::Dataset;
+use stgraph::partition::partition_graph;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_pipelines");
+    for dataset in [Dataset::Cts, Dataset::Mco] {
+        let g = dataset.generate_tiny(17);
+        let seeds = seeds::select(&g, 24, seeds::Strategy::BfsLevel, 3);
+        group.bench_with_input(BenchmarkId::new("kmb", dataset.name()), &g, |b, g| {
+            b.iter(|| baselines::kmb(g, &seeds).expect("connected"));
+        });
+        group.bench_with_input(BenchmarkId::new("www", dataset.name()), &g, |b, g| {
+            b.iter(|| baselines::www(g, &seeds).expect("connected"));
+        });
+        group.bench_with_input(BenchmarkId::new("mehlhorn", dataset.name()), &g, |b, g| {
+            b.iter(|| baselines::mehlhorn(g, &seeds).expect("connected"));
+        });
+        let pg = partition_graph(&g, 2, None);
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            ..SolverConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("distributed_2r", dataset.name()),
+            &pg,
+            |b, pg| {
+                b.iter(|| solve_partitioned(pg, &seeds, &cfg).expect("connected"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement_ablation");
+    let g = Dataset::Lvj.generate_tiny(19);
+    let seeds = seeds::select(&g, 32, seeds::Strategy::BfsLevel, 4);
+    let pg = partition_graph(&g, 2, None);
+    for (name, refine) in [("plain", false), ("refined", true)] {
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            refine,
+            ..SolverConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| solve_partitioned(&pg, &seeds, cfg).expect("connected"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines, bench_refinement);
+criterion_main!(benches);

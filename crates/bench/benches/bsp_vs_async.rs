@@ -1,0 +1,56 @@
+//! Criterion benchmark: asynchronous vs bulk-synchronous Voronoi kernels —
+//! the paper's §IV design argument ("asynchronous processing offers
+//! notable advantage over bulk synchronous processing"), measured on the
+//! same runtime, partitioning, and graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use steiner::messages::VoronoiMsg;
+use steiner::state::VertexStates;
+use stgraph::datasets::Dataset;
+use stgraph::partition::partition_graph;
+use struntime::traversal::TraversalOptions;
+use struntime::{QueueKind, World};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voronoi_scheduling");
+    for dataset in [Dataset::Lvj, Dataset::Ptn] {
+        let g = dataset.generate_tiny(9);
+        let seeds = seeds::select(&g, 32, seeds::Strategy::BfsLevel, 1);
+        let pg = partition_graph(&g, 4, None);
+        let pg = &pg;
+        let seeds = &seeds;
+
+        group.bench_function(BenchmarkId::new("async_priority", dataset.name()), |b| {
+            b.iter(|| {
+                World::run(4, |comm| {
+                    let chan = comm.open_channels::<Vec<VoronoiMsg>>("voronoi");
+                    let rg = &pg.ranks[comm.rank()];
+                    let mut st = VertexStates::new(rg);
+                    steiner::voronoi::run(
+                        comm,
+                        &chan,
+                        rg,
+                        &pg.partition,
+                        &mut st,
+                        seeds,
+                        TraversalOptions::new(QueueKind::Priority),
+                    )
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("bsp", dataset.name()), |b| {
+            b.iter(|| {
+                World::run(4, |comm| {
+                    let chan = comm.open_channels::<Vec<VoronoiMsg>>("voronoi_bsp");
+                    let rg = &pg.ranks[comm.rank()];
+                    let mut st = VertexStates::new(rg);
+                    steiner::voronoi_bsp::run_bsp(comm, &chan, rg, &pg.partition, &mut st, seeds)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

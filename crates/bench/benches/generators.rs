@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the graph substrate: generators, CSR
+//! assembly, and partitioning — the costs every experiment pays up front.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stgraph::generators::{barabasi_albert, rmat, weighted_from_edges, RmatParams};
+use stgraph::partition::partition_graph;
+use stgraph::weights::WeightRange;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("rmat_scale12_8x", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            std::hint::black_box(rmat(12, 8 << 12, RmatParams::graph500(), &mut rng))
+        })
+    });
+    group.bench_function("ba_n4096_m4", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            std::hint::black_box(barabasi_albert(4096, 4, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let edges = rmat(12, 8 << 12, RmatParams::social(), &mut rng);
+    c.bench_function("csr_build_scale12", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            std::hint::black_box(weighted_from_edges(
+                1 << 12,
+                edges.iter().copied(),
+                WeightRange::new(1, 5000),
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let g = stgraph::datasets::Dataset::Lvj.generate_tiny(7);
+    let mut group = c.benchmark_group("partition");
+    for p in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("plain", p), &p, |b, &p| {
+            b.iter(|| std::hint::black_box(partition_graph(&g, p, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("delegates", p), &p, |b, &p| {
+            b.iter(|| std::hint::black_box(partition_graph(&g, p, Some(32))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_csr_build,
+    bench_partitioning
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the interactive session: incremental seed
+//! edits vs. rebuilding the session from scratch — the interactivity claim
+//! of the paper's §I, quantified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use steiner::interactive::InteractiveSession;
+use stgraph::datasets::Dataset;
+
+fn bench_add_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interactive_add_seed");
+    let g = Dataset::Lvj.generate_tiny(7);
+    let base = seeds::select(&g, 20, seeds::Strategy::BfsLevel, 1);
+    let extra = seeds::select(&g, 40, seeds::Strategy::UniformRandom, 2)
+        .into_iter()
+        .find(|v| !base.contains(v))
+        .expect("spare vertex");
+
+    group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+        b.iter_batched(
+            || InteractiveSession::new(&g, &base).unwrap(),
+            |mut s| {
+                s.add_seed(extra).unwrap();
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::from_parameter("from_scratch"), |b| {
+        let mut all = base.clone();
+        all.push(extra);
+        b.iter(|| InteractiveSession::new(&g, &all).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_remove_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interactive_remove_seed");
+    let g = Dataset::Lvj.generate_tiny(7);
+    let base = seeds::select(&g, 20, seeds::Strategy::BfsLevel, 1);
+
+    group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+        b.iter_batched(
+            || InteractiveSession::new(&g, &base).unwrap(),
+            |mut s| {
+                s.remove_seed(base[0]).unwrap();
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::from_parameter("from_scratch"), |b| {
+        let without: Vec<u32> = base[1..].to_vec();
+        b.iter(|| InteractiveSession::new(&g, &without).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_tree_rebuild(c: &mut Criterion) {
+    let g = Dataset::Lvj.generate_tiny(7);
+    let base = seeds::select(&g, 20, seeds::Strategy::BfsLevel, 1);
+    let session = InteractiveSession::new(&g, &base).unwrap();
+    c.bench_function("interactive_tree_extraction", |b| {
+        b.iter(|| session.tree().unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_add_seed,
+    bench_remove_seed,
+    bench_tree_rebuild
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the MST kernels used for the distance
+//! graph `G_1'` — Prim (the paper's choice) vs Kruskal, across distance
+//! graph densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stgraph::mst::{kruskal, prim, AuxEdge};
+
+/// Synthesizes a `G_1'`-shaped edge list: `k` seeds with `m` candidate
+/// pairs carrying path-length weights.
+fn distance_graph_edges(k: usize, m: usize, rng_seed: u64) -> Vec<AuxEdge> {
+    let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+    (0..m)
+        .map(|_| {
+            let u = rng.gen_range(0..k as u32);
+            let mut v = rng.gen_range(0..k as u32);
+            if v == u {
+                v = (v + 1) % k as u32;
+            }
+            (u, v, rng.gen_range(1..1_000_000u64))
+        })
+        .collect()
+}
+
+fn bench_mst_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst_distance_graph");
+    for (k, m) in [(100usize, 2_000usize), (1000, 20_000), (1000, 200_000)] {
+        let edges = distance_graph_edges(k, m, 42);
+        group.bench_with_input(
+            BenchmarkId::new("prim", format!("k{k}_m{m}")),
+            &edges,
+            |b, edges| b.iter(|| std::hint::black_box(prim(k, edges))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kruskal", format!("k{k}_m{m}")),
+            &edges,
+            |b, edges| b.iter(|| std::hint::black_box(kruskal(k, edges))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst_kernels);
+criterion_main!(benches);

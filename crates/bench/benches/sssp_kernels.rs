@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the SSSP kernel family underlying Voronoi
+//! computation: Dijkstra vs Bellman-Ford vs Δ-stepping (the paper's §III
+//! design discussion), across Δ values.
+
+use baselines::delta_stepping::{default_delta, delta_stepping};
+use baselines::shortest_path::{bellman_ford, dijkstra};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stgraph::datasets::Dataset;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sssp_kernels");
+    for dataset in [Dataset::Lvj, Dataset::Ptn] {
+        let g = dataset.generate_tiny(9);
+        group.bench_with_input(BenchmarkId::new("dijkstra", dataset.name()), &g, |b, g| {
+            b.iter(|| std::hint::black_box(dijkstra(g, 0)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bellman_ford", dataset.name()),
+            &g,
+            |b, g| b.iter(|| std::hint::black_box(bellman_ford(g, 0))),
+        );
+        let delta = default_delta(&g);
+        group.bench_with_input(
+            BenchmarkId::new("delta_stepping", dataset.name()),
+            &g,
+            |b, g| b.iter(|| std::hint::black_box(delta_stepping(g, 0, delta))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_delta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_sweep");
+    let g = Dataset::Lvj.generate_tiny(9);
+    let base = default_delta(&g);
+    for (name, delta) in [
+        ("quarter", base / 4 + 1),
+        ("default", base),
+        ("4x", base * 4),
+        ("inf", u64::MAX / 4),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &delta, |b, &d| {
+            b.iter(|| std::hint::black_box(delta_stepping(&g, 0, d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_delta_sweep);
+criterion_main!(benches);

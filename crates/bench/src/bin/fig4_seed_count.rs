@@ -1,0 +1,131 @@
+//! Fig 4 + Table IV: seed-count sweep with per-phase runtime breakdown
+//! and output-tree edge counts.
+//!
+//! The paper fixes the process count per dataset and sweeps |S| over
+//! {10, 100, 1K, 10K}. Shapes to check: per-phase totals are dominated by
+//! Voronoi except at the largest |S|, where the distance-graph collective
+//! and MST become visible; Table IV's |E_S| grows sublinearly in |S|.
+//! Seed counts follow the paper's ladder up to 10K (the headline "10K
+//! seeds in under one minute" scale); counts are capped at half of each
+//! analogue's largest component (a seed count close to |V| makes cells
+//! trivial, which the paper's selection avoids), so only the largest
+//! analogues reach the full 10K.
+//!
+//! Run: `cargo run -p bench --release --bin fig4_seed_count [--quick] [--table4]`
+
+use bench::{banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, Table};
+use steiner::{solve_partitioned, Phase, SolverConfig};
+use stgraph::datasets::Dataset;
+use stgraph::partition::partition_graph;
+
+fn main() {
+    banner(
+        "Fig 4 — seed count vs runtime; Table IV — output tree sizes",
+        "six datasets, fixed rank count, |S| sweep (scaled to analogue sizes)",
+    );
+    let (ranks, seed_counts): (usize, &[usize]) = if quick_mode() {
+        (2, &[10, 50, 100])
+    } else {
+        (8, &[10, 100, 1000, 10000])
+    };
+
+    let datasets = [
+        Dataset::Wdc,
+        Dataset::Clw,
+        Dataset::Ukw,
+        Dataset::Frs,
+        Dataset::Lvj,
+        Dataset::Ptn,
+    ];
+
+    // Table IV rows are gathered while running Fig 4, plus the two small
+    // graphs that Fig 4 omits.
+    let mut edge_counts: Vec<(String, Vec<String>)> = Vec::new();
+
+    for dataset in datasets {
+        let g = load_dataset(dataset);
+        let pg = partition_graph(&g, ranks, None);
+        let cfg = SolverConfig {
+            num_ranks: ranks,
+            ..SolverConfig::default()
+        };
+        println!(
+            "--- {} (|V|={}, 2|E|={}), {} ranks ---",
+            dataset.name(),
+            g.num_vertices(),
+            g.num_arcs(),
+            ranks
+        );
+        let mut table = Table::new([
+            "|S|",
+            "voronoi",
+            "local_min",
+            "global_min",
+            "mst",
+            "pruning",
+            "tree_edge",
+            "total",
+            "|G1'| edges",
+        ]);
+        let mut sizes = Vec::new();
+        for &k in seed_counts {
+            let seeds = pick_seeds(&g, k);
+            let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+            let t = report.phase_times;
+            table.row([
+                seeds.len().to_string(),
+                fmt_dur(t[Phase::Voronoi]),
+                fmt_dur(t[Phase::LocalMinEdge]),
+                fmt_dur(t[Phase::GlobalMinEdge]),
+                fmt_dur(t[Phase::Mst]),
+                fmt_dur(t[Phase::EdgePruning]),
+                fmt_dur(t[Phase::TreeEdge]),
+                fmt_dur(report.time_to_solution()),
+                fmt_count(report.distance_graph_edges as u64),
+            ]);
+            sizes.push(fmt_count(report.tree.num_edges() as u64));
+        }
+        table.print();
+        println!();
+        edge_counts.push((dataset.name().to_string(), sizes));
+    }
+
+    // The two smallest graphs only contribute to Table IV (the paper marks
+    // their largest seed counts N/A).
+    for dataset in [Dataset::Mco, Dataset::Cts] {
+        let g = load_dataset(dataset);
+        let pg = partition_graph(&g, ranks.min(2), None);
+        let cfg = SolverConfig {
+            num_ranks: ranks.min(2),
+            ..SolverConfig::default()
+        };
+        let mut sizes = Vec::new();
+        for &k in seed_counts {
+            if k > g.num_vertices() / 2 {
+                sizes.push("N/A".to_string());
+                continue;
+            }
+            let seeds = pick_seeds(&g, k);
+            let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+            sizes.push(fmt_count(report.tree.num_edges() as u64));
+        }
+        edge_counts.push((dataset.name().to_string(), sizes));
+    }
+
+    println!("--- Table IV: |E_S| (edges in the output Steiner tree) ---");
+    let mut t4 = Table::new(
+        std::iter::once("|S|".to_string()).chain(edge_counts.iter().map(|(n, _)| n.clone())),
+    );
+    for (i, &k) in seed_counts.iter().enumerate() {
+        t4.row(
+            std::iter::once(k.to_string())
+                .chain(edge_counts.iter().map(|(_, sizes)| sizes[i].clone())),
+        );
+    }
+    t4.print();
+    println!();
+    println!("Paper shape: |E_S| grows sublinearly in |S| (Table IV: e.g. LVJ");
+    println!("105 -> 1,108 -> 7,193 -> 50,530); Voronoi time can *decrease* at the");
+    println!("largest |S| (faster convergence with many sources) while the");
+    println!("distance-graph phases grow.");
+}

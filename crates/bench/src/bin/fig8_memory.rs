@@ -1,0 +1,77 @@
+//! Fig 8: cluster-wide peak memory — graph vs algorithm state — and the
+//! chunked-collective memory/runtime trade-off (§V-F).
+//!
+//! The paper reports peak memory split into the in-memory graph and the
+//! algorithm states (vertex states, communication buffers, messages); the
+//! jump at |S| = 10K comes from the `binom(|S|, 2)`-element distance-graph
+//! buffer, and chunked collectives reduce it at some runtime cost. Shapes
+//! to check: state memory grows superlinearly with |S| under the dense
+//! reduction; chunking caps the collective buffer; the sparse reduction is
+//! smaller still.
+//!
+//! Run: `cargo run -p bench --release --bin fig8_memory [--quick]`
+
+use bench::{banner, fmt_bytes, fmt_dur, load_dataset, pick_seeds, quick_mode, Table};
+use steiner::{solve_partitioned, ReduceModeConfig, SolverConfig};
+use stgraph::datasets::Dataset;
+use stgraph::partition::partition_graph;
+
+fn main() {
+    banner(
+        "Fig 8 — peak memory: graph vs algorithm states; chunked collectives",
+        "datasets: LVJ, CLW, WDC analogues; small vs large |S|; dense/chunked/sparse",
+    );
+    let (ranks, small_s, large_s) = if quick_mode() {
+        (2, 20, 100)
+    } else {
+        (4, 250, 1000)
+    };
+
+    let mut table = Table::new([
+        "graph",
+        "|S|",
+        "reduction",
+        "graph bytes",
+        "state bytes",
+        "total",
+        "time",
+    ]);
+    for dataset in [Dataset::Lvj, Dataset::Clw, Dataset::Wdc] {
+        let g = load_dataset(dataset);
+        let pg = partition_graph(&g, ranks, None);
+        for &k in &[small_s, large_s] {
+            let seeds = pick_seeds(&g, k);
+            for (label, mode) in [
+                ("dense", ReduceModeConfig::Dense { chunk: None }),
+                (
+                    "chunked(64K)",
+                    ReduceModeConfig::Dense {
+                        chunk: Some(1 << 16),
+                    },
+                ),
+                ("sparse", ReduceModeConfig::Sparse),
+            ] {
+                let cfg = SolverConfig {
+                    num_ranks: ranks,
+                    reduce_mode: mode,
+                    ..SolverConfig::default()
+                };
+                let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+                table.row([
+                    dataset.name().to_string(),
+                    seeds.len().to_string(),
+                    label.to_string(),
+                    fmt_bytes(report.graph_bytes),
+                    fmt_bytes(report.state_peak_bytes),
+                    fmt_bytes(report.graph_bytes + report.state_peak_bytes),
+                    fmt_dur(report.time_to_solution()),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!();
+    println!("Paper shape: small graphs are dominated by state memory (LVJ 10K");
+    println!("seeds used 35.9x the memory of 1K); the dense distance-graph buffer");
+    println!("drives the blowup; chunked collectives trade runtime for memory.");
+}

@@ -1,0 +1,54 @@
+//! Table I: runtime comparison of all-pair-shortest-path (APSP) and
+//! Voronoi cell (VC) computation, single thread.
+//!
+//! The paper motivates Mehlhorn's formulation by showing that APSP among
+//! the seeds (one Dijkstra per seed) grows linearly in |S| while one
+//! multi-source Dijkstra computes all Voronoi cells at near-constant cost.
+//! Expected shape: APSP/VC ratio grows roughly with |S|; at |S| = 1000 the
+//! paper sees ~56x (LVJ) and ~32x (PTN).
+//!
+//! Run: `cargo run -p bench --release --bin table1_apsp_vs_vc [--quick]`
+
+use baselines::apsp::SeedApsp;
+use baselines::shortest_path::voronoi_cells;
+use bench::{banner, fmt_dur, load_dataset, median_time, pick_seeds, quick_mode, Table};
+use stgraph::datasets::Dataset;
+
+fn main() {
+    banner(
+        "Table I — APSP vs Voronoi cell computation (single thread)",
+        "datasets: LVJ, PTN analogues; |S| in {10, 100, 1000}",
+    );
+    let seed_counts: &[usize] = if quick_mode() {
+        &[10, 50, 100]
+    } else {
+        &[10, 100, 1000]
+    };
+    let reps = if quick_mode() { 1 } else { 3 };
+
+    let mut table = Table::new(["graph", "|S|", "APSP", "VC", "APSP/VC"]);
+    for dataset in [Dataset::Lvj, Dataset::Ptn] {
+        let g = load_dataset(dataset);
+        for &k in seed_counts {
+            let seeds = pick_seeds(&g, k);
+            let apsp = median_time(reps, || {
+                std::hint::black_box(SeedApsp::compute(&g, &seeds));
+            });
+            let vc = median_time(reps, || {
+                std::hint::black_box(voronoi_cells(&g, &seeds));
+            });
+            table.row([
+                dataset.name().to_string(),
+                seeds.len().to_string(),
+                fmt_dur(apsp),
+                fmt_dur(vc),
+                format!("{:.1}x", apsp.as_secs_f64() / vc.as_secs_f64().max(1e-9)),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    println!("Paper reference (absolute values differ; the growing APSP/VC gap is the shape):");
+    println!("  LVJ: 49.7s/30.0s, 539.2s/35.1s, 5813.3s/104.5s (1.7x -> 15.4x -> 55.6x)");
+    println!("  PTN: 26.7s/12.9s, 270.3s/26.6s, 2767.4s/85.5s (2.1x -> 10.2x -> 32.4x)");
+}

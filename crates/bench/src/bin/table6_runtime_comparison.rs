@@ -1,0 +1,93 @@
+//! Table VI: runtime comparison — our distributed solver vs the exact
+//! solver and the sequential 2-approximations.
+//!
+//! The paper compares against SCIP-Jack (exact), WWW, and Mehlhorn on its
+//! four smallest graphs with |S| in {10, 100, 1000}, running the
+//! distributed solver with 16 processes on one machine. Our exact stand-in
+//! is Dreyfus–Wagner, which is only feasible at |S| = 10 (its cost is
+//! exponential in |S|; SCIP-Jack's branch-and-cut handles more seeds but
+//! minutes-to-hours slower than the approximations — the same shape).
+//! Shapes to check: exact is orders of magnitude slower; WWW is roughly
+//! |S|-independent; Mehlhorn grows mildly with |S|; the distributed solver
+//! wins on the larger graphs and loses to the sequential algorithms on the
+//! tiny ones (runtime overhead dominates).
+//!
+//! Run: `cargo run -p bench --release --bin table6_runtime_comparison [--quick]`
+
+use baselines::{dreyfus_wagner, mehlhorn, takahashi, www};
+use bench::{banner, fmt_dur, load_dataset, median_time, pick_seeds, quick_mode, Table};
+use steiner::{solve_partitioned, SolverConfig};
+use stgraph::datasets::Dataset;
+use stgraph::partition::partition_graph;
+
+fn main() {
+    banner(
+        "Table VI — runtime: exact (DW) vs WWW vs Mehlhorn vs distributed",
+        "datasets: LVJ, PTN, MCO, CTS analogues; |S| in {10, 100, 1000}",
+    );
+    let (ranks, seed_counts): (usize, &[usize]) = if quick_mode() {
+        (2, &[8, 50])
+    } else {
+        (16, &[10, 100, 1000])
+    };
+    let reps = if quick_mode() { 1 } else { 3 };
+
+    let mut table = Table::new([
+        "graph",
+        "|S|",
+        "exact(DW)",
+        "TM",
+        "WWW",
+        "Mehlhorn",
+        "distributed",
+    ]);
+    for dataset in Dataset::SMALL {
+        let g = load_dataset(dataset);
+        let pg = partition_graph(&g, ranks, None);
+        let cfg = SolverConfig {
+            num_ranks: ranks,
+            ..SolverConfig::default()
+        };
+        for &k in seed_counts {
+            let seeds = pick_seeds(&g, k);
+            // Exact DP is exponential in |S|; only run it where feasible.
+            let exact = if seeds.len() <= 10 {
+                let d = median_time(reps, || {
+                    std::hint::black_box(dreyfus_wagner(&g, &seeds).expect("connected"));
+                });
+                fmt_dur(d)
+            } else {
+                "(infeasible)".to_string()
+            };
+            let t_tm = median_time(reps, || {
+                std::hint::black_box(takahashi(&g, &seeds).expect("connected"));
+            });
+            let t_www = median_time(reps, || {
+                std::hint::black_box(www(&g, &seeds).expect("connected"));
+            });
+            let t_meh = median_time(reps, || {
+                std::hint::black_box(mehlhorn(&g, &seeds).expect("connected"));
+            });
+            let t_dist = median_time(reps, || {
+                std::hint::black_box(solve_partitioned(&pg, &seeds, &cfg).expect("connected"));
+            });
+            table.row([
+                dataset.name().to_string(),
+                seeds.len().to_string(),
+                exact,
+                fmt_dur(t_tm),
+                fmt_dur(t_www),
+                fmt_dur(t_meh),
+                fmt_dur(t_dist),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    println!("Paper shape (16 procs, one machine): exact SCIP-Jack minutes-to-hours;");
+    println!("WWW ~constant in |S| (LVJ 28s); Mehlhorn grows (25s -> 1.9m);");
+    println!("distributed wins on LVJ/PTN (5.5s/4.6s), ties or loses on MCO/CTS.");
+    println!("Note: on this single-core host the simulated ranks add overhead");
+    println!("rather than parallel speedup, so 'distributed' is handicapped;");
+    println!("see Fig 3's work-based scaling for the parallel-efficiency shape.");
+}

@@ -1,0 +1,108 @@
+//! Table VII: approximation quality — D(G_S) / D_min and % error.
+//!
+//! The paper divides each distributed tree's total distance by SCIP-Jack's
+//! optimum, averaging 1.0527 (5.3% error), far inside the 2(1 - 1/l)
+//! bound. Our exact stand-in (Dreyfus–Wagner) is feasible at |S| = 10;
+//! for larger seed sets the ratio is reported against a *certified lower
+//! bound* on D_min, which can only over-state the true ratio (conservative
+//! direction). An extra column shows the effect of the optional KMB
+//! steps 4–5 refinement.
+//!
+//! Run: `cargo run -p bench --release --bin table7_quality [--quick]`
+
+use baselines::{dreyfus_wagner, key_path_improve, steiner_lower_bound};
+use bench::{banner, load_dataset, pick_seeds, quick_mode, Table};
+use steiner::{solve_partitioned, SolverConfig};
+use stgraph::datasets::Dataset;
+use stgraph::partition::partition_graph;
+
+fn main() {
+    banner(
+        "Table VII — approximation quality D(G_S)/D_min",
+        "datasets: LVJ, PTN, MCO, CTS analogues; |S| in {10, 100, 1000}",
+    );
+    let (ranks, seed_counts): (usize, &[usize]) = if quick_mode() {
+        (2, &[8, 50])
+    } else {
+        (4, &[10, 100, 1000])
+    };
+
+    let mut table = Table::new([
+        "graph",
+        "|S|",
+        "reference",
+        "ratio",
+        "% error",
+        "ratio (refined)",
+        "ratio (improved)",
+        "bound 2(1-1/|S|)",
+    ]);
+    let mut ratios = Vec::new();
+    for dataset in Dataset::SMALL {
+        let g = load_dataset(dataset);
+        let pg = partition_graph(&g, ranks, None);
+        for &k in seed_counts {
+            let seeds = pick_seeds(&g, k);
+            let cfg = SolverConfig {
+                num_ranks: ranks,
+                ..SolverConfig::default()
+            };
+            let plain = solve_partitioned(&pg, &seeds, &cfg).expect("connected");
+            let refined = solve_partitioned(
+                &pg,
+                &seeds,
+                &SolverConfig {
+                    refine: true,
+                    ..cfg
+                },
+            )
+            .expect("connected");
+
+            // Exact optimum where feasible, certified lower bound otherwise.
+            let (reference, d_min) = if seeds.len() <= 10 {
+                (
+                    "exact (DW)",
+                    dreyfus_wagner(&g, &seeds)
+                        .expect("connected")
+                        .total_distance(),
+                )
+            } else {
+                (
+                    "lower bound",
+                    steiner_lower_bound(&g, &seeds).expect("connected"),
+                )
+            };
+            let improved = key_path_improve(&g, &refined.tree, 10);
+            let ratio = plain.tree.total_distance() as f64 / d_min as f64;
+            let ratio_ref = refined.tree.total_distance() as f64 / d_min as f64;
+            let ratio_imp = improved.tree.total_distance() as f64 / d_min as f64;
+            if reference == "exact (DW)" {
+                ratios.push(ratio);
+            }
+            table.row([
+                dataset.name().to_string(),
+                seeds.len().to_string(),
+                reference.to_string(),
+                format!("{ratio:.4}"),
+                format!("{:.2}%", (ratio - 1.0) * 100.0),
+                format!("{ratio_ref:.4}"),
+                format!("{ratio_imp:.4}"),
+                format!("{:.4}", 2.0 * (1.0 - 1.0 / seeds.len() as f64)),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    if !ratios.is_empty() {
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!(
+            "mean ratio vs exact: {mean:.4} ({:.2}% error) over {} instances",
+            (mean - 1.0) * 100.0,
+            ratios.len()
+        );
+    }
+    println!();
+    println!("Paper shape: mean ratio 1.0527 (5.3% error), max 1.1684 (PTN, |S|=10),");
+    println!("improving as |S| grows — all far inside the 2(1-1/l) bound.");
+    println!("Lower-bound rows over-state the true ratio by construction.");
+}

@@ -1,0 +1,204 @@
+#![warn(missing_docs)]
+
+//! Shared infrastructure for the experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). This module provides the common
+//! pieces: dataset/seed preparation, repeated-run timing, and plain-text
+//! table rendering so every harness prints rows in the paper's shape.
+
+use std::time::{Duration, Instant};
+use stgraph::csr::{CsrGraph, Vertex};
+
+/// Fixed RNG seed used by every harness so experiment output is
+/// reproducible run to run.
+pub const EXPERIMENT_SEED: u64 = 20220530; // IPDPS 2022 conference date.
+
+/// Whether `--quick` was passed: harnesses shrink datasets and repetition
+/// counts so the whole suite runs in CI-friendly time.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Generates a dataset analogue at full or quick scale.
+pub fn load_dataset(d: stgraph::datasets::Dataset) -> CsrGraph {
+    if quick_mode() {
+        d.generate_tiny(EXPERIMENT_SEED)
+    } else {
+        d.generate(EXPERIMENT_SEED)
+    }
+}
+
+/// Selects `k` seeds the way the paper's evaluation does (BFS-level
+/// strategy in the largest component), capped at half the largest
+/// component so Voronoi cells stay non-trivial.
+pub fn pick_seeds(g: &CsrGraph, k: usize) -> Vec<Vertex> {
+    let cc = stgraph::traversal::connected_components(g);
+    let cap = cc.sizes[cc.largest() as usize] / 2;
+    let k = k.min(cap.max(2));
+    seeds::select(g, k, seeds::Strategy::BfsLevel, EXPERIMENT_SEED)
+}
+
+/// Runs `f` `reps` times and returns the median wall-clock duration.
+pub fn median_time<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    assert!(reps >= 1);
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Formats a duration the way the paper's tables do (ms / s / m).
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.001 {
+        format!("{:.0}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}m", s / 60.0)
+    }
+}
+
+/// Formats a byte count with binary units.
+pub fn fmt_bytes(b: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.1}{}", UNITS[unit])
+    }
+}
+
+/// Formats a large count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// A minimal fixed-width text table, printed in the paper's row/column
+/// shape.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; must match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn banner(title: &str, detail: &str) {
+    println!("== {title} ==");
+    println!("{detail}");
+    if quick_mode() {
+        println!("(quick mode: reduced dataset scale and repetitions)");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["a", "long_header"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let r = t.render();
+        assert!(r.contains("long_header"));
+        assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_dur(Duration::from_millis(1500)), "1.50s");
+        assert_eq!(fmt_dur(Duration::from_micros(500)), "500us");
+        assert_eq!(fmt_dur(Duration::from_micros(5500)), "5.5ms");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn median_time_runs_all_reps() {
+        let mut count = 0;
+        let _ = median_time(5, || count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn pick_seeds_respects_component_cap() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(1);
+        let s = pick_seeds(&g, 10_000);
+        assert!(s.len() >= 2);
+        assert!(s.len() <= g.num_vertices() / 2 + 1);
+    }
+}

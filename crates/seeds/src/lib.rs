@@ -1,0 +1,292 @@
+#![warn(missing_docs)]
+
+//! # seeds — seed (terminal) vertex selection strategies
+//!
+//! The paper selects seed vertices carefully so that Voronoi-cell
+//! convergence is not trivially fast (§V "Seed Vertex Selection") and
+//! studies four strategies in §V-E / Table V:
+//!
+//! - [`Strategy::BfsLevel`] — the paper's default: random selection across
+//!   BFS levels of the largest connected component, weighted by each
+//!   level's vertex frequency, so seeds are spread through the graph and
+//!   rarely adjacent;
+//! - [`Strategy::UniformRandom`] — uniform over the largest component;
+//! - [`Strategy::Eccentric`] — far-apart seeds via the k-BFS heuristic
+//!   (iteratively add the vertex maximizing the cumulative BFS level from
+//!   all previously chosen seeds);
+//! - [`Strategy::Proximate`] — close-together seeds (same heuristic,
+//!   minimizing).
+//!
+//! All strategies operate within the largest connected component, so every
+//! selected seed set admits a Steiner tree, and all are deterministic given
+//! the RNG seed.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stgraph::csr::{CsrGraph, Vertex};
+use stgraph::traversal::{bfs_levels, connected_components};
+
+/// A seed-selection strategy from §V-E.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Random selection across BFS levels, weighted by level frequency
+    /// (the paper's default evaluation setting).
+    BfsLevel,
+    /// Uniform random vertices of the largest component.
+    UniformRandom,
+    /// Mutually faraway seeds (k-BFS heuristic, maximizing).
+    Eccentric,
+    /// Mutually close seeds (k-BFS heuristic, minimizing).
+    Proximate,
+}
+
+impl Strategy {
+    /// All four strategies in the paper's Table V order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::BfsLevel,
+        Strategy::UniformRandom,
+        Strategy::Eccentric,
+        Strategy::Proximate,
+    ];
+
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::BfsLevel => "bfs-level",
+            Strategy::UniformRandom => "uniform-random",
+            Strategy::Eccentric => "eccentric",
+            Strategy::Proximate => "proximate",
+        }
+    }
+}
+
+/// Selects `k` distinct seed vertices from the largest connected component
+/// of `g` using `strategy`, deterministically in `rng_seed`. Panics if the
+/// largest component has fewer than `k` vertices.
+///
+/// ```
+/// use seeds::{select, Strategy};
+///
+/// let g = stgraph::datasets::Dataset::Cts.generate_tiny(1);
+/// let s = select(&g, 8, Strategy::BfsLevel, 42);
+/// assert_eq!(s.len(), 8);
+/// assert_eq!(s, select(&g, 8, Strategy::BfsLevel, 42)); // reproducible
+/// ```
+pub fn select(g: &CsrGraph, k: usize, strategy: Strategy, rng_seed: u64) -> Vec<Vertex> {
+    assert!(k >= 1, "need at least one seed");
+    let cc = connected_components(g);
+    let component = cc.largest_component_vertices();
+    assert!(
+        component.len() >= k,
+        "largest component has {} vertices, need {k}",
+        component.len()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+    let mut seeds = match strategy {
+        Strategy::BfsLevel => bfs_level_select(g, &component, k, &mut rng),
+        Strategy::UniformRandom => uniform_select(&component, k, &mut rng),
+        Strategy::Eccentric => k_bfs_select(g, &component, k, &mut rng, true),
+        Strategy::Proximate => k_bfs_select(g, &component, k, &mut rng, false),
+    };
+    seeds.sort_unstable();
+    debug_assert_eq!(seeds.len(), k);
+    seeds
+}
+
+fn uniform_select(component: &[Vertex], k: usize, rng: &mut ChaCha8Rng) -> Vec<Vertex> {
+    component.choose_multiple(rng, k).copied().collect()
+}
+
+/// The paper's default: bucket the component by BFS level from a random
+/// root, then draw each seed from a level chosen with probability
+/// proportional to the level's population ("often a higher percentage of
+/// vertices are selected from a level with higher vertex frequency").
+fn bfs_level_select(
+    g: &CsrGraph,
+    component: &[Vertex],
+    k: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<Vertex> {
+    let root = *component.choose(rng).expect("component non-empty");
+    let levels = bfs_levels(g, root);
+    let max_level = component
+        .iter()
+        .map(|&v| levels[v as usize])
+        .max()
+        .expect("component non-empty");
+    let mut buckets: Vec<Vec<Vertex>> = vec![Vec::new(); max_level as usize + 1];
+    for &v in component {
+        buckets[levels[v as usize] as usize].push(v);
+    }
+    // Shuffle each bucket once, then draw without replacement by popping;
+    // buckets are picked with population-proportional probability, updated
+    // as they drain.
+    for b in buckets.iter_mut() {
+        b.shuffle(rng);
+    }
+    let mut remaining: usize = component.len();
+    let mut seeds = Vec::with_capacity(k);
+    while seeds.len() < k {
+        let mut pick = rng.gen_range(0..remaining);
+        for b in buckets.iter_mut() {
+            if pick < b.len() {
+                seeds.push(b.pop().expect("bucket non-empty"));
+                remaining -= 1;
+                break;
+            }
+            pick -= b.len();
+        }
+    }
+    seeds
+}
+
+/// The k-BFS heuristic of §V-E: the first source is random; each
+/// subsequent source is the unchosen vertex with the maximal (eccentric)
+/// or minimal (proximate) cumulative BFS level over all previous rounds.
+fn k_bfs_select(
+    g: &CsrGraph,
+    component: &[Vertex],
+    k: usize,
+    rng: &mut ChaCha8Rng,
+    maximize: bool,
+) -> Vec<Vertex> {
+    let first = *component.choose(rng).expect("component non-empty");
+    let mut seeds = vec![first];
+    let mut chosen = vec![false; g.num_vertices()];
+    chosen[first as usize] = true;
+    let mut cumulative: Vec<u64> = vec![0; g.num_vertices()];
+    while seeds.len() < k {
+        let levels = bfs_levels(g, *seeds.last().expect("non-empty"));
+        for &v in component {
+            cumulative[v as usize] += levels[v as usize] as u64;
+        }
+        let next = component
+            .iter()
+            .copied()
+            .filter(|&v| !chosen[v as usize])
+            .min_by_key(|&v| {
+                let c = cumulative[v as usize];
+                // Max or min by negating through subtraction-free ordering.
+                if maximize {
+                    (u64::MAX - c, v)
+                } else {
+                    (c, v)
+                }
+            })
+            .expect("component larger than k");
+        chosen[next as usize] = true;
+        seeds.push(next);
+    }
+    seeds
+}
+
+/// Average pairwise BFS hop distance of a seed set — used by tests and the
+/// Table V harness to confirm eccentric > uniform > proximate spread.
+pub fn mean_pairwise_hops(g: &CsrGraph, seeds: &[Vertex]) -> f64 {
+    if seeds.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for (i, &s) in seeds.iter().enumerate() {
+        let levels = bfs_levels(g, s);
+        for &t in &seeds[i + 1..] {
+            total += levels[t as usize] as u64;
+            pairs += 1;
+        }
+    }
+    total as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::datasets::Dataset;
+
+    fn test_graph() -> CsrGraph {
+        Dataset::Cts.generate_tiny(7)
+    }
+
+    #[test]
+    fn all_strategies_return_k_distinct_connected_seeds() {
+        let g = test_graph();
+        let cc = connected_components(&g);
+        for strat in Strategy::ALL {
+            let seeds = select(&g, 20, strat, 42);
+            assert_eq!(seeds.len(), 20, "{}", strat.name());
+            let mut uniq = seeds.clone();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 20, "{} produced duplicates", strat.name());
+            for w in seeds.windows(2) {
+                assert!(
+                    cc.same_component(w[0], w[1]),
+                    "{} seeds span components",
+                    strat.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_rng_seed() {
+        let g = test_graph();
+        for strat in Strategy::ALL {
+            let a = select(&g, 10, strat, 7);
+            let b = select(&g, 10, strat, 7);
+            assert_eq!(a, b, "{}", strat.name());
+        }
+    }
+
+    #[test]
+    fn different_rng_seeds_differ() {
+        let g = test_graph();
+        let a = select(&g, 10, Strategy::UniformRandom, 1);
+        let b = select(&g, 10, Strategy::UniformRandom, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eccentric_spreads_more_than_proximate() {
+        let g = test_graph();
+        let ecc = select(&g, 12, Strategy::Eccentric, 3);
+        let prox = select(&g, 12, Strategy::Proximate, 3);
+        let ecc_spread = mean_pairwise_hops(&g, &ecc);
+        let prox_spread = mean_pairwise_hops(&g, &prox);
+        assert!(
+            ecc_spread > prox_spread,
+            "eccentric {ecc_spread} <= proximate {prox_spread}"
+        );
+    }
+
+    #[test]
+    fn proximate_tighter_than_uniform() {
+        let g = test_graph();
+        let uni = select(&g, 12, Strategy::UniformRandom, 3);
+        let prox = select(&g, 12, Strategy::Proximate, 3);
+        assert!(mean_pairwise_hops(&g, &prox) <= mean_pairwise_hops(&g, &uni));
+    }
+
+    #[test]
+    fn single_seed() {
+        let g = test_graph();
+        for strat in Strategy::ALL {
+            assert_eq!(select(&g, 1, strat, 5).len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_when_k_exceeds_component() {
+        let g = test_graph();
+        select(&g, g.num_vertices() + 1, Strategy::UniformRandom, 0);
+    }
+
+    #[test]
+    fn strategy_names_unique() {
+        let mut names: Vec<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

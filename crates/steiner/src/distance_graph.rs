@@ -1,0 +1,270 @@
+//! Distance-graph construction (Alg 5): local min-distance cross-cell edge
+//! identification followed by the global collective reduction.
+//!
+//! Each rank scans its local arcs; for an arc `(u, v)` whose endpoints lie
+//! in different Voronoi cells, the connecting-path length
+//! `d_1(s, u) + d(u, v) + d_1(v, t)` becomes a candidate weight for the
+//! distance-graph edge `(s, t)`. When `v`'s state is remote the arc is
+//! shipped to `v`'s owner as a probe message. Global minima are then found
+//! with an `Allreduce(MIN)` — dense (the paper's `binom(|S|, 2)` buffer,
+//! optionally chunked to bound memory, §V-F) or sparse (map-merge, the
+//! memory-friendly alternative the suite defaults to for large seed sets).
+
+use crate::messages::ProbeMsg;
+use crate::state::{VertexStates, NO_VERTEX};
+use std::collections::BTreeMap;
+use stgraph::csr::{Distance, Vertex, Weight, INF};
+use stgraph::partition::{BlockPartition, RankGraph};
+use struntime::{run_traversal, ChannelGroup, Comm, QueueKind};
+
+/// The winning bridge for one distance-graph edge `(s, t)`.
+///
+/// Ordering is the tie-breaking rule: smallest connecting-path total, then
+/// smallest oriented bridge `(a, b)` where `a ∈ N(s)` — this is the
+/// deterministic equivalent of the paper's `Allreduce(MIN)` on source
+/// vertex ids that "ensures only one cross-cell edge per Voronoi cell
+/// pair".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MinEdge {
+    /// Connecting-path length `d_1'(s, t)`.
+    pub total: Distance,
+    /// Bridge endpoint in `N(s)` (the smaller seed's cell).
+    pub a: Vertex,
+    /// Bridge endpoint in `N(t)`.
+    pub b: Vertex,
+    /// Bridge edge weight `d(a, b)`.
+    pub weight: Weight,
+}
+
+impl MinEdge {
+    /// The "absent" entry — loses to every real candidate.
+    pub const UNSET: MinEdge = MinEdge {
+        total: INF,
+        a: NO_VERTEX,
+        b: NO_VERTEX,
+        weight: 0,
+    };
+}
+
+/// Seed-index pair `(si, ti)` with `si < ti`, keys of the distance graph.
+pub type PairKey = (u32, u32);
+
+/// How the global reduction is performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceMode {
+    /// Dense `binom(|S|, 2)` buffer with `Allreduce(MIN)` — the paper's
+    /// approach. `chunk` bounds the shared buffer (`None` = one shot).
+    Dense {
+        /// Elements per collective chunk (§V-F memory optimization).
+        chunk: Option<usize>,
+    },
+    /// Sparse map-merge reduction; memory proportional to the number of
+    /// *populated* cell pairs.
+    Sparse,
+}
+
+/// Local phase: returns this rank's best candidate per cell pair plus the
+/// traversal stats. Collective (runs a traversal).
+pub fn local_min_edges(
+    comm: &Comm,
+    chan: &ChannelGroup<Vec<ProbeMsg>>,
+    rg: &RankGraph,
+    partition: &BlockPartition,
+    states: &VertexStates,
+    seed_index: &BTreeMap<Vertex, u32>,
+) -> (BTreeMap<PairKey, MinEdge>, struntime::TraversalStats) {
+    let mut local: BTreeMap<PairKey, MinEdge> = BTreeMap::new();
+
+    let stats = run_traversal(
+        comm,
+        chan,
+        QueueKind::Fifo,
+        |_| 0,
+        [ProbeMsg::Scan],
+        |msg, pusher| match msg {
+            ProbeMsg::Scan => {
+                for (u, v, w) in rg.local_arcs() {
+                    let lu = states.label(u);
+                    if lu.src == NO_VERTEX {
+                        continue;
+                    }
+                    if states.holds(v) {
+                        // Both endpoints' states are local: evaluate here.
+                        record_candidate(&mut local, states, seed_index, v, u, w, lu.src, lu.dist);
+                    } else {
+                        pusher.push(
+                            partition.owner(v),
+                            ProbeMsg::Candidate {
+                                v,
+                                u,
+                                weight: w,
+                                u_src: lu.src,
+                                u_dist: lu.dist,
+                            },
+                        );
+                    }
+                }
+            }
+            ProbeMsg::Candidate {
+                v,
+                u,
+                weight,
+                u_src,
+                u_dist,
+            } => {
+                record_candidate(&mut local, states, seed_index, v, u, weight, u_src, u_dist);
+            }
+        },
+    );
+    (local, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_candidate(
+    local: &mut BTreeMap<PairKey, MinEdge>,
+    states: &VertexStates,
+    seed_index: &BTreeMap<Vertex, u32>,
+    v: Vertex,
+    u: Vertex,
+    w: Weight,
+    u_src: Vertex,
+    u_dist: Distance,
+) {
+    let lv = states.label(v);
+    if lv.src == NO_VERTEX || lv.src == u_src {
+        return;
+    }
+    let total = u_dist + w + lv.dist;
+    let (si, ti) = (seed_index[&u_src], seed_index[&lv.src]);
+    // Orient the bridge from the smaller seed's cell.
+    let (key, a, b) = if si < ti {
+        ((si, ti), u, v)
+    } else {
+        ((ti, si), v, u)
+    };
+    let cand = MinEdge {
+        total,
+        a,
+        b,
+        weight: w,
+    };
+    let entry = local.entry(key).or_insert(MinEdge::UNSET);
+    if cand < *entry {
+        *entry = cand;
+    }
+}
+
+/// Global phase: reduces per-rank candidate maps to the cluster-wide
+/// distance graph `G_1'`, as a sorted pair list. Collective.
+pub fn global_min_edges(
+    comm: &Comm,
+    local: BTreeMap<PairKey, MinEdge>,
+    num_seeds: usize,
+    mode: ReduceMode,
+) -> Vec<(PairKey, MinEdge)> {
+    match mode {
+        ReduceMode::Dense { chunk } => {
+            let len = num_seeds * (num_seeds - 1) / 2;
+            comm.memory()
+                .record("distance_graph_dense", len * std::mem::size_of::<MinEdge>());
+            let mut buf = vec![MinEdge::UNSET; len];
+            for (&(si, ti), &e) in &local {
+                buf[pair_offset(num_seeds, si, ti)] = e;
+            }
+            match chunk {
+                Some(c) => comm.allreduce_chunked(&mut buf, c, min_combine),
+                None => comm.allreduce(&mut buf, min_combine),
+            }
+            let mut out = Vec::new();
+            for si in 0..num_seeds as u32 {
+                for ti in (si + 1)..num_seeds as u32 {
+                    let e = buf[pair_offset(num_seeds, si, ti)];
+                    if e.total != INF {
+                        out.push(((si, ti), e));
+                    }
+                }
+            }
+            comm.memory()
+                .release("distance_graph_dense", len * std::mem::size_of::<MinEdge>());
+            out
+        }
+        ReduceMode::Sparse => {
+            comm.memory().record(
+                "distance_graph_sparse",
+                local.len() * std::mem::size_of::<(PairKey, MinEdge)>(),
+            );
+            let mut wrapped = vec![local];
+            comm.allreduce(&mut wrapped, |acc, other| {
+                for (&k, &e) in other {
+                    let slot = acc.entry(k).or_insert(MinEdge::UNSET);
+                    if e < *slot {
+                        *slot = e;
+                    }
+                }
+            });
+            wrapped
+                .pop()
+                .expect("wrapped vec has one element")
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+fn min_combine(a: &mut MinEdge, b: &MinEdge) {
+    if *b < *a {
+        *a = *b;
+    }
+}
+
+/// Offset of pair `(si, ti)`, `si < ti`, in the dense upper-triangular
+/// buffer over `k` seeds.
+pub fn pair_offset(k: usize, si: u32, ti: u32) -> usize {
+    let (si, ti) = (si as usize, ti as usize);
+    debug_assert!(si < ti && ti < k);
+    si * (2 * k - si - 1) / 2 + (ti - si - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_offsets_are_dense_and_unique() {
+        let k = 7;
+        let mut seen = vec![false; k * (k - 1) / 2];
+        for si in 0..k as u32 {
+            for ti in (si + 1)..k as u32 {
+                let off = pair_offset(k, si, ti);
+                assert!(!seen[off], "collision at ({si},{ti})");
+                seen[off] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn min_edge_ordering_prefers_total_then_bridge() {
+        let a = MinEdge {
+            total: 5,
+            a: 9,
+            b: 9,
+            weight: 1,
+        };
+        let b = MinEdge {
+            total: 6,
+            a: 0,
+            b: 0,
+            weight: 1,
+        };
+        assert!(a < b);
+        let c = MinEdge {
+            total: 5,
+            a: 2,
+            b: 9,
+            weight: 3,
+        };
+        assert!(c < a);
+        assert!(a < MinEdge::UNSET);
+    }
+}

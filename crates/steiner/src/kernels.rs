@@ -1,0 +1,366 @@
+//! Distributed graph kernels beyond the Steiner pipeline: BFS levels and
+//! connected components.
+//!
+//! The paper's evaluation machinery needs both at cluster scale — seed
+//! selection works inside the largest connected component and samples by
+//! BFS level (§V). These kernels run on the same runtime and partitioning
+//! as the solver, with the same deterministic monotone-label pattern.
+
+use std::sync::Arc;
+use stgraph::csr::{CsrGraph, Vertex, Weight};
+use stgraph::partition::{partition_graph, BlockPartition, PartitionedGraph, RankGraph};
+use struntime::{run_traversal, Comm, QueueKind, World};
+
+/// Level assigned to unreachable vertices, matching
+/// `stgraph::traversal::UNREACHED`.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Distributed BFS: hop levels from `source` computed across `num_ranks`
+/// simulated ranks. Equals `stgraph::traversal::bfs_levels` exactly.
+pub fn distributed_bfs_levels(g: &CsrGraph, source: Vertex, num_ranks: usize) -> Vec<u32> {
+    let pg = partition_graph(g, num_ranks, None);
+    let pg = &pg;
+    let out = World::run(num_ranks, |comm: &mut Comm| {
+        let chan = comm.open_channels::<Vec<(Vertex, u32)>>("bfs");
+        let rg = &pg.ranks[comm.rank()];
+        let base = rg.owned.start;
+        let mut level = vec![UNREACHED; rg.num_owned()];
+        let init = if rg.owns(source) {
+            vec![(source, 0u32)]
+        } else {
+            vec![]
+        };
+        run_traversal(
+            comm,
+            &chan,
+            QueueKind::Priority,
+            |&(_, l)| l as u64,
+            init,
+            |(v, l), pusher| {
+                let i = (v - base) as usize;
+                if l < level[i] {
+                    level[i] = l;
+                    for (n, _) in rg.adj(v) {
+                        pusher.push(pg.partition.owner(n), (n, l + 1));
+                    }
+                }
+            },
+        );
+        (base, level)
+    });
+    let mut full = vec![UNREACHED; g.num_vertices()];
+    for (base, level) in out.results {
+        for (i, l) in level.into_iter().enumerate() {
+            full[base as usize + i] = l;
+        }
+    }
+    full
+}
+
+/// Distributed connected components by min-label propagation: every vertex
+/// converges to the smallest vertex id in its component. Returns the label
+/// array (isolated vertices keep their own id).
+pub fn distributed_components(g: &CsrGraph, num_ranks: usize) -> Vec<Vertex> {
+    let pg = partition_graph(g, num_ranks, None);
+    let pg = &pg;
+    let out = World::run(num_ranks, |comm: &mut Comm| {
+        let chan = comm.open_channels::<Vec<(Vertex, Vertex)>>("components");
+        let rg = &pg.ranks[comm.rank()];
+        let base = rg.owned.start;
+        let mut label: Vec<Vertex> = rg.owned.clone().collect();
+        let mut announced = vec![false; rg.num_owned()];
+        // Bootstrap: each owned vertex visits itself, which announces its
+        // current label to its neighbors (remote pushes must go through
+        // the pusher, so initial visitors are strictly local).
+        let init: Vec<(Vertex, Vertex)> = rg.owned.clone().map(|v| (v, v)).collect();
+        run_traversal(
+            comm,
+            &chan,
+            QueueKind::Priority,
+            |&(_, l)| l as u64,
+            init,
+            |(v, proposed), pusher| {
+                let i = (v - base) as usize;
+                if proposed < label[i] || !announced[i] {
+                    if proposed < label[i] {
+                        label[i] = proposed;
+                    }
+                    announced[i] = true;
+                    for (n, _) in rg.adj(v) {
+                        pusher.push(pg.partition.owner(n), (n, label[i]));
+                    }
+                }
+            },
+        );
+        (base, label)
+    });
+    let mut full = vec![0 as Vertex; g.num_vertices()];
+    for (base, label) in out.results {
+        for (i, l) in label.into_iter().enumerate() {
+            full[base as usize + i] = l;
+        }
+    }
+    full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::builder::GraphBuilder;
+    use stgraph::datasets::Dataset;
+    use stgraph::traversal::{bfs_levels, connected_components};
+
+    #[test]
+    fn bfs_matches_sequential_on_path() {
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges([(0, 1, 9), (1, 2, 9), (2, 3, 9), (3, 4, 9)]);
+        let g = b.build();
+        for p in [1usize, 2, 4] {
+            assert_eq!(distributed_bfs_levels(&g, 0, p), bfs_levels(&g, 0));
+        }
+    }
+
+    #[test]
+    fn bfs_matches_sequential_on_scale_free() {
+        let g = Dataset::Ptn.generate_tiny(2);
+        let reference = bfs_levels(&g, 7);
+        for p in [1usize, 3] {
+            assert_eq!(distributed_bfs_levels(&g, 7, p), reference);
+        }
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let levels = distributed_bfs_levels(&g, 0, 2);
+        assert_eq!(levels, vec![0, 1, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn components_match_sequential() {
+        let g = Dataset::Cts.generate_tiny(4);
+        let seq = connected_components(&g);
+        for p in [1usize, 2, 5] {
+            let dist = distributed_components(&g, p);
+            // Same partition of vertices: labels equal iff same component.
+            for (u, v, _) in g.undirected_edges() {
+                assert_eq!(dist[u as usize], dist[v as usize]);
+            }
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    assert_eq!(
+                        dist[u as usize] == dist[v as usize],
+                        seq.same_component(u, v),
+                        "p={p}, vertices {u},{v}"
+                    );
+                }
+            }
+            // Labels are canonical: the minimum id of the component.
+            for v in g.vertices() {
+                assert!(dist[v as usize] <= v);
+            }
+        }
+    }
+
+    #[test]
+    fn components_on_disconnected_graph() {
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(0, 1, 1), (2, 3, 1), (4, 5, 1)]);
+        let g = b.build();
+        let labels = distributed_components(&g, 3);
+        assert_eq!(labels, vec![0, 0, 2, 2, 4, 4]);
+    }
+}
+
+/// Distributed graph construction: partitions a raw undirected edge list
+/// across ranks through the runtime itself, the way the paper's pipeline
+/// ingests massive edge corpora (each MPI process reads a shard and routes
+/// arcs to their owners) instead of slicing a resident graph.
+///
+/// Two passes over the data: pass 1 routes both arcs of each edge to the
+/// target's owner, which counts degrees; delegates (degree >=
+/// `delegate_threshold`) are then agreed on collectively; pass 2 re-routes
+/// delegate arcs round-robin. Rank `r` processes the strided shard
+/// `edges[r], edges[r + p], ...` — in a real deployment each rank would
+/// read that shard from disk.
+///
+/// The resulting [`PartitionedGraph`] is layout-equivalent to
+/// [`partition_graph`]: the same arcs live on each rank's owned storage,
+/// and delegate slices cover the same arc sets (their round-robin
+/// assignment may differ, which the solver's determinism is invariant to).
+pub fn distributed_partition(
+    edges: &[(Vertex, Vertex, Weight)],
+    num_vertices: usize,
+    num_ranks: usize,
+    delegate_threshold: Option<usize>,
+) -> PartitionedGraph {
+    let partition = BlockPartition::new(num_vertices, num_ranks);
+    let partition_ref = &partition;
+    let out = World::run(num_ranks, |comm: &mut Comm| {
+        let arcs_chan = comm.open_channels::<Vec<(Vertex, Vertex, Weight)>>("ingest_arcs");
+        let rank = comm.rank();
+        let p = comm.num_ranks();
+        let owned = partition_ref.range(rank);
+
+        // Pass 1: route both directions of each shard edge to the source's
+        // owner; a Scan bootstrap keeps remote pushes inside the traversal.
+        let mut arcs: Vec<(Vertex, Vertex, Weight)> = Vec::new();
+        run_traversal(
+            comm,
+            &arcs_chan,
+            QueueKind::Fifo,
+            |_| 0,
+            [(Vertex::MAX, Vertex::MAX, 0u64)], // sentinel: scan my shard
+            |(u, v, w), pusher| {
+                if u == Vertex::MAX {
+                    for &(a, b, w) in edges.iter().skip(rank).step_by(p) {
+                        if a == b {
+                            continue;
+                        }
+                        for (src, dst) in [(a, b), (b, a)] {
+                            let dest = partition_ref.owner(src);
+                            if dest == rank {
+                                arcs.push((src, dst, w));
+                            } else {
+                                pusher.push(dest, (src, dst, w));
+                            }
+                        }
+                    }
+                } else {
+                    arcs.push((u, v, w));
+                }
+            },
+        );
+        // Dedup parallel edges (min weight) before degree counting.
+        arcs.sort_unstable();
+        arcs.dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
+
+        // Agree on delegates from globally reduced degrees.
+        let mut degrees = vec![0u64; num_vertices];
+        for &(u, _, _) in &arcs {
+            degrees[u as usize] += 1;
+        }
+        comm.allreduce_sum(&mut degrees);
+        let delegates: Arc<Vec<Vertex>> = Arc::new(match delegate_threshold {
+            Some(t) => (0..num_vertices as Vertex)
+                .filter(|&v| degrees[v as usize] >= t as u64)
+                .collect(),
+            None => Vec::new(),
+        });
+
+        // Pass 2: pull delegate arcs out of owned storage and deal them
+        // round-robin (by a deterministic hash of the arc, so every rank
+        // computes the same dealing without coordination).
+        let deleg_chan = comm.open_channels::<Vec<(Vertex, Vertex, Weight)>>("ingest_delegates");
+        let mut owned_arcs = Vec::with_capacity(arcs.len());
+        let mut delegate_arcs: Vec<Vec<(Vertex, Weight)>> = vec![Vec::new(); delegates.len()];
+        let mut to_deal: Vec<(Vertex, Vertex, Weight)> = Vec::new();
+        for (u, v, w) in arcs {
+            if delegates.binary_search(&u).is_ok() {
+                to_deal.push((u, v, w));
+            } else {
+                owned_arcs.push((u, v, w));
+            }
+        }
+        run_traversal(
+            comm,
+            &deleg_chan,
+            QueueKind::Fifo,
+            |_| 0,
+            [(Vertex::MAX, Vertex::MAX, 0u64)],
+            |(u, v, w), pusher| {
+                if u == Vertex::MAX {
+                    for &(du, dv, dw) in &to_deal {
+                        let dest = (du as usize ^ (dv as usize).rotate_left(16)) % p;
+                        if dest == rank {
+                            let i = delegates.binary_search(&du).expect("delegate");
+                            delegate_arcs[i].push((dv, dw));
+                        } else {
+                            pusher.push(dest, (du, dv, dw));
+                        }
+                    }
+                } else {
+                    let i = delegates.binary_search(&u).expect("delegate");
+                    delegate_arcs[i].push((v, w));
+                }
+            },
+        );
+
+        RankGraph::from_arcs(rank, owned, delegates, owned_arcs, delegate_arcs)
+    });
+
+    let delegates = Arc::clone(&out.results[0].delegates);
+    PartitionedGraph {
+        partition,
+        ranks: out.results,
+        delegates,
+    }
+}
+
+#[cfg(test)]
+mod ingest_tests {
+    use super::*;
+    use crate::{solve_partitioned, SolverConfig};
+    use stgraph::datasets::Dataset;
+
+    fn edge_list(g: &CsrGraph) -> Vec<(Vertex, Vertex, Weight)> {
+        g.undirected_edges().collect()
+    }
+
+    #[test]
+    fn covers_all_arcs() {
+        let g = Dataset::Cts.generate_tiny(2);
+        let edges = edge_list(&g);
+        for p in [1usize, 3] {
+            for thresh in [None, Some(8)] {
+                let pg = distributed_partition(&edges, g.num_vertices(), p, thresh);
+                let mut local: Vec<_> = pg
+                    .ranks
+                    .iter()
+                    .flat_map(|r| r.local_arcs().collect::<Vec<_>>())
+                    .collect();
+                local.sort_unstable();
+                let mut global: Vec<_> = g.arcs().collect();
+                global.sort_unstable();
+                assert_eq!(local, global, "p={p}, thresh={thresh:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_output_matches_local_partitioning() {
+        let g = Dataset::Mco.generate_tiny(6);
+        let edges = edge_list(&g);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 8).copied().collect();
+        let cfg = SolverConfig {
+            num_ranks: 3,
+            delegate_threshold: Some(16),
+            ..SolverConfig::default()
+        };
+        let local_pg = stgraph::partition::partition_graph(&g, 3, Some(16));
+        let dist_pg = distributed_partition(&edges, g.num_vertices(), 3, Some(16));
+        let a = solve_partitioned(&local_pg, &seeds, &cfg).unwrap();
+        let b = solve_partitioned(&dist_pg, &seeds, &cfg).unwrap();
+        assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_weight() {
+        let edges = vec![(0u32, 1u32, 9u64), (0, 1, 4), (1, 0, 7)];
+        let pg = distributed_partition(&edges, 2, 2, None);
+        let arcs: Vec<_> = pg.ranks[0].local_arcs().collect();
+        assert_eq!(arcs, vec![(0, 1, 4)]);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let edges = vec![(0u32, 0u32, 3u64), (0, 1, 2)];
+        let pg = distributed_partition(&edges, 2, 1, None);
+        let arcs: Vec<_> = pg.ranks[0].local_arcs().collect();
+        assert_eq!(arcs, vec![(0, 1, 2), (1, 0, 2)]);
+    }
+}

@@ -1,0 +1,807 @@
+#![warn(missing_docs)]
+
+//! # steiner — distributed 2-approximation Steiner minimal trees
+//!
+//! The paper's primary contribution: a parallel Steiner tree algorithm
+//! based on Voronoi-cell computation (Mehlhorn's formulation of KMB) with a
+//! distributed, asynchronous, vertex- and edge-centric implementation.
+//! This crate runs that algorithm on the simulated message-passing runtime
+//! (`struntime`) over a partitioned graph (`stgraph::partition`):
+//!
+//! 1. **Voronoi cells** ([`voronoi`]) — asynchronous Bellman-Ford from all
+//!    seeds at once, with optional priority message queues (Alg 4);
+//! 2. **Local min-distance edges** ([`distance_graph`]) — edge-centric scan
+//!    for the cheapest cross-cell bridges (Alg 5);
+//! 3. **Global reduction** — `Allreduce(MIN)` over the distance-graph
+//!    buffer, dense/chunked or sparse;
+//! 4. **Sequential MST** ([`mst`]) of the small distance graph `G_1'`,
+//!    replicated on every rank;
+//! 5. **Edge pruning** — keep only bridges chosen by the MST;
+//! 6. **Tree edges** ([`tree_edges`]) — trace predecessor chains back to
+//!    the seeds (Alg 6).
+//!
+//! The approximation bound `D(G_S)/D_min <= 2(1 - 1/l)` is inherited from
+//! KMB via Mehlhorn's proof that every MST of `G_1'` is an MST of the
+//! complete seed distance graph.
+//!
+//! ```
+//! use stgraph::{datasets::Dataset, SteinerTree};
+//! use steiner::{solve, SolverConfig};
+//!
+//! let graph = Dataset::Cts.generate_tiny(42);
+//! let seeds = seeds::select(&graph, 8, seeds::Strategy::BfsLevel, 7);
+//! let report = solve(&graph, &seeds, &SolverConfig::default()).unwrap();
+//! assert!(report.tree.validate(&graph).is_ok());
+//! ```
+
+pub mod distance_graph;
+pub mod interactive;
+pub mod kernels;
+pub mod messages;
+pub mod mst;
+pub mod phases;
+pub mod refine;
+pub mod state;
+pub mod tree_edges;
+pub mod voronoi;
+pub mod voronoi_bsp;
+
+pub use phases::{Phase, PhaseTimes};
+pub use struntime::QueueKind;
+
+use distance_graph::ReduceMode;
+use state::VertexStates;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+use stgraph::csr::{CsrGraph, Vertex, Weight};
+use stgraph::error::SteinerError;
+use stgraph::partition::{partition_graph, PartitionedGraph};
+use stgraph::steiner_tree::SteinerTree;
+use struntime::{Comm, PersistentWorld, PhaseSnapshot, RunOutput, World};
+
+/// How the distance-graph reduction buffer is organized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceModeConfig {
+    /// Dense below 256 seeds (chunked at 1M elements), sparse above.
+    Auto,
+    /// Force the paper's dense `binom(|S|, 2)` buffer.
+    Dense {
+        /// Optional chunk size for the §V-F memory optimization.
+        chunk: Option<usize>,
+    },
+    /// Force the sparse map-merge reduction.
+    Sparse,
+}
+
+impl ReduceModeConfig {
+    fn resolve(self, num_seeds: usize) -> ReduceMode {
+        match self {
+            ReduceModeConfig::Auto => {
+                if num_seeds <= 256 {
+                    ReduceMode::Dense {
+                        chunk: Some(1 << 20),
+                    }
+                } else {
+                    ReduceMode::Sparse
+                }
+            }
+            ReduceModeConfig::Dense { chunk } => ReduceMode::Dense { chunk },
+            ReduceModeConfig::Sparse => ReduceMode::Sparse,
+        }
+    }
+}
+
+/// Configuration of one distributed solve.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Number of simulated ranks (MPI processes). Default 4.
+    pub num_ranks: usize,
+    /// Message-queue discipline for the Voronoi phase. Default priority
+    /// (the paper's optimization; use FIFO to reproduce the baseline).
+    pub queue: QueueKind,
+    /// Degree threshold above which a vertex becomes a replicated delegate
+    /// (HavoqGT vertex-cut). `None` disables delegation.
+    pub delegate_threshold: Option<usize>,
+    /// Distance-graph reduction layout.
+    pub reduce_mode: ReduceModeConfig,
+    /// Apply the optional KMB steps 4–5 refinement to the output tree.
+    pub refine: bool,
+    /// Visitors per aggregated network batch in the asynchronous phases
+    /// (HavoqGT-style message aggregation; `1` disables it).
+    pub batch_size: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            num_ranks: 4,
+            queue: QueueKind::Priority,
+            delegate_threshold: None,
+            reduce_mode: ReduceModeConfig::Auto,
+            refine: false,
+            batch_size: struntime::traversal::DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+/// Everything a solve produces: the tree plus the observability data the
+/// paper's evaluation charts are built from.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The 2-approximate Steiner tree.
+    pub tree: SteinerTree,
+    /// Per-phase wall-clock, max across ranks (barrier-bound).
+    pub phase_times: PhaseTimes,
+    /// Per-rank phase times.
+    pub rank_phase_times: Vec<PhaseTimes>,
+    /// Cluster-wide message counts per phase (Fig 6's metric).
+    pub message_counts: BTreeMap<&'static str, PhaseSnapshot>,
+    /// Bytes of the partitioned graph across all ranks (Fig 8 "graph").
+    pub graph_bytes: usize,
+    /// Peak algorithm-state bytes across all ranks (Fig 8 "states").
+    pub state_peak_bytes: usize,
+    /// Number of edges in the reduced distance graph `G_1'`.
+    pub distance_graph_edges: usize,
+    /// Visitors processed per rank, summed over the asynchronous phases —
+    /// the simulation's work metric.
+    pub rank_work: Vec<u64>,
+}
+
+impl SolveReport {
+    /// Total wall-clock (sum of barrier-bound phase maxima) — the paper's
+    /// time-to-solution metric.
+    pub fn time_to_solution(&self) -> std::time::Duration {
+        self.phase_times.total()
+    }
+
+    /// Work-based simulated speedup: total visitors processed divided by
+    /// the most-loaded rank's share. On a simulated cluster (many ranks
+    /// multiplexed over few physical cores) wall-clock cannot exhibit
+    /// strong scaling, but the critical-path work per rank can — this is
+    /// the Fig 3 scaling metric, equal to ideal speedup under perfect load
+    /// balance and degraded by skew exactly as a real cluster would be.
+    pub fn simulated_speedup(&self) -> f64 {
+        let total: u64 = self.rank_work.iter().sum();
+        let max = self.rank_work.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            1.0
+        } else {
+            total as f64 / max as f64
+        }
+    }
+}
+
+fn check_seeds(g: &CsrGraph, seeds: &[Vertex]) -> Result<Vec<Vertex>, SteinerError> {
+    check_seeds_against(g.num_vertices(), seeds)
+}
+
+/// Validates and deduplicates a seed set against a vertex count. Duplicate
+/// seeds would otherwise corrupt the seed-index map (spurious
+/// `SeedsDisconnected`), so every solve entry point funnels through here.
+fn check_seeds_against(num_vertices: usize, seeds: &[Vertex]) -> Result<Vec<Vertex>, SteinerError> {
+    if seeds.is_empty() {
+        return Err(SteinerError::NoSeeds);
+    }
+    for &s in seeds {
+        if s as usize >= num_vertices {
+            return Err(SteinerError::SeedOutOfRange(s));
+        }
+    }
+    let mut out = seeds.to_vec();
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+struct RankOutcome {
+    edges: Vec<(Vertex, Vertex, Weight)>,
+    times: PhaseTimes,
+    connected: bool,
+    distance_graph_edges: usize,
+    visitors_processed: u64,
+}
+
+/// Runs the distributed solver end to end. Spawns `config.num_ranks`
+/// simulated ranks, partitions `g` across them, executes Alg 3, and
+/// returns the tree with full per-phase observability.
+pub fn solve(
+    g: &CsrGraph,
+    seeds: &[Vertex],
+    config: &SolverConfig,
+) -> Result<SolveReport, SteinerError> {
+    let seeds = check_seeds(g, seeds)?;
+    let pg = partition_graph(g, config.num_ranks, config.delegate_threshold);
+    solve_partitioned(&pg, &seeds, config)
+}
+
+/// Like [`solve`], but on an already-partitioned graph — lets experiment
+/// harnesses partition once and solve many times.
+pub fn solve_partitioned(
+    pg: &PartitionedGraph,
+    seeds: &[Vertex],
+    config: &SolverConfig,
+) -> Result<SolveReport, SteinerError> {
+    let seeds = check_seeds_against(pg.partition.num_vertices(), seeds)?;
+    let p = pg.ranks.len();
+    assert_eq!(p, config.num_ranks, "partition/config rank mismatch");
+    if seeds.len() == 1 {
+        return Ok(trivial_report(pg, seeds));
+    }
+    let reduce_mode = config.reduce_mode.resolve(seeds.len());
+    let seed_index: BTreeMap<Vertex, u32> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+
+    let out = World::run(p, |comm: &mut Comm| {
+        rank_main(
+            comm,
+            pg,
+            &seeds,
+            &seed_index,
+            config.queue,
+            reduce_mode,
+            config.batch_size,
+        )
+    });
+    assemble_report(pg, seeds, config, out)
+}
+
+/// Like [`solve_partitioned`], but runs on resident rank threads — the
+/// right entry point for interactive workloads that issue many solves
+/// against one loaded graph. `world.num_ranks()` must equal
+/// `config.num_ranks`.
+pub fn solve_on(
+    world: &PersistentWorld,
+    pg: &Arc<PartitionedGraph>,
+    seeds: &[Vertex],
+    config: &SolverConfig,
+) -> Result<SolveReport, SteinerError> {
+    let p = pg.ranks.len();
+    assert_eq!(p, config.num_ranks, "partition/config rank mismatch");
+    assert_eq!(p, world.num_ranks(), "world/config rank mismatch");
+    let seeds = check_seeds_against(pg.partition.num_vertices(), seeds)?;
+    if seeds.len() == 1 {
+        return Ok(trivial_report(pg, seeds));
+    }
+    let reduce_mode = config.reduce_mode.resolve(seeds.len());
+    let seed_index: Arc<BTreeMap<Vertex, u32>> = Arc::new(
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect(),
+    );
+    let queue = config.queue;
+    let batch_size = config.batch_size;
+    let pg_job = Arc::clone(pg);
+    let seeds_job = Arc::new(seeds.clone());
+    let out = world.execute(move |comm: &mut Comm| {
+        rank_main(
+            comm,
+            &pg_job,
+            &seeds_job,
+            &seed_index,
+            queue,
+            reduce_mode,
+            batch_size,
+        )
+    });
+    assemble_report(pg, seeds, config, out)
+}
+
+fn assemble_report(
+    pg: &PartitionedGraph,
+    seeds: Vec<Vertex>,
+    config: &SolverConfig,
+    out: RunOutput<RankOutcome>,
+) -> Result<SolveReport, SteinerError> {
+    let connected = out.results.iter().all(|r| r.connected);
+    if !connected {
+        // Identify a concrete pair for the error message.
+        return Err(first_disconnected_pair_of(pg, &seeds));
+    }
+
+    let p = pg.ranks.len();
+    let mut all_edges = Vec::new();
+    let mut phase_times = PhaseTimes::default();
+    let mut rank_phase_times = Vec::with_capacity(p);
+    let mut rank_work = Vec::with_capacity(p);
+    let mut dg_edges = 0;
+    for r in &out.results {
+        all_edges.extend_from_slice(&r.edges);
+        phase_times = phase_times.max(&r.times);
+        rank_phase_times.push(r.times);
+        rank_work.push(r.visitors_processed);
+        dg_edges = dg_edges.max(r.distance_graph_edges);
+    }
+    let mut tree = SteinerTree::new(seeds, all_edges);
+    if config.refine {
+        tree = refine::refine(&tree);
+    }
+    Ok(SolveReport {
+        tree,
+        phase_times,
+        rank_phase_times,
+        message_counts: out.merged_counters(),
+        graph_bytes: pg.ranks.iter().map(|r| r.memory_bytes()).sum(),
+        state_peak_bytes: out.total_peak_memory(),
+        distance_graph_edges: dg_edges,
+        rank_work,
+    })
+}
+
+fn trivial_report(pg: &PartitionedGraph, seeds: Vec<Vertex>) -> SolveReport {
+    SolveReport {
+        tree: SteinerTree::new(seeds, []),
+        phase_times: PhaseTimes::default(),
+        rank_phase_times: vec![PhaseTimes::default(); pg.ranks.len()],
+        message_counts: BTreeMap::new(),
+        graph_bytes: pg.ranks.iter().map(|r| r.memory_bytes()).sum(),
+        state_peak_bytes: 0,
+        distance_graph_edges: 0,
+        rank_work: vec![0; pg.ranks.len()],
+    }
+}
+
+fn first_disconnected_pair_of(_pg: &PartitionedGraph, seeds: &[Vertex]) -> SteinerError {
+    // Rebuild reachability cheaply from rank 0's perspective is not
+    // possible without the full graph; report the canonical first/last
+    // pair. Callers needing the precise pair can use the sequential
+    // baselines' diagnostics.
+    SteinerError::SeedsDisconnected(seeds[0], *seeds.last().expect("non-empty"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    comm: &mut Comm,
+    pg: &PartitionedGraph,
+    seeds: &[Vertex],
+    seed_index: &BTreeMap<Vertex, u32>,
+    queue: QueueKind,
+    reduce_mode: ReduceMode,
+    batch_size: usize,
+) -> RankOutcome {
+    let rg = &pg.ranks[comm.rank()];
+    let partition = &pg.partition;
+    let mut times = PhaseTimes::default();
+
+    // Channel groups for the three asynchronous phases, opened up front in
+    // identical order on every rank.
+    let chan_voronoi = comm.open_channels::<Vec<messages::VoronoiMsg>>(Phase::Voronoi.name());
+    let chan_probe = comm.open_channels::<Vec<messages::ProbeMsg>>(Phase::LocalMinEdge.name());
+    let chan_trace = comm.open_channels::<Vec<messages::TraceMsg>>(Phase::TreeEdge.name());
+
+    let mut states = VertexStates::new(rg);
+    comm.memory().record("vertex_state", states.memory_bytes());
+
+    // Step 1: Voronoi cells (Alg 4).
+    let t = Instant::now();
+    let voronoi_stats = voronoi::run(
+        comm,
+        &chan_voronoi,
+        rg,
+        partition,
+        &mut states,
+        seeds,
+        struntime::traversal::TraversalOptions { queue, batch_size },
+    );
+    times[Phase::Voronoi] = t.elapsed();
+
+    // Step 2: local min-distance cross-cell edges (Alg 5, async part).
+    let t = Instant::now();
+    let (local, probe_stats) =
+        distance_graph::local_min_edges(comm, &chan_probe, rg, partition, &states, seed_index);
+    times[Phase::LocalMinEdge] = t.elapsed();
+
+    // Step 3: global reduction (Alg 5, collective part).
+    let t = Instant::now();
+    let dg = distance_graph::global_min_edges(comm, local, seeds.len(), reduce_mode);
+    times[Phase::GlobalMinEdge] = t.elapsed();
+
+    // Step 4: sequential MST of G_1', replicated per rank.
+    let t = Instant::now();
+    let chosen = mst::mst_of_distance_graph(seeds.len(), &dg);
+    comm.barrier();
+    times[Phase::Mst] = t.elapsed();
+
+    if !mst::spans_all_seeds(seeds.len(), &chosen) {
+        return RankOutcome {
+            edges: Vec::new(),
+            times,
+            connected: false,
+            distance_graph_edges: dg.len(),
+            visitors_processed: voronoi_stats.processed + probe_stats.processed,
+        };
+    }
+
+    // Step 5: global edge pruning — keep only MST bridges.
+    let t = Instant::now();
+    let bridges = tree_edges::active_bridges(&dg, &chosen);
+    comm.barrier();
+    times[Phase::EdgePruning] = t.elapsed();
+
+    // Step 6: Steiner tree edges by predecessor tracing (Alg 6).
+    let t = Instant::now();
+    let (edges, trace_stats) = tree_edges::run(comm, &chan_trace, partition, &mut states, &bridges);
+    times[Phase::TreeEdge] = t.elapsed();
+
+    RankOutcome {
+        edges,
+        times,
+        connected: true,
+        distance_graph_edges: dg.len(),
+        visitors_processed: voronoi_stats.processed + probe_stats.processed + trace_stats.processed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::builder::GraphBuilder;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, (i % 3 + 1) as Weight);
+        }
+        b.build()
+    }
+
+    fn config(p: usize) -> SolverConfig {
+        SolverConfig {
+            num_ranks: p,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn two_seeds_on_path() {
+        let g = path_graph(10);
+        let report = solve(&g, &[0, 9], &config(3)).unwrap();
+        assert!(report.tree.validate(&g).is_ok());
+        // The whole path: weights cycle 1,2,3.
+        let expect: u64 = (0..9).map(|i| (i % 3 + 1) as u64).sum();
+        assert_eq!(report.tree.total_distance(), expect);
+        assert_eq!(report.tree.num_edges(), 9);
+    }
+
+    #[test]
+    fn single_seed_trivial() {
+        let g = path_graph(5);
+        let report = solve(&g, &[2], &config(2)).unwrap();
+        assert_eq!(report.tree.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_seeds_deduplicated() {
+        let g = path_graph(6);
+        let report = solve(&g, &[0, 5, 0, 5], &config(2)).unwrap();
+        assert_eq!(report.tree.seeds, vec![0, 5]);
+    }
+
+    #[test]
+    fn no_seeds_is_error() {
+        let g = path_graph(4);
+        assert_eq!(
+            solve(&g, &[], &config(2)).unwrap_err(),
+            SteinerError::NoSeeds
+        );
+    }
+
+    #[test]
+    fn out_of_range_seed_is_error() {
+        let g = path_graph(4);
+        assert_eq!(
+            solve(&g, &[0, 7], &config(2)).unwrap_err(),
+            SteinerError::SeedOutOfRange(7)
+        );
+    }
+
+    #[test]
+    fn disconnected_seeds_is_error() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (2, 3, 1)]);
+        let g = b.build();
+        assert!(matches!(
+            solve(&g, &[0, 3], &config(2)),
+            Err(SteinerError::SeedsDisconnected(_, _))
+        ));
+    }
+
+    #[test]
+    fn star_finds_hub() {
+        // Seeds on the triangle; hub 3 gives the optimum (total 6).
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([
+            (0, 1, 4),
+            (1, 2, 4),
+            (0, 2, 4),
+            (0, 3, 2),
+            (1, 3, 2),
+            (2, 3, 2),
+        ]);
+        let g = b.build();
+        let report = solve(&g, &[0, 1, 2], &config(2)).unwrap();
+        assert!(report.tree.validate(&g).is_ok());
+        // 2-approx bound: <= 2 * (1 - 1/3) * 6 = 8.
+        assert!(report.tree.total_distance() <= 8);
+    }
+
+    #[test]
+    fn rank_count_does_not_change_tree() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(13);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 7).copied().collect();
+        let reference = solve(&g, &seeds, &config(1)).unwrap();
+        for p in [2, 3, 5, 8] {
+            let r = solve(&g, &seeds, &config(p)).unwrap();
+            assert_eq!(
+                r.tree, reference.tree,
+                "tree differs at {p} ranks (deterministic fixpoint violated)"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_kind_does_not_change_tree() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(17);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 6).copied().collect();
+        let fifo = solve(
+            &g,
+            &seeds,
+            &SolverConfig {
+                num_ranks: 3,
+                queue: QueueKind::Fifo,
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        let prio = solve(
+            &g,
+            &seeds,
+            &SolverConfig {
+                num_ranks: 3,
+                queue: QueueKind::Priority,
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fifo.tree, prio.tree);
+    }
+
+    #[test]
+    fn delegates_do_not_change_tree() {
+        let g = stgraph::datasets::Dataset::Lvj.generate_tiny(23);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 6).copied().collect();
+        let plain = solve(&g, &seeds, &config(4)).unwrap();
+        let delegated = solve(
+            &g,
+            &seeds,
+            &SolverConfig {
+                num_ranks: 4,
+                delegate_threshold: Some(16),
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.tree, delegated.tree);
+    }
+
+    #[test]
+    fn reduce_modes_agree() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(29);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 9).copied().collect();
+        let mut cfg = config(3);
+        cfg.reduce_mode = ReduceModeConfig::Dense { chunk: None };
+        let dense = solve(&g, &seeds, &cfg).unwrap();
+        cfg.reduce_mode = ReduceModeConfig::Dense { chunk: Some(4) };
+        let chunked = solve(&g, &seeds, &cfg).unwrap();
+        cfg.reduce_mode = ReduceModeConfig::Sparse;
+        let sparse = solve(&g, &seeds, &cfg).unwrap();
+        assert_eq!(dense.tree, chunked.tree);
+        assert_eq!(dense.tree, sparse.tree);
+    }
+
+    #[test]
+    fn refinement_never_increases_distance() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(31);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 8).copied().collect();
+        let plain = solve(&g, &seeds, &config(2)).unwrap();
+        let refined = solve(
+            &g,
+            &seeds,
+            &SolverConfig {
+                num_ranks: 2,
+                refine: true,
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(refined.tree.total_distance() <= plain.tree.total_distance());
+        assert!(refined.tree.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn adversarial_scheduling_does_not_change_tree() {
+        // Chaos test: random message processing order (simulated network
+        // reordering) must not change the deterministic fixpoint.
+        let g = stgraph::datasets::Dataset::Lvj.generate_tiny(41);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 8).copied().collect();
+        let reference = solve(&g, &seeds, &config(3)).unwrap();
+        for chaos_seed in [1u64, 42, 4096] {
+            let r = solve(
+                &g,
+                &seeds,
+                &SolverConfig {
+                    num_ranks: 3,
+                    queue: QueueKind::Adversarial { seed: chaos_seed },
+                    ..SolverConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.tree, reference.tree, "chaos seed {chaos_seed}");
+        }
+    }
+
+    #[test]
+    fn report_contains_observability_data() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(37);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 5).copied().collect();
+        let r = solve(&g, &seeds, &config(3)).unwrap();
+        assert!(r.graph_bytes > 0);
+        assert!(r.state_peak_bytes > 0);
+        assert!(r.distance_graph_edges >= seeds.len() - 1);
+        assert!(r.message_counts.contains_key("voronoi"));
+        assert!(r.message_counts["voronoi"].total_msgs() > 0);
+        assert_eq!(r.rank_phase_times.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests;
+
+#[cfg(test)]
+mod persistent_tests {
+    use super::*;
+
+    #[test]
+    fn solve_on_matches_batch_solve() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(19);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 6).copied().collect();
+        let cfg = SolverConfig {
+            num_ranks: 3,
+            ..SolverConfig::default()
+        };
+        let batch = solve(&g, &seeds, &cfg).unwrap();
+
+        let world = PersistentWorld::new(3);
+        let pg = Arc::new(partition_graph(&g, 3, None));
+        // Several solves against the same resident world.
+        for _ in 0..3 {
+            let r = solve_on(&world, &pg, &seeds, &cfg).unwrap();
+            assert_eq!(r.tree, batch.tree);
+            assert!(r.message_counts["voronoi"].total_msgs() > 0);
+        }
+    }
+
+    #[test]
+    fn solve_on_different_seed_sets_back_to_back() {
+        let g = stgraph::datasets::Dataset::Mco.generate_tiny(23);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            ..SolverConfig::default()
+        };
+        let world = PersistentWorld::new(2);
+        let pg = Arc::new(partition_graph(&g, 2, None));
+        for step in [13usize, 29, 47] {
+            let seeds: Vec<Vertex> = verts.iter().step_by(step).copied().collect();
+            let r = solve_on(&world, &pg, &seeds, &cfg).unwrap();
+            assert!(r.tree.validate(&g).is_ok());
+            let batch = solve(&g, &seeds, &cfg).unwrap();
+            assert_eq!(r.tree, batch.tree, "step {step}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod batching_tests {
+    use super::*;
+
+    #[test]
+    fn batch_size_does_not_change_tree_or_message_counts() {
+        let g = stgraph::datasets::Dataset::Lvj.generate_tiny(47);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 9).copied().collect();
+        let mut reference: Option<SolveReport> = None;
+        for batch_size in [1usize, 4, 64, 4096] {
+            let cfg = SolverConfig {
+                num_ranks: 4,
+                batch_size,
+                ..SolverConfig::default()
+            };
+            let r = solve(&g, &seeds, &cfg).unwrap();
+            if let Some(ref base) = reference {
+                // The deterministic fixpoint absorbs the timing changes
+                // batching introduces; visitor counts may shift (batching
+                // reorders deliveries, changing wasted relaxations) but
+                // the output cannot.
+                assert_eq!(r.tree, base.tree, "batch {batch_size}");
+            } else {
+                reference = Some(r);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_reduces_batch_count() {
+        let g = stgraph::datasets::Dataset::Lvj.generate_tiny(53);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 9).copied().collect();
+        let batches = |batch_size: usize| {
+            let cfg = SolverConfig {
+                num_ranks: 4,
+                batch_size,
+                ..SolverConfig::default()
+            };
+            let r = solve(&g, &seeds, &cfg).unwrap();
+            r.message_counts["voronoi"].remote_batches
+        };
+        let unbatched = batches(1);
+        let batched = batches(64);
+        assert!(
+            batched < unbatched,
+            "aggregation should cut batches: {batched} vs {unbatched}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod seed_validation_tests {
+    use super::*;
+    use stgraph::partition::partition_graph;
+
+    #[test]
+    fn solve_partitioned_dedups_and_range_checks() {
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(61);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let pg = partition_graph(&g, 2, None);
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            ..SolverConfig::default()
+        };
+        // Duplicate seeds previously corrupted the seed-index map and
+        // produced a spurious SeedsDisconnected.
+        let dup = vec![verts[0], verts[5], verts[0], verts[5], verts[9]];
+        let r = solve_partitioned(&pg, &dup, &cfg).unwrap();
+        assert_eq!(r.tree.seeds, vec![verts[0], verts[5], verts[9]]);
+        assert!(r.tree.validate(&g).is_ok());
+        // Out-of-range seeds are rejected, not panicked on.
+        assert!(matches!(
+            solve_partitioned(&pg, &[verts[0], 1_000_000], &cfg),
+            Err(SteinerError::SeedOutOfRange(1_000_000))
+        ));
+    }
+}

@@ -1,0 +1,74 @@
+//! Visitor message types exchanged between ranks, one enum per
+//! asynchronous phase (each phase opens its own channel group).
+
+use crate::state::Label;
+use stgraph::csr::{Distance, Vertex, Weight};
+
+/// Voronoi-cell phase messages (Alg 4 plus delegate synchronization).
+#[derive(Clone, Copy, Debug)]
+pub enum VoronoiMsg {
+    /// Local bootstrap: relax the outgoing arcs of seed `s` held by this
+    /// rank (its adjacency, or this rank's slice if `s` is a delegate).
+    Start(Vertex),
+    /// Relaxation of `target` with a candidate label; `pred_weight` is the
+    /// weight of the `(label.pred, target)` edge.
+    Relax {
+        /// Vertex being relaxed.
+        target: Vertex,
+        /// Candidate label.
+        label: Label,
+        /// Weight of the predecessor edge carried with the label.
+        pred_weight: Weight,
+    },
+    /// Controller broadcast: delegate `target`'s replicated label improved.
+    DelegateUpdate {
+        /// The delegate vertex.
+        target: Vertex,
+        /// Its new label.
+        label: Label,
+        /// Weight of the predecessor edge.
+        pred_weight: Weight,
+    },
+}
+
+impl VoronoiMsg {
+    /// Queue priority: the paper's optimization gives precedence to
+    /// messages from vertices at lower distance.
+    pub fn priority(&self) -> u64 {
+        match self {
+            VoronoiMsg::Start(_) => 0,
+            VoronoiMsg::Relax { label, .. } | VoronoiMsg::DelegateUpdate { label, .. } => {
+                label.dist
+            }
+        }
+    }
+}
+
+/// Local-min-distance-edge phase messages (Alg 5, asynchronous part).
+#[derive(Clone, Copy, Debug)]
+pub enum ProbeMsg {
+    /// Bootstrap: scan this rank's local arcs.
+    Scan,
+    /// A boundary arc probe: rank holding `u`'s state asks `v`'s owner to
+    /// evaluate the arc `(u, v)` as a cross-cell candidate.
+    Candidate {
+        /// Remote endpoint whose state the receiver holds.
+        v: Vertex,
+        /// Local endpoint the sender evaluated.
+        u: Vertex,
+        /// Arc weight `d(u, v)`.
+        weight: Weight,
+        /// `src(u)` at the sender.
+        u_src: Vertex,
+        /// `d_1(src(u), u)` at the sender.
+        u_dist: Distance,
+    },
+}
+
+/// Tree-edge phase messages (Alg 6): trace the predecessor chain of a
+/// vertex back to its cell's seed.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceMsg {
+    /// Vertex whose predecessor chain should be walked.
+    pub vertex: Vertex,
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the distributed solver against the sequential
+//! references and the theoretical bound.
+
+use crate::{solve, QueueKind, SolverConfig};
+use baselines::exact::dreyfus_wagner;
+use baselines::mehlhorn::mehlhorn;
+use baselines::shortest_path::voronoi_cells;
+use proptest::prelude::*;
+use stgraph::builder::GraphBuilder;
+use stgraph::csr::{CsrGraph, Vertex};
+use stgraph::partition::partition_graph;
+use struntime::World;
+
+/// Strategy: a connected weighted graph (random spanning tree plus extra
+/// edges) with a seed subset — same shape as the baselines' proptests.
+fn arb_connected_instance(
+    max_n: usize,
+    max_extra: usize,
+    max_seeds: usize,
+) -> impl Strategy<Value = (CsrGraph, Vec<Vertex>)> {
+    (3..max_n).prop_flat_map(move |n| {
+        let tree_weights = proptest::collection::vec(1..50u64, n - 1);
+        let tree_parents: Vec<_> = (1..n).map(|v| 0..v).collect();
+        let extras =
+            proptest::collection::vec((0..n as Vertex, 0..n as Vertex, 1..50u64), 0..max_extra);
+        let num_seeds = 2..max_seeds.min(n);
+        (tree_weights, tree_parents, extras, num_seeds).prop_flat_map(move |(tw, tp, extras, k)| {
+            let mut b = GraphBuilder::new(n);
+            for (v, (&w, &p)) in tw.iter().zip(tp.iter()).enumerate() {
+                b.add_edge((v + 1) as Vertex, p as Vertex, w);
+            }
+            for (u, v, w) in extras {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let g = b.build();
+            proptest::collection::hash_set(0..n as Vertex, k).prop_map(move |seeds| {
+                let mut seeds: Vec<Vertex> = seeds.into_iter().collect();
+                seeds.sort_unstable();
+                (g.clone(), seeds)
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The distributed solve is a valid tree within the 2(1-1/|S|) bound.
+    #[test]
+    fn distributed_respects_bound(
+        (g, seeds) in arb_connected_instance(14, 20, 6),
+        p in 1usize..5,
+        queue in prop_oneof![Just(QueueKind::Fifo), Just(QueueKind::Priority)],
+    ) {
+        let cfg = SolverConfig { num_ranks: p, queue, ..SolverConfig::default() };
+        let report = solve(&g, &seeds, &cfg).unwrap();
+        prop_assert!(report.tree.validate(&g).is_ok(), "{:?}", report.tree.validate(&g));
+        let opt = dreyfus_wagner(&g, &seeds).unwrap().total_distance();
+        let bound = 2.0 * (1.0 - 1.0 / seeds.len() as f64) * opt as f64 + 1e-9;
+        prop_assert!(report.tree.total_distance() as f64 <= bound,
+            "distributed {} > bound {bound} (opt {opt})", report.tree.total_distance());
+    }
+
+    /// Rank count, queue discipline, and delegation never change the tree:
+    /// the (dist, src, pred) fixpoint is deterministic.
+    #[test]
+    fn solver_is_configuration_invariant(
+        (g, seeds) in arb_connected_instance(16, 20, 5),
+        thresh in proptest::option::of(2usize..8),
+    ) {
+        let reference = solve(&g, &seeds, &SolverConfig {
+            num_ranks: 1, ..SolverConfig::default()
+        }).unwrap();
+        for p in [2usize, 4] {
+            for queue in [QueueKind::Fifo, QueueKind::Priority] {
+                let cfg = SolverConfig {
+                    num_ranks: p,
+                    queue,
+                    delegate_threshold: thresh,
+                    ..SolverConfig::default()
+                };
+                let r = solve(&g, &seeds, &cfg).unwrap();
+                prop_assert_eq!(&r.tree, &reference.tree,
+                    "differs at p={} queue={:?} thresh={:?}", p, queue, thresh);
+            }
+        }
+    }
+
+    /// With refinement on, the distributed tree's distance matches the
+    /// sequential Mehlhorn implementation (both are MST-of-G_1' expansions
+    /// with the same finalization and tie-breaking data).
+    #[test]
+    fn refined_matches_sequential_mehlhorn(
+        (g, seeds) in arb_connected_instance(14, 16, 6),
+    ) {
+        let cfg = SolverConfig { num_ranks: 3, refine: true, ..SolverConfig::default() };
+        let dist_tree = solve(&g, &seeds, &cfg).unwrap().tree;
+        let seq_tree = mehlhorn(&g, &seeds).unwrap();
+        // Tie-breaking of equal-total bridges can differ between the two
+        // pipelines, but MST weight equality pins total distance closely.
+        let (a, b) = (dist_tree.total_distance() as f64, seq_tree.total_distance() as f64);
+        prop_assert!((a - b).abs() / a.max(b).max(1.0) < 0.15,
+            "distributed(refined) {a} vs mehlhorn {b}");
+    }
+
+    /// The distributed Voronoi state equals the sequential multi-source
+    /// Dijkstra on distances (the labels' dist component).
+    #[test]
+    fn distributed_voronoi_matches_sequential(
+        (g, seeds) in arb_connected_instance(16, 20, 5),
+        p in 1usize..5,
+    ) {
+        use crate::state::{VertexStates, NO_VERTEX};
+        let pg = partition_graph(&g, p, None);
+        let seeds_ref = &seeds;
+        let pg_ref = &pg;
+        let out = World::run(p, |comm| {
+            let chan = comm.open_channels::<Vec<crate::messages::VoronoiMsg>>("voronoi");
+            let rg = &pg_ref.ranks[comm.rank()];
+            let mut st = VertexStates::new(rg);
+            crate::voronoi::run(
+                comm, &chan, rg, &pg_ref.partition, &mut st, seeds_ref,
+                struntime::traversal::TraversalOptions::new(QueueKind::Priority),
+            );
+            st.owned_labels().collect::<Vec<_>>()
+        });
+        let vr = voronoi_cells(&g, &seeds);
+        for labels in &out.results {
+            for &(v, l) in labels {
+                prop_assert_eq!(
+                    l.dist,
+                    vr.dist[v as usize],
+                    "distance mismatch at {}", v
+                );
+                if l.src != NO_VERTEX {
+                    prop_assert_eq!(Some(l.src), vr.src[v as usize], "src mismatch at {}", v);
+                }
+            }
+        }
+    }
+}

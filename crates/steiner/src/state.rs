@@ -1,0 +1,346 @@
+//! Per-rank distributed vertex state for the Steiner algorithm.
+//!
+//! Every vertex `v` carries the Alg 3 states `src(v)` (nearest seed),
+//! `d_1(src(v), v)` (distance to it), `pred(v)` (predecessor on the
+//! shortest path), the predecessor edge's weight (so tree edges can be
+//! emitted without a remote adjacency lookup), and a `traced` flag used by
+//! the tree-edge phase. State for owned non-delegate vertices lives only on
+//! the owner rank; delegate (hub) vertex state is *replicated* on every
+//! rank and kept consistent by controller broadcasts, mirroring HavoqGT's
+//! delegate mechanism.
+//!
+//! A vertex label is the triple `(dist, src, pred)` ordered
+//! lexicographically; relaxation accepts strictly smaller labels only, so
+//! the asynchronous computation converges to a unique fixpoint regardless
+//! of message timing — this is what makes the distributed solver's output
+//! deterministic and bit-comparable to the sequential reference.
+
+use stgraph::csr::{Distance, Vertex, Weight, INF};
+use stgraph::partition::RankGraph;
+
+/// Sentinel for "no vertex" in `src`/`pred` slots.
+pub const NO_VERTEX: Vertex = Vertex::MAX;
+
+/// A relaxation label: distance, seed, predecessor — compared
+/// lexicographically (smaller wins).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Label {
+    /// Distance from the seed.
+    pub dist: Distance,
+    /// The seed (`src`) this label descends from.
+    pub src: Vertex,
+    /// Predecessor vertex on the path (`NO_VERTEX` for seeds).
+    pub pred: Vertex,
+}
+
+impl Label {
+    /// The "unreached" label — worse than every real label.
+    pub const UNSET: Label = Label {
+        dist: INF,
+        src: NO_VERTEX,
+        pred: NO_VERTEX,
+    };
+
+    /// The label of seed `s` itself.
+    pub fn seed(s: Vertex) -> Label {
+        Label {
+            dist: 0,
+            src: s,
+            pred: NO_VERTEX,
+        }
+    }
+}
+
+struct StateArrays {
+    dist: Vec<Distance>,
+    src: Vec<Vertex>,
+    pred: Vec<Vertex>,
+    pred_weight: Vec<Weight>,
+    traced: Vec<bool>,
+}
+
+impl StateArrays {
+    fn new(len: usize) -> Self {
+        StateArrays {
+            dist: vec![INF; len],
+            src: vec![NO_VERTEX; len],
+            pred: vec![NO_VERTEX; len],
+            pred_weight: vec![0; len],
+            traced: vec![false; len],
+        }
+    }
+
+    fn bytes(len: usize) -> usize {
+        len * (std::mem::size_of::<Distance>()
+            + 3 * std::mem::size_of::<Vertex>()
+            + std::mem::size_of::<Weight>()
+            + 1)
+    }
+}
+
+/// Which storage a vertex's state lives in on this rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Owned(usize),
+    Delegate(usize),
+}
+
+/// All Steiner vertex state held by one rank.
+pub struct VertexStates {
+    owned_start: Vertex,
+    owned_len: usize,
+    delegates: std::sync::Arc<Vec<Vertex>>,
+    owned: StateArrays,
+    replicas: StateArrays,
+}
+
+impl VertexStates {
+    /// Allocates state for the rank's owned vertices plus replicas of every
+    /// delegate.
+    pub fn new(rg: &RankGraph) -> Self {
+        let owned_len = rg.num_owned();
+        VertexStates {
+            owned_start: rg.owned.start,
+            owned_len,
+            delegates: std::sync::Arc::clone(&rg.delegates),
+            owned: StateArrays::new(owned_len),
+            replicas: StateArrays::new(rg.delegates.len()),
+        }
+    }
+
+    /// Approximate bytes of algorithm state held (the Fig 8 "state" series
+    /// contribution of the vertex arrays).
+    pub fn memory_bytes(&self) -> usize {
+        StateArrays::bytes(self.owned_len) + StateArrays::bytes(self.delegates.len())
+    }
+
+    /// Whether `v` is a delegate vertex (state replicated everywhere).
+    pub fn is_delegate(&self, v: Vertex) -> bool {
+        self.delegates.binary_search(&v).is_ok()
+    }
+
+    /// Whether this rank holds state for `v` (owned or replica).
+    pub fn holds(&self, v: Vertex) -> bool {
+        self.is_delegate(v)
+            || (v >= self.owned_start && ((v - self.owned_start) as usize) < self.owned_len)
+    }
+
+    fn slot(&self, v: Vertex) -> Slot {
+        if let Ok(i) = self.delegates.binary_search(&v) {
+            return Slot::Delegate(i);
+        }
+        assert!(
+            v >= self.owned_start && ((v - self.owned_start) as usize) < self.owned_len,
+            "rank holds no state for vertex {v}"
+        );
+        Slot::Owned((v - self.owned_start) as usize)
+    }
+
+    fn arrays(&self, s: Slot) -> (&StateArrays, usize) {
+        match s {
+            Slot::Owned(i) => (&self.owned, i),
+            Slot::Delegate(i) => (&self.replicas, i),
+        }
+    }
+
+    fn arrays_mut(&mut self, s: Slot) -> (&mut StateArrays, usize) {
+        match s {
+            Slot::Owned(i) => (&mut self.owned, i),
+            Slot::Delegate(i) => (&mut self.replicas, i),
+        }
+    }
+
+    /// The current label of `v`.
+    pub fn label(&self, v: Vertex) -> Label {
+        let (a, i) = self.arrays(self.slot(v));
+        Label {
+            dist: a.dist[i],
+            src: a.src[i],
+            pred: a.pred[i],
+        }
+    }
+
+    /// Weight of the predecessor edge recorded with `v`'s label.
+    pub fn pred_weight(&self, v: Vertex) -> Weight {
+        let (a, i) = self.arrays(self.slot(v));
+        a.pred_weight[i]
+    }
+
+    /// Applies `label` to `v` if it is strictly smaller than the current
+    /// one; records `pred_weight` alongside. Returns whether it improved.
+    pub fn try_improve(&mut self, v: Vertex, label: Label, pred_weight: Weight) -> bool {
+        let (a, i) = self.arrays_mut(self.slot(v));
+        let current = Label {
+            dist: a.dist[i],
+            src: a.src[i],
+            pred: a.pred[i],
+        };
+        if label < current {
+            a.dist[i] = label.dist;
+            a.src[i] = label.src;
+            a.pred[i] = label.pred;
+            a.pred_weight[i] = pred_weight;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Initializes seed labels: owned seeds and *all* delegate seeds (every
+    /// rank can do the latter without communication since the seed list is
+    /// globally known).
+    pub fn init_seeds(&mut self, seeds: &[Vertex]) {
+        for &s in seeds {
+            if self.holds(s) {
+                let (a, i) = self.arrays_mut(self.slot(s));
+                a.dist[i] = 0;
+                a.src[i] = s;
+                a.pred[i] = NO_VERTEX;
+                a.pred_weight[i] = 0;
+            }
+        }
+    }
+
+    /// Marks `v` traced by the tree-edge phase; returns `false` if it was
+    /// already traced (the visitor should stop).
+    pub fn mark_traced(&mut self, v: Vertex) -> bool {
+        let (a, i) = self.arrays_mut(self.slot(v));
+        if a.traced[i] {
+            false
+        } else {
+            a.traced[i] = true;
+            true
+        }
+    }
+
+    /// Iterates the owned (non-delegate) vertices and their labels.
+    pub fn owned_labels(&self) -> impl Iterator<Item = (Vertex, Label)> + '_ {
+        (0..self.owned_len).filter_map(move |i| {
+            let v = self.owned_start + i as Vertex;
+            if self.is_delegate(v) {
+                None
+            } else {
+                Some((
+                    v,
+                    Label {
+                        dist: self.owned.dist[i],
+                        src: self.owned.src[i],
+                        pred: self.owned.pred[i],
+                    },
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::builder::GraphBuilder;
+    use stgraph::partition::partition_graph;
+
+    fn make_states(delegate: bool) -> VertexStates {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7u32 {
+            b.add_edge(i, i + 1, 1);
+        }
+        b.add_edge(0, 7, 1);
+        for v in 2..7u32 {
+            b.add_edge(0, v, 2);
+        }
+        let g = b.build();
+        let threshold = if delegate { Some(5) } else { None };
+        let pg = partition_graph(&g, 2, threshold);
+        VertexStates::new(&pg.ranks[0])
+    }
+
+    #[test]
+    fn label_ordering_is_lexicographic() {
+        let a = Label {
+            dist: 1,
+            src: 9,
+            pred: 9,
+        };
+        let b = Label {
+            dist: 2,
+            src: 0,
+            pred: 0,
+        };
+        assert!(a < b);
+        let c = Label {
+            dist: 1,
+            src: 3,
+            pred: 9,
+        };
+        assert!(c < a);
+        assert!(Label::seed(0) < Label::UNSET);
+    }
+
+    #[test]
+    fn try_improve_applies_only_smaller() {
+        let mut st = make_states(false);
+        let l1 = Label {
+            dist: 5,
+            src: 2,
+            pred: 3,
+        };
+        assert!(st.try_improve(1, l1, 7));
+        assert_eq!(st.label(1), l1);
+        assert_eq!(st.pred_weight(1), 7);
+        // Equal label does not improve.
+        assert!(!st.try_improve(1, l1, 7));
+        // Worse distance rejected.
+        assert!(!st.try_improve(
+            1,
+            Label {
+                dist: 6,
+                src: 0,
+                pred: 0
+            },
+            1
+        ));
+        // Same distance, smaller src accepted.
+        assert!(st.try_improve(
+            1,
+            Label {
+                dist: 5,
+                src: 1,
+                pred: 9
+            },
+            2
+        ));
+    }
+
+    #[test]
+    fn init_seeds_sets_zero_labels() {
+        let mut st = make_states(false);
+        st.init_seeds(&[1, 3, 6]); // rank 0 owns 0..4
+        assert_eq!(st.label(1), Label::seed(1));
+        assert_eq!(st.label(3), Label::seed(3));
+        assert_eq!(st.label(0), Label::UNSET);
+    }
+
+    #[test]
+    fn delegate_state_is_held_by_all_ranks() {
+        let st = make_states(true);
+        // Vertex 0 has degree 7 -> delegate; rank 0 holds it via replica.
+        assert!(st.is_delegate(0));
+        assert!(st.holds(0));
+        // Remote non-delegate not held.
+        assert!(!st.holds(7));
+    }
+
+    #[test]
+    fn mark_traced_once() {
+        let mut st = make_states(false);
+        assert!(st.mark_traced(2));
+        assert!(!st.mark_traced(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn accessing_remote_state_panics() {
+        let st = make_states(false);
+        st.label(7);
+    }
+}

@@ -1,0 +1,267 @@
+//! Registry of scaled-down analogues of the paper's eight datasets.
+//!
+//! The paper evaluates on eight real-world graphs (Table III), from CiteSeer
+//! (3.3K vertices) up to Web Data Commons 2012 (3.5B vertices / 257B arcs).
+//! The full-scale corpora are multi-terabyte and need a cluster; this
+//! registry reproduces each graph's *shape* at laptop scale:
+//!
+//! - web graphs (WDC, CLW, UKW) → heavily skewed RMAT (Graph500 parameters),
+//! - social graphs (FSR, LVJ)   → mildly skewed RMAT ("social" parameters),
+//! - citation/co-author graphs (PTN, MCO, CTS) → Barabási–Albert,
+//!
+//! with each analogue's edge-weight range taken verbatim from Table III and
+//! relative sizes preserved (WDC largest … CTS smallest). Every generator
+//! call is seeded, so a `(dataset, seed)` pair is fully reproducible.
+
+use crate::csr::CsrGraph;
+use crate::generators::{barabasi_albert, rmat, weighted_from_edges, RmatParams};
+use crate::weights::WeightRange;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The eight paper datasets (Table III), by their paper abbreviations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Web Data Commons 2012 — the paper's largest graph (3.5B vertices).
+    Wdc,
+    /// ClueWeb 2012 (978M vertices).
+    Clw,
+    /// UK Web 2007-05 (105M vertices).
+    Ukw,
+    /// Friendster (66M vertices).
+    Frs,
+    /// LiveJournal (4.8M vertices).
+    Lvj,
+    /// Patent citation graph (2.7M vertices).
+    Ptn,
+    /// MiCo co-authorship graph (100K vertices).
+    Mco,
+    /// CiteSeer citation graph (3.3K vertices).
+    Cts,
+}
+
+/// How a dataset analogue is synthesized.
+#[derive(Clone, Copy, Debug)]
+enum Family {
+    Rmat {
+        scale: u32,
+        edge_factor: usize,
+        params: RmatParams,
+    },
+    Ba {
+        n: usize,
+        m_attach: usize,
+    },
+}
+
+impl Dataset {
+    /// All eight datasets, largest first (the paper's Table III order).
+    pub const ALL: [Dataset; 8] = [
+        Dataset::Wdc,
+        Dataset::Clw,
+        Dataset::Ukw,
+        Dataset::Frs,
+        Dataset::Lvj,
+        Dataset::Ptn,
+        Dataset::Mco,
+        Dataset::Cts,
+    ];
+
+    /// The four "large" graphs used in the strong-scaling experiment (Fig 3).
+    pub const LARGE: [Dataset; 4] = [Dataset::Frs, Dataset::Ukw, Dataset::Clw, Dataset::Wdc];
+
+    /// The four "small" graphs used in the related-work comparison
+    /// (Tables VI & VII).
+    pub const SMALL: [Dataset; 4] = [Dataset::Lvj, Dataset::Ptn, Dataset::Mco, Dataset::Cts];
+
+    /// The paper's abbreviation for this dataset.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Wdc => "WDC",
+            Dataset::Clw => "CLW",
+            Dataset::Ukw => "UKW",
+            Dataset::Frs => "FRS",
+            Dataset::Lvj => "LVJ",
+            Dataset::Ptn => "PTN",
+            Dataset::Mco => "MCO",
+            Dataset::Cts => "CTS",
+        }
+    }
+
+    /// Edge-weight range, verbatim from Table III.
+    pub fn weight_range(&self) -> WeightRange {
+        match self {
+            Dataset::Wdc => WeightRange::new(1, 500_000),
+            Dataset::Clw => WeightRange::new(1, 100_000),
+            Dataset::Ukw => WeightRange::new(1, 75_000),
+            Dataset::Frs => WeightRange::new(1, 50_000),
+            Dataset::Lvj => WeightRange::new(1, 5_000),
+            Dataset::Ptn => WeightRange::new(1, 5_000),
+            Dataset::Mco => WeightRange::new(1, 2_000),
+            Dataset::Cts => WeightRange::new(1, 1_000),
+        }
+    }
+
+    fn family(&self) -> Family {
+        match self {
+            // Web graphs: strongly skewed RMAT.
+            Dataset::Wdc => Family::Rmat {
+                scale: 15,
+                edge_factor: 20,
+                params: RmatParams::graph500(),
+            },
+            Dataset::Clw => Family::Rmat {
+                scale: 14,
+                edge_factor: 20,
+                params: RmatParams::graph500(),
+            },
+            Dataset::Ukw => Family::Rmat {
+                scale: 13,
+                edge_factor: 18,
+                params: RmatParams::graph500(),
+            },
+            // Social graphs: milder skew.
+            Dataset::Frs => Family::Rmat {
+                scale: 13,
+                edge_factor: 14,
+                params: RmatParams::social(),
+            },
+            Dataset::Lvj => Family::Rmat {
+                scale: 12,
+                edge_factor: 9,
+                params: RmatParams::social(),
+            },
+            // Citation / co-author graphs: preferential attachment.
+            Dataset::Ptn => Family::Ba {
+                n: 2700,
+                m_attach: 5,
+            },
+            Dataset::Mco => Family::Ba {
+                n: 1000,
+                m_attach: 11,
+            },
+            Dataset::Cts => Family::Ba {
+                n: 330,
+                m_attach: 2,
+            },
+        }
+    }
+
+    /// Vertex count of the analogue.
+    pub fn num_vertices(&self) -> usize {
+        match self.family() {
+            Family::Rmat { scale, .. } => 1usize << scale,
+            Family::Ba { n, .. } => n,
+        }
+    }
+
+    /// Generates the analogue graph, deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> CsrGraph {
+        // Mix the dataset identity into the stream so two datasets with the
+        // same user seed still differ.
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (self.name().len() as u64) << 56 ^ *self as u64);
+        let range = self.weight_range();
+        match self.family() {
+            Family::Rmat {
+                scale,
+                edge_factor,
+                params,
+            } => {
+                let n = 1usize << scale;
+                let edges = rmat(scale, n * edge_factor / 2, params, &mut rng);
+                weighted_from_edges(n, edges, range, &mut rng)
+            }
+            Family::Ba { n, m_attach } => {
+                let edges = barabasi_albert(n, m_attach, &mut rng);
+                weighted_from_edges(n, edges, range, &mut rng)
+            }
+        }
+    }
+
+    /// Generates a miniature (test-sized) variant: same family, same weight
+    /// range, but at most ~2^10 vertices. Used by integration tests that
+    /// need the dataset's character without its cost.
+    pub fn generate_tiny(&self, seed: u64) -> CsrGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE ^ *self as u64);
+        let range = self.weight_range();
+        match self.family() {
+            Family::Rmat { params, .. } => {
+                let edges = rmat(10, 6 * 1024, params, &mut rng);
+                weighted_from_edges(1 << 10, edges, range, &mut rng)
+            }
+            Family::Ba { m_attach, .. } => {
+                let edges = barabasi_albert(512, m_attach.min(4), &mut rng);
+                weighted_from_edges(512, edges, range, &mut rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Dataset::ALL.iter().map(|d| d.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn sizes_ordered_largest_first() {
+        let sizes: Vec<_> = Dataset::ALL.iter().map(|d| d.num_vertices()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "Table III ordering violated: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Cts.generate(1);
+        let b = Dataset::Cts.generate(1);
+        assert_eq!(
+            a.undirected_edges().collect::<Vec<_>>(),
+            b.undirected_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::Cts.generate(1);
+        let b = Dataset::Cts.generate(2);
+        assert_ne!(
+            a.undirected_edges().collect::<Vec<_>>(),
+            b.undirected_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn weight_ranges_respected() {
+        let g = Dataset::Mco.generate(3);
+        let (lo, hi) = g.weight_range().unwrap();
+        assert!(lo >= 1);
+        assert!(hi <= 2_000);
+    }
+
+    #[test]
+    fn cts_is_valid_and_small() {
+        let g = Dataset::Cts.generate(7);
+        assert!(g.validate_symmetric().is_ok());
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_vertices, 330);
+        assert!(s.avg_degree > 2.0);
+    }
+
+    #[test]
+    fn tiny_variants_are_small() {
+        for d in Dataset::ALL {
+            let g = d.generate_tiny(5);
+            assert!(g.num_vertices() <= 1024, "{} tiny too big", d.name());
+            assert!(g.num_edges() > 0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Errors shared by every Steiner tree solver in the suite.
+
+use crate::csr::Vertex;
+
+/// Why a Steiner tree could not be computed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SteinerError {
+    /// Fewer than one seed was supplied.
+    NoSeeds,
+    /// Two seeds are in different connected components.
+    SeedsDisconnected(Vertex, Vertex),
+    /// A seed id is outside the graph's vertex range.
+    SeedOutOfRange(Vertex),
+    /// The exact solver's state space `2^|S| * |V|` exceeds its budget.
+    ExactTooLarge {
+        /// Number of DP states the instance would need.
+        states: u128,
+    },
+}
+
+impl std::fmt::Display for SteinerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SteinerError::NoSeeds => write!(f, "no seed vertices supplied"),
+            SteinerError::SeedsDisconnected(s, t) => {
+                write!(f, "seeds {s} and {t} are not connected in the graph")
+            }
+            SteinerError::SeedOutOfRange(s) => write!(f, "seed {s} out of vertex range"),
+            SteinerError::ExactTooLarge { states } => write!(
+                f,
+                "exact Dreyfus-Wagner needs {states} DP states, over budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SteinerError {}

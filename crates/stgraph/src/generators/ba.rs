@@ -1,0 +1,92 @@
+//! Barabási–Albert preferential attachment generator.
+//!
+//! Produces connected scale-free graphs. Used for the citation/co-author
+//! dataset analogues (Patent, CiteSeer, MiCo), whose degree skew is milder
+//! than web graphs but still heavy-tailed.
+
+use crate::csr::Vertex;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a Barabási–Albert graph: starts from a small clique of
+/// `m_attach + 1` vertices, then each new vertex attaches to `m_attach`
+/// existing vertices chosen with probability proportional to degree.
+/// The result is connected by construction.
+pub fn barabasi_albert(n: usize, m_attach: usize, rng: &mut ChaCha8Rng) -> Vec<(Vertex, Vertex)> {
+    assert!(m_attach >= 1, "attachment count must be >= 1");
+    assert!(
+        n > m_attach,
+        "need more vertices ({n}) than the attachment count ({m_attach})"
+    );
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(n * m_attach);
+    // `endpoints` holds each edge endpoint once; sampling uniformly from it
+    // realizes degree-proportional selection.
+    let mut endpoints: Vec<Vertex> = Vec::with_capacity(2 * n * m_attach);
+
+    // Seed clique over the first m_attach + 1 vertices.
+    let seed = m_attach + 1;
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            edges.push((u as Vertex, v as Vertex));
+            endpoints.push(u as Vertex);
+            endpoints.push(v as Vertex);
+        }
+    }
+
+    for u in seed..n {
+        let mut chosen = Vec::with_capacity(m_attach);
+        while chosen.len() < m_attach {
+            let v = endpoints[rng.gen_range(0..endpoints.len())];
+            if v != u as Vertex && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for v in chosen {
+            edges.push((u as Vertex, v));
+            endpoints.push(u as Vertex);
+            endpoints.push(v);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::weighted_from_edges;
+    use crate::traversal::connected_components;
+    use crate::weights::WeightRange;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = 3;
+        let n = 100;
+        let edges = barabasi_albert(n, m, &mut rng);
+        let clique = (m + 1) * m / 2;
+        assert_eq!(edges.len(), clique + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn produces_connected_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let edges = barabasi_albert(200, 2, &mut rng);
+        let g = weighted_from_edges(200, edges, WeightRange::unit(), &mut rng);
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let e1 = barabasi_albert(50, 2, &mut ChaCha8Rng::seed_from_u64(5));
+        let e2 = barabasi_albert(50, 2, &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_n() {
+        barabasi_albert(2, 2, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

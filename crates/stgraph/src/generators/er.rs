@@ -1,0 +1,40 @@
+//! Erdős–Rényi G(n, m) random graph generator.
+
+use crate::csr::Vertex;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Samples `num_edges` uniform random vertex pairs over `n` vertices.
+/// Duplicates and self-loops may appear; [`crate::GraphBuilder`] removes
+/// them at build time (so treat `num_edges` as a target, not an exact count).
+pub fn erdos_renyi(n: usize, num_edges: usize, rng: &mut ChaCha8Rng) -> Vec<(Vertex, Vertex)> {
+    assert!(n >= 2, "need at least two vertices");
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..n) as Vertex;
+        let v = rng.gen_range(0..n) as Vertex;
+        edges.push((u, v));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn in_range_and_counted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let edges = erdos_renyi(64, 500, &mut rng);
+        assert_eq!(edges.len(), 500);
+        assert!(edges.iter().all(|&(u, v)| u < 64 && v < 64));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = erdos_renyi(32, 100, &mut ChaCha8Rng::seed_from_u64(4));
+        let b = erdos_renyi(32, 100, &mut ChaCha8Rng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+}

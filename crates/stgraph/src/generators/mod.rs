@@ -1,0 +1,39 @@
+//! Synthetic graph generators.
+//!
+//! Every generator is deterministic given its RNG seed: the experiment
+//! harnesses use these to build scaled-down analogues of the paper's
+//! real-world datasets (see [`crate::datasets`]). Topology and edge weights
+//! are generated separately — generators yield unweighted edge lists, and
+//! [`crate::weights`] assigns weights from the dataset's range.
+
+mod ba;
+mod er;
+mod regular;
+mod rmat;
+
+pub use ba::barabasi_albert;
+pub use er::erdos_renyi;
+pub use regular::{complete, cycle, grid2d, path, star};
+pub use rmat::{rmat, RmatParams};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vertex};
+use crate::weights::WeightRange;
+use rand_chacha::ChaCha8Rng;
+
+/// Assembles a weighted, symmetric [`CsrGraph`] from an unweighted edge
+/// list, drawing weights uniformly from `range` using `rng`.
+pub fn weighted_from_edges(
+    n: usize,
+    edges: impl IntoIterator<Item = (Vertex, Vertex)>,
+    range: WeightRange,
+    rng: &mut ChaCha8Rng,
+) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        if u != v {
+            b.add_edge(u, v, range.sample(rng));
+        }
+    }
+    b.build()
+}

@@ -1,0 +1,88 @@
+//! Deterministic structured graphs: paths, cycles, stars, grids, cliques.
+//!
+//! These small regular families are the backbone of the unit and property
+//! tests — their Steiner minimal trees are known in closed form.
+
+use crate::csr::Vertex;
+
+/// Path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> Vec<(Vertex, Vertex)> {
+    (0..n.saturating_sub(1))
+        .map(|i| (i as Vertex, (i + 1) as Vertex))
+        .collect()
+}
+
+/// Cycle over `n >= 3` vertices.
+pub fn cycle(n: usize) -> Vec<(Vertex, Vertex)> {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut e = path(n);
+    e.push(((n - 1) as Vertex, 0));
+    e
+}
+
+/// Star with center `0` and `n - 1` leaves.
+pub fn star(n: usize) -> Vec<(Vertex, Vertex)> {
+    (1..n).map(|i| (0, i as Vertex)).collect()
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> Vec<(Vertex, Vertex)> {
+    let mut e = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            e.push((u as Vertex, v as Vertex));
+        }
+    }
+    e
+}
+
+/// `rows x cols` 4-neighbor grid; vertex `(r, c)` has id `r * cols + c`.
+pub fn grid2d(rows: usize, cols: usize) -> Vec<(Vertex, Vertex)> {
+    let id = |r: usize, c: usize| (r * cols + c) as Vertex;
+    let mut e = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                e.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                e.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        assert_eq!(path(1).len(), 0);
+        assert_eq!(path(5).len(), 4);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        assert_eq!(cycle(3).len(), 3);
+        assert_eq!(cycle(10).len(), 10);
+    }
+
+    #[test]
+    fn star_counts() {
+        assert_eq!(star(6).len(), 5);
+        assert!(star(6).iter().all(|&(u, _)| u == 0));
+    }
+
+    #[test]
+    fn complete_counts() {
+        assert_eq!(complete(5).len(), 10);
+    }
+
+    #[test]
+    fn grid_counts() {
+        // 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+        assert_eq!(grid2d(3, 4).len(), 17);
+    }
+}

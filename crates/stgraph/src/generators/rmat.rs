@@ -1,0 +1,169 @@
+//! RMAT (recursive matrix) scale-free graph generator.
+//!
+//! RMAT recursively subdivides the adjacency matrix into quadrants with
+//! probabilities `(a, b, c, d)`; skew in these probabilities yields the
+//! heavy-tailed degree distributions characteristic of web and social
+//! graphs — the dominant structural property of the paper's datasets.
+
+use crate::csr::Vertex;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// RMAT quadrant probabilities. Must sum to (approximately) 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (the "rich get richer" corner).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters — strongly skewed, matching web
+    /// graphs like the paper's WDC/ClueWeb/UKWeb.
+    pub fn graph500() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+
+    /// Milder skew, closer to social graphs (Friendster/LiveJournal).
+    pub fn social() -> Self {
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+        }
+    }
+
+    /// Uniform quadrants — degenerates to Erdős–Rényi-like structure.
+    pub fn uniform() -> Self {
+        RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        }
+    }
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "RMAT probabilities must sum to 1, got {sum}"
+        );
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "RMAT probabilities must be non-negative"
+        );
+    }
+}
+
+/// Generates `num_edges` undirected RMAT edge samples over `2^scale`
+/// vertices. Duplicates and self-loops may appear in the output; the
+/// [`crate::GraphBuilder`] removes them, so the built graph typically has
+/// slightly fewer than `num_edges` edges.
+pub fn rmat(
+    scale: u32,
+    num_edges: usize,
+    params: RmatParams,
+    rng: &mut ChaCha8Rng,
+) -> Vec<(Vertex, Vertex)> {
+    params.validate();
+    assert!(scale < 31, "scale {scale} exceeds 32-bit vertex id space");
+    let mut edges = Vec::with_capacity(num_edges);
+    let ab = params.a + params.b;
+    let a_norm = params.a / ab;
+    let c_norm = params.c / (params.c + params.d);
+    for _ in 0..num_edges {
+        let mut u: Vertex = 0;
+        let mut v: Vertex = 0;
+        for bit in (0..scale).rev() {
+            // Add per-level noise so RMAT does not produce a perfectly
+            // self-similar (and thus artificially regular) graph.
+            let go_down: bool = rng.gen_bool(ab.clamp(0.0, 1.0));
+            let (row_one, col_one) = if go_down {
+                (false, !rng.gen_bool(a_norm.clamp(0.0, 1.0)))
+            } else {
+                (true, !rng.gen_bool(c_norm.clamp(0.0, 1.0)))
+            };
+            if row_one {
+                u |= 1 << bit;
+            }
+            if col_one {
+                v |= 1 << bit;
+            }
+        }
+        edges.push((u, v));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::weighted_from_edges;
+    use crate::weights::WeightRange;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vertices_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let edges = rmat(8, 2000, RmatParams::graph500(), &mut rng);
+        assert_eq!(edges.len(), 2000);
+        for (u, v) in edges {
+            assert!(u < 256 && v < 256);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let e1 = rmat(
+            6,
+            500,
+            RmatParams::social(),
+            &mut ChaCha8Rng::seed_from_u64(9),
+        );
+        let e2 = rmat(
+            6,
+            500,
+            RmatParams::social(),
+            &mut ChaCha8Rng::seed_from_u64(9),
+        );
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn skewed_params_produce_skewed_degrees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let edges = rmat(10, 8192, RmatParams::graph500(), &mut rng);
+        let g = weighted_from_edges(1024, edges, WeightRange::unit(), &mut rng);
+        // A heavy-tailed graph has max degree far above the average.
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        rmat(
+            4,
+            10,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimum spanning tree kernels over explicit edge lists.
+//!
+//! These operate on small auxiliary graphs (the distance graphs `G_1` /
+//! `G_1'` and induced subgraphs of the KMB pipeline), which are naturally
+//! edge lists rather than CSR structures. Kruskal is the workhorse; Prim
+//! matches the paper's choice for the distributed solver's Step 3 ("our
+//! current implementation uses Boost's implementation of Prim's
+//! algorithm") and cross-checks Kruskal in tests.
+
+use crate::dsu::Dsu;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A weighted edge of an auxiliary graph, `(u, v, w)` over ids `0..n`.
+pub type AuxEdge = (u32, u32, u64);
+
+/// Kruskal's MST over `n` vertices. Returns the indices (into `edges`) of
+/// the chosen edges, in ascending weight order with ties broken by the
+/// edge's `(w, u, v)` tuple for determinism. If the graph is disconnected,
+/// a minimum spanning forest is returned.
+pub fn kruskal(n: usize, edges: &[AuxEdge]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_unstable_by_key(|&i| {
+        let (u, v, w) = edges[i];
+        (w, u, v)
+    });
+    let mut dsu = Dsu::new(n);
+    let mut chosen = Vec::with_capacity(n.saturating_sub(1));
+    for i in order {
+        let (u, v, _) = edges[i];
+        if dsu.union(u, v) {
+            chosen.push(i);
+            if chosen.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    chosen
+}
+
+/// Prim's MST over `n` vertices with a binary heap. Same output contract
+/// as [`kruskal`]; starts from vertex 0 and restarts in every component,
+/// so disconnected inputs yield a spanning forest.
+pub fn prim(n: usize, edges: &[AuxEdge]) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // Adjacency: vertex -> (weight, other endpoint, edge index).
+    let mut adj: Vec<Vec<(u64, u32, usize)>> = vec![Vec::new(); n];
+    for (i, &(u, v, w)) in edges.iter().enumerate() {
+        adj[u as usize].push((w, v, i));
+        adj[v as usize].push((w, u, i));
+    }
+    let mut in_tree = vec![false; n];
+    let mut chosen = Vec::with_capacity(n - 1);
+    let mut heap: BinaryHeap<Reverse<(u64, u32, u32, usize)>> = BinaryHeap::new();
+    for start in 0..n as u32 {
+        if in_tree[start as usize] {
+            continue;
+        }
+        in_tree[start as usize] = true;
+        for &(w, v, i) in &adj[start as usize] {
+            heap.push(Reverse((w, start.min(v), start.max(v), i)));
+        }
+        while let Some(Reverse((_, _, _, i))) = heap.pop() {
+            let (u, v, _) = edges[i];
+            let next = if in_tree[u as usize] && !in_tree[v as usize] {
+                v
+            } else if in_tree[v as usize] && !in_tree[u as usize] {
+                u
+            } else {
+                continue;
+            };
+            in_tree[next as usize] = true;
+            chosen.push(i);
+            for &(w, t, j) in &adj[next as usize] {
+                if !in_tree[t as usize] {
+                    heap.push(Reverse((w, next.min(t), next.max(t), j)));
+                }
+            }
+        }
+    }
+    chosen
+}
+
+/// Total weight of the edges selected by an MST routine.
+pub fn tree_weight(edges: &[AuxEdge], chosen: &[usize]) -> u64 {
+    chosen.iter().map(|&i| edges[i].2).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn kruskal_triangle() {
+        let edges = vec![(0, 1, 1), (1, 2, 2), (0, 2, 3)];
+        let chosen = kruskal(3, &edges);
+        assert_eq!(tree_weight(&edges, &chosen), 3);
+        assert_eq!(chosen.len(), 2);
+    }
+
+    #[test]
+    fn prim_triangle() {
+        let edges = vec![(0, 1, 1), (1, 2, 2), (0, 2, 3)];
+        let chosen = prim(3, &edges);
+        assert_eq!(tree_weight(&edges, &chosen), 3);
+    }
+
+    #[test]
+    fn forest_on_disconnected_input() {
+        let edges = vec![(0, 1, 5), (2, 3, 7)];
+        let k = kruskal(4, &edges);
+        let p = prim(4, &edges);
+        assert_eq!(k.len(), 2);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(kruskal(3, &[]).is_empty());
+        assert!(prim(3, &[]).is_empty());
+        assert!(prim(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn prim_matches_kruskal_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..30usize);
+            let m = rng.gen_range(1..80usize);
+            let edges: Vec<AuxEdge> = (0..m)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n as u32),
+                        rng.gen_range(0..n as u32),
+                        rng.gen_range(1..100u64),
+                    )
+                })
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let k = kruskal(n, &edges);
+            let p = prim(n, &edges);
+            assert_eq!(
+                tree_weight(&edges, &k),
+                tree_weight(&edges, &p),
+                "n={n} edges={edges:?}"
+            );
+            assert_eq!(k.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn parallel_edges_pick_cheapest() {
+        let edges = vec![(0, 1, 10), (0, 1, 2), (0, 1, 5)];
+        let k = kruskal(2, &edges);
+        assert_eq!(k, vec![1]);
+        let p = prim(2, &edges);
+        assert_eq!(tree_weight(&edges, &p), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Graph statistics used by experiment harnesses and dataset validation.
+
+use crate::csr::CsrGraph;
+
+/// Summary characteristics of a graph, mirroring the columns of the paper's
+/// Table III (vertices, 2|E|, max degree, avg degree, weight range, size).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count `|V|`.
+    pub num_vertices: usize,
+    /// Directed arc count `2|E|`.
+    pub num_arcs: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Smallest and largest edge weight (`(1, 1)` for an edgeless graph).
+    pub weight_range: (u64, u64),
+    /// In-memory size in bytes of the CSR representation.
+    pub memory_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes the summary for `g`.
+    pub fn of(g: &CsrGraph) -> Self {
+        GraphStats {
+            num_vertices: g.num_vertices(),
+            num_arcs: g.num_arcs(),
+            max_degree: g.max_degree(),
+            avg_degree: g.avg_degree(),
+            weight_range: g.weight_range().unwrap_or((1, 1)),
+            memory_bytes: g.memory_bytes(),
+        }
+    }
+}
+
+/// Degree histogram in power-of-two buckets; isolated vertices are counted
+/// separately in `zero`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// Number of isolated (degree-0) vertices.
+    pub zero: usize,
+    /// `buckets[i]` counts vertices with degree in `[2^i, 2^(i+1))`.
+    pub buckets: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram for `g`.
+    pub fn of(g: &CsrGraph) -> Self {
+        let mut h = DegreeHistogram::default();
+        for v in g.vertices() {
+            let d = g.degree(v);
+            if d == 0 {
+                h.zero += 1;
+            } else {
+                let b = (usize::BITS - 1 - d.leading_zeros()) as usize;
+                if h.buckets.len() <= b {
+                    h.buckets.resize(b + 1, 0);
+                }
+                h.buckets[b] += 1;
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_star() {
+        let mut b = GraphBuilder::new(5);
+        for (u, v) in generators::star(5) {
+            b.add_edge(u, v, 3);
+        }
+        let g = b.build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_arcs, 8);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.weight_range, (3, 3));
+    }
+
+    #[test]
+    fn degree_histogram_buckets() {
+        // Star on 5: center degree 4 (bucket 2), leaves degree 1 (bucket 0).
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in generators::star(5) {
+            b.add_edge(u, v, 1);
+        }
+        let g = b.build(); // vertex 5 isolated
+        let h = DegreeHistogram::of(&g);
+        assert_eq!(h.zero, 1);
+        assert_eq!(h.buckets[0], 4);
+        assert_eq!(h.buckets[2], 1);
+    }
+}

@@ -1,0 +1,440 @@
+//! The common Steiner tree result type shared by the distributed solver and
+//! all sequential baselines.
+
+use crate::csr::{CsrGraph, Distance, Vertex, Weight};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Structural summary of a Steiner tree (the kind of per-tree statistics
+/// the paper's Fig 9 and Table IV discuss).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TreeMetrics {
+    /// Edge count `|E_S|`.
+    pub num_edges: usize,
+    /// Degree-1 vertices (in a valid tree, all of them are seeds).
+    pub num_leaves: usize,
+    /// Leaves that are seeds.
+    pub seed_leaves: usize,
+    /// Non-seed vertices used.
+    pub steiner_vertices: usize,
+    /// Maximum vertex degree within the tree.
+    pub max_degree: usize,
+    /// Total distance `D(G_S)`.
+    pub total_distance: Distance,
+    /// Longest weighted path between two tree vertices.
+    pub weighted_diameter: Distance,
+    /// Longest hop path between two tree vertices.
+    pub hop_diameter: u32,
+}
+
+/// A Steiner tree `G_S(V_S, E_S, d_S)` over a background graph: the edge set
+/// connecting all seed vertices, plus the seeds it was built for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SteinerTree {
+    /// Seed (terminal) vertices the tree spans.
+    pub seeds: Vec<Vertex>,
+    /// Tree edges as `(u, v, w)` with `u < v`, sorted.
+    pub edges: Vec<(Vertex, Vertex, Weight)>,
+}
+
+impl SteinerTree {
+    /// Builds a tree result from an arbitrary edge collection; edges are
+    /// normalized to `u < v`, sorted, and deduplicated.
+    pub fn new(
+        seeds: impl IntoIterator<Item = Vertex>,
+        edges: impl IntoIterator<Item = (Vertex, Vertex, Weight)>,
+    ) -> Self {
+        let mut seeds: Vec<Vertex> = seeds.into_iter().collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        let mut edges: Vec<(Vertex, Vertex, Weight)> = edges
+            .into_iter()
+            .map(|(u, v, w)| if u < v { (u, v, w) } else { (v, u, w) })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        SteinerTree { seeds, edges }
+    }
+
+    /// Total distance `D(G_S)` — the sum of edge weights.
+    pub fn total_distance(&self) -> Distance {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Number of tree edges `|E_S|` (the paper's Table IV metric).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All distinct vertices appearing in the tree (`V_S`); includes
+    /// isolated seeds only when `|S| = 1` and the tree is empty.
+    pub fn vertices(&self) -> Vec<Vertex> {
+        let mut vs: Vec<Vertex> = self
+            .edges
+            .iter()
+            .flat_map(|&(u, v, _)| [u, v])
+            .chain(self.seeds.iter().copied())
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Steiner (non-seed) vertices used by the tree.
+    pub fn steiner_vertices(&self) -> Vec<Vertex> {
+        let seeds: HashSet<Vertex> = self.seeds.iter().copied().collect();
+        self.vertices()
+            .into_iter()
+            .filter(|v| !seeds.contains(v))
+            .collect()
+    }
+
+    /// Validates the full Steiner tree contract against the background
+    /// graph `g`:
+    ///
+    /// 1. every tree edge exists in `g` with the stated weight,
+    /// 2. the edge set is acyclic and connected (`|E_S| = |V_S| - 1` plus
+    ///    reachability),
+    /// 3. every seed is in `V_S`,
+    /// 4. every leaf is a seed (no dangling Steiner vertices).
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), String> {
+        for &(u, v, w) in &self.edges {
+            match g.edge_weight(u, v) {
+                Some(gw) if gw == w => {}
+                Some(gw) => {
+                    return Err(format!(
+                        "tree edge ({u},{v}) weight {w} differs from graph weight {gw}"
+                    ))
+                }
+                None => return Err(format!("tree edge ({u},{v}) not in graph")),
+            }
+        }
+        let vertices = self.vertices();
+        if self.seeds.is_empty() {
+            return Err("tree has no seeds".into());
+        }
+        if self.seeds.len() == 1 {
+            return if self.edges.is_empty() {
+                Ok(())
+            } else {
+                Err("single-seed tree must be empty".into())
+            };
+        }
+        if self.edges.len() != vertices.len() - 1 {
+            return Err(format!(
+                "not a tree: {} edges over {} vertices",
+                self.edges.len(),
+                vertices.len()
+            ));
+        }
+        // Connectivity by BFS over the tree's adjacency.
+        let mut adj: HashMap<Vertex, Vec<Vertex>> = HashMap::new();
+        for &(u, v, _) in &self.edges {
+            adj.entry(u).or_default().push(v);
+            adj.entry(v).or_default().push(u);
+        }
+        let mut seen: HashSet<Vertex> = HashSet::new();
+        let mut queue = VecDeque::new();
+        let start = vertices[0];
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in adj.get(&u).into_iter().flatten() {
+                if seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if seen.len() != vertices.len() {
+            return Err(format!(
+                "tree is disconnected: reached {} of {} vertices",
+                seen.len(),
+                vertices.len()
+            ));
+        }
+        // Edge count == vertex count - 1 plus connected => acyclic.
+        for &s in &self.seeds {
+            if !seen.contains(&s) {
+                return Err(format!("seed {s} not spanned by the tree"));
+            }
+        }
+        // Leaves must be seeds.
+        let seeds: HashSet<Vertex> = self.seeds.iter().copied().collect();
+        for (&v, nbrs) in &adj {
+            if nbrs.len() == 1 && !seeds.contains(&v) {
+                return Err(format!("leaf {v} is a Steiner vertex"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the structural metrics of the tree (see [`TreeMetrics`]).
+    pub fn metrics(&self) -> TreeMetrics {
+        let seeds: HashSet<Vertex> = self.seeds.iter().copied().collect();
+        let mut adj: HashMap<Vertex, Vec<(Vertex, Weight)>> = HashMap::new();
+        for &(u, v, w) in &self.edges {
+            adj.entry(u).or_default().push((v, w));
+            adj.entry(v).or_default().push((u, w));
+        }
+        let num_leaves = adj.values().filter(|n| n.len() == 1).count();
+        let max_degree = adj.values().map(Vec::len).max().unwrap_or(0);
+        let steiner_vertices = self.steiner_vertices().len();
+        let seed_leaves = adj
+            .iter()
+            .filter(|(v, n)| n.len() == 1 && seeds.contains(v))
+            .count();
+
+        // Weighted diameter via double sweep (exact on trees).
+        let farthest = |start: Vertex| -> (Vertex, Distance, u32) {
+            let mut best = (start, 0u64, 0u32);
+            let mut stack = vec![(start, start, 0u64, 0u32)];
+            while let Some((v, parent, d, hops)) = stack.pop() {
+                if d > best.1 {
+                    best = (v, d, hops);
+                }
+                for &(n, w) in adj.get(&v).into_iter().flatten() {
+                    if n != parent {
+                        stack.push((n, v, d + w, hops + 1));
+                    }
+                }
+            }
+            best
+        };
+        let (weighted_diameter, hop_diameter) = match self.edges.first() {
+            None => (0, 0),
+            Some(&(start, _, _)) => {
+                let (far, _, _) = farthest(start);
+                let (_, d, h) = farthest(far);
+                (d, h)
+            }
+        };
+        TreeMetrics {
+            num_edges: self.edges.len(),
+            num_leaves,
+            seed_leaves,
+            steiner_vertices,
+            max_degree,
+            total_distance: self.total_distance(),
+            weighted_diameter,
+            hop_diameter,
+        }
+    }
+
+    /// Serializes the tree in the suite's line-oriented text format
+    /// (`seeds` line then one `edge u v w` line each), suitable for
+    /// result pipelines; parse back with [`SteinerTree::from_text`].
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("steiner-tree v1\n");
+        out.push_str("seeds");
+        for s in &self.seeds {
+            write!(out, " {s}").unwrap();
+        }
+        out.push('\n');
+        for &(u, v, w) in &self.edges {
+            writeln!(out, "edge {u} {v} {w}").unwrap();
+        }
+        out
+    }
+
+    /// Parses the format produced by [`SteinerTree::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("steiner-tree v1") => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let seed_line = lines.next().ok_or("missing seeds line")?;
+        let mut toks = seed_line.split_whitespace();
+        if toks.next() != Some("seeds") {
+            return Err("seeds line must start with 'seeds'".into());
+        }
+        let seeds: Vec<Vertex> = toks
+            .map(|t| t.parse().map_err(|_| format!("bad seed {t:?}")))
+            .collect::<Result<_, _>>()?;
+        let mut edges = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some("edge") {
+                return Err(format!("expected edge line, got {line:?}"));
+            }
+            let mut num = |name: &str| -> Result<u64, String> {
+                toks.next()
+                    .ok_or_else(|| format!("edge line missing {name}"))?
+                    .parse()
+                    .map_err(|_| format!("bad {name} in {line:?}"))
+            };
+            let u = num("u")? as Vertex;
+            let v = num("v")? as Vertex;
+            let w = num("w")?;
+            edges.push((u, v, w));
+        }
+        Ok(SteinerTree::new(seeds, edges))
+    }
+
+    /// Renders the tree as Graphviz DOT, highlighting seeds (red) and
+    /// Steiner vertices (blue) like the paper's Fig 9.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let seeds: HashSet<Vertex> = self.seeds.iter().copied().collect();
+        let mut out = String::from("graph steiner_tree {\n  node [style=filled];\n");
+        for v in self.vertices() {
+            let color = if seeds.contains(&v) {
+                "red"
+            } else {
+                "lightblue"
+            };
+            writeln!(out, "  {v} [fillcolor={color}];").unwrap();
+        }
+        for &(u, v, w) in &self.edges {
+            writeln!(out, "  {u} -- {v} [label={w}];").unwrap();
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(5);
+        b.extend_edges([(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5)]);
+        b.build()
+    }
+
+    #[test]
+    fn valid_path_tree() {
+        let g = path_graph();
+        let t = SteinerTree::new([0, 3], [(0, 1, 2), (1, 2, 3), (2, 3, 4)]);
+        assert!(t.validate(&g).is_ok());
+        assert_eq!(t.total_distance(), 9);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.steiner_vertices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_wrong_weight() {
+        let g = path_graph();
+        let t = SteinerTree::new([0, 1], [(0, 1, 99)]);
+        assert!(t.validate(&g).unwrap_err().contains("weight"));
+    }
+
+    #[test]
+    fn rejects_missing_edge() {
+        let g = path_graph();
+        let t = SteinerTree::new([0, 2], [(0, 2, 5)]);
+        assert!(t.validate(&g).unwrap_err().contains("not in graph"));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let g = b.build();
+        let t = SteinerTree::new([0, 1], [(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        assert!(t.validate(&g).unwrap_err().contains("not a tree"));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (2, 3, 1)]);
+        let g = b.build();
+        let t = SteinerTree::new([0, 3], [(0, 1, 1), (2, 3, 1)]);
+        let err = t.validate(&g).unwrap_err();
+        assert!(err.contains("not a tree") || err.contains("disconnected"));
+    }
+
+    #[test]
+    fn rejects_unspanned_seed() {
+        let g = path_graph();
+        let t = SteinerTree::new([0, 1, 4], [(0, 1, 2)]);
+        let err = t.validate(&g).unwrap_err();
+        assert!(err.contains("seed") || err.contains("not a tree"), "{err}");
+    }
+
+    #[test]
+    fn rejects_steiner_leaf() {
+        let g = path_graph();
+        // Leaf 2 is not a seed.
+        let t = SteinerTree::new([0, 1], [(0, 1, 2), (1, 2, 3)]);
+        assert!(t.validate(&g).unwrap_err().contains("Steiner vertex"));
+    }
+
+    #[test]
+    fn single_seed_empty_tree_is_valid() {
+        let g = path_graph();
+        let t = SteinerTree::new([2], []);
+        assert!(t.validate(&g).is_ok());
+        assert_eq!(t.total_distance(), 0);
+    }
+
+    #[test]
+    fn normalizes_edge_direction() {
+        let t = SteinerTree::new([0, 1], [(1, 0, 2)]);
+        assert_eq!(t.edges, vec![(0, 1, 2)]);
+    }
+
+    #[test]
+    fn metrics_on_path_tree() {
+        let t = SteinerTree::new([0, 3], [(0, 1, 2), (1, 2, 3), (2, 3, 4)]);
+        let m = t.metrics();
+        assert_eq!(m.num_edges, 3);
+        assert_eq!(m.num_leaves, 2);
+        assert_eq!(m.seed_leaves, 2);
+        assert_eq!(m.steiner_vertices, 2);
+        assert_eq!(m.max_degree, 2);
+        assert_eq!(m.total_distance, 9);
+        assert_eq!(m.weighted_diameter, 9);
+        assert_eq!(m.hop_diameter, 3);
+    }
+
+    #[test]
+    fn metrics_on_star_tree() {
+        let t = SteinerTree::new([1, 2, 3], [(0, 1, 5), (0, 2, 7), (0, 3, 2)]);
+        let m = t.metrics();
+        assert_eq!(m.num_leaves, 3);
+        assert_eq!(m.max_degree, 3);
+        assert_eq!(m.weighted_diameter, 12); // 1 -> 0 -> 2
+        assert_eq!(m.hop_diameter, 2);
+    }
+
+    #[test]
+    fn metrics_on_empty_tree() {
+        let t = SteinerTree::new([4], []);
+        let m = t.metrics();
+        assert_eq!(m.num_edges, 0);
+        assert_eq!(m.weighted_diameter, 0);
+    }
+
+    #[test]
+    fn text_format_roundtrips() {
+        let t = SteinerTree::new([0, 3, 7], [(0, 1, 2), (1, 3, 5), (1, 7, 9)]);
+        let parsed = SteinerTree::from_text(&t.to_text()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn text_format_rejects_garbage() {
+        assert!(SteinerTree::from_text("").is_err());
+        assert!(SteinerTree::from_text("steiner-tree v1\n").is_err());
+        assert!(SteinerTree::from_text("steiner-tree v1\nseeds 1\nbogus\n").is_err());
+        assert!(SteinerTree::from_text("steiner-tree v1\nseeds 1\nedge 1 x 2\n").is_err());
+    }
+
+    #[test]
+    fn dot_output_mentions_all_vertices() {
+        let t = SteinerTree::new([0, 2], [(0, 1, 2), (1, 2, 3)]);
+        let dot = t.to_dot();
+        assert!(dot.contains("0 [fillcolor=red]"));
+        assert!(dot.contains("1 [fillcolor=lightblue]"));
+        assert!(dot.contains("0 -- 1 [label=2]"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Graph transformations for the interactive workflows the paper's
+//! introduction describes: "the user adding or removing classes of edges
+//! and/or vertices and adjusting edge distance functions".
+//!
+//! All transforms are pure (they build a new [`CsrGraph`]) and preserve
+//! vertex ids unless stated otherwise, so seed sets and Voronoi state keyed
+//! by vertex id remain meaningful across edits.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vertex, Weight};
+use crate::traversal::connected_components;
+
+/// Removes every edge for which `drop` returns true.
+pub fn remove_edges(
+    g: &CsrGraph,
+    mut drop: impl FnMut(Vertex, Vertex, Weight) -> bool,
+) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
+    for (u, v, w) in g.undirected_edges() {
+        if !drop(u, v, w) {
+            b.add_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+/// Removes the given vertices (all their incident edges disappear; the
+/// vertices stay as isolated ids so ids remain stable).
+pub fn remove_vertices(g: &CsrGraph, vertices: &[Vertex]) -> CsrGraph {
+    let mut gone = vec![false; g.num_vertices()];
+    for &v in vertices {
+        gone[v as usize] = true;
+    }
+    remove_edges(g, |u, v, _| gone[u as usize] || gone[v as usize])
+}
+
+/// Applies `f` to every edge weight (clamped to at least 1, the suite's
+/// weight invariant). The paper's "adjusting edge distance functions".
+pub fn map_weights(g: &CsrGraph, mut f: impl FnMut(Vertex, Vertex, Weight) -> Weight) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
+    for (u, v, w) in g.undirected_edges() {
+        b.add_edge(u, v, f(u, v, w).max(1));
+    }
+    b.build()
+}
+
+/// The subgraph induced by `keep` (edges with both endpoints kept),
+/// preserving vertex ids.
+pub fn induced_subgraph(g: &CsrGraph, keep: &[Vertex]) -> CsrGraph {
+    let mut kept = vec![false; g.num_vertices()];
+    for &v in keep {
+        kept[v as usize] = true;
+    }
+    remove_edges(g, |u, v, _| !kept[u as usize] || !kept[v as usize])
+}
+
+/// Result of compacting a graph to its largest connected component.
+#[derive(Clone, Debug)]
+pub struct Compacted {
+    /// The compacted graph over `0..component_size`.
+    pub graph: CsrGraph,
+    /// `old_of[new_id] = old_id`.
+    pub old_of: Vec<Vertex>,
+    /// `new_of[old_id] = Some(new_id)` for kept vertices.
+    pub new_of: Vec<Option<Vertex>>,
+}
+
+/// Extracts the largest connected component and renumbers its vertices
+/// densely — the preparation step the paper's seed selection implies
+/// ("first, we identify the largest connected component").
+pub fn largest_component(g: &CsrGraph) -> Compacted {
+    let cc = connected_components(g);
+    let members = cc.largest_component_vertices();
+    let mut new_of: Vec<Option<Vertex>> = vec![None; g.num_vertices()];
+    for (new_id, &old) in members.iter().enumerate() {
+        new_of[old as usize] = Some(new_id as Vertex);
+    }
+    let mut b = GraphBuilder::new(members.len());
+    for (u, v, w) in g.undirected_edges() {
+        if let (Some(nu), Some(nv)) = (new_of[u as usize], new_of[v as usize]) {
+            b.add_edge(nu, nv, w);
+        }
+    }
+    Compacted {
+        graph: b.build(),
+        old_of: members,
+        new_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(0, 1, 2), (1, 2, 3), (2, 3, 4), (4, 5, 5)]);
+        b.build()
+    }
+
+    #[test]
+    fn remove_edges_by_weight() {
+        let g = remove_edges(&sample(), |_, _, w| w >= 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 3));
+        assert_eq!(g.num_vertices(), 6, "vertex ids preserved");
+    }
+
+    #[test]
+    fn remove_vertices_drops_incident_edges() {
+        let g = remove_vertices(&sample(), &[2]);
+        assert!(!g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 3));
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn map_weights_transforms_and_clamps() {
+        let g = map_weights(&sample(), |_, _, w| w.saturating_sub(10));
+        // All weights clamp to 1.
+        for (_, _, w) in g.undirected_edges() {
+            assert_eq!(w, 1);
+        }
+        assert_eq!(g.num_edges(), sample().num_edges());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = induced_subgraph(&sample(), &[0, 1, 2]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 3));
+        assert!(!g.has_edge(4, 5));
+    }
+
+    #[test]
+    fn largest_component_compacts_ids() {
+        let c = largest_component(&sample());
+        // Component {0,1,2,3} wins over {4,5}.
+        assert_eq!(c.graph.num_vertices(), 4);
+        assert_eq!(c.graph.num_edges(), 3);
+        assert_eq!(c.old_of, vec![0, 1, 2, 3]);
+        assert_eq!(c.new_of[4], None);
+        // Edge weights carried over through the renumbering.
+        let (nu, nv) = (c.new_of[2].unwrap(), c.new_of[3].unwrap());
+        assert_eq!(c.graph.edge_weight(nu, nv), Some(4));
+    }
+
+    #[test]
+    fn transforms_preserve_validity() {
+        for g in [
+            remove_edges(&sample(), |u, _, _| u == 0),
+            remove_vertices(&sample(), &[1, 4]),
+            map_weights(&sample(), |_, _, w| w * 2),
+            induced_subgraph(&sample(), &[1, 2, 3]),
+            largest_component(&sample()).graph,
+        ] {
+            assert!(g.validate_symmetric().is_ok());
+        }
+    }
+}

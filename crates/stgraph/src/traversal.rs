@@ -1,0 +1,153 @@
+//! Unweighted traversals: BFS levels and connected components.
+//!
+//! The paper's seed-selection machinery (§V "Seed Vertex Selection" and the
+//! §V-E alternatives) is built on BFS levels within the largest connected
+//! component; these routines provide that substrate.
+
+use crate::csr::{CsrGraph, Vertex};
+use std::collections::VecDeque;
+
+/// Level of an unreached vertex in [`bfs_levels`].
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS from `source`; returns per-vertex hop levels (`UNREACHED` where the
+/// vertex is not reachable).
+pub fn bfs_levels(g: &CsrGraph, source: Vertex) -> Vec<u32> {
+    let mut level = vec![UNREACHED; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    level[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let next = level[u as usize] + 1;
+        for &v in g.neighbors(u) {
+            if level[v as usize] == UNREACHED {
+                level[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+/// Result of a connected-components labelling.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id per vertex, in `0..num_components`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+    /// Vertex count of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Id of the largest component.
+    pub fn largest(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(i, _)| i as u32)
+            .expect("graph has at least one vertex")
+    }
+
+    /// All vertices belonging to the largest component, ascending.
+    pub fn largest_component_vertices(&self) -> Vec<Vertex> {
+        let target = self.largest();
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == target)
+            .map(|(v, _)| v as Vertex)
+            .collect()
+    }
+
+    /// Whether vertices `u` and `v` are in the same component.
+    pub fn same_component(&self, u: Vertex, v: Vertex) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+}
+
+/// Labels connected components with iterative BFS.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        label[start] = id;
+        queue.push_back(start as Vertex);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    let num_components = sizes.len();
+    Components {
+        label,
+        num_components,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_triangles() -> CsrGraph {
+        let mut b = GraphBuilder::new(7);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        b.extend_edges([(3, 4, 1), (4, 5, 1), (3, 5, 1)]);
+        // vertex 6 isolated
+        b.build()
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let g = b.build();
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_marks_unreached() {
+        let g = two_triangles();
+        let levels = bfs_levels(&g, 0);
+        assert_eq!(levels[3], UNREACHED);
+        assert_eq!(levels[6], UNREACHED);
+    }
+
+    #[test]
+    fn components_count() {
+        let g = two_triangles();
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 3);
+        assert_eq!(cc.sizes.iter().sum::<usize>(), 7);
+        assert!(cc.same_component(0, 2));
+        assert!(!cc.same_component(0, 3));
+    }
+
+    #[test]
+    fn largest_component() {
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)]); // size 4
+        b.extend_edges([(4, 5, 1)]); // size 2
+        let g = b.build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.largest_component_vertices(), vec![0, 1, 2, 3]);
+    }
+}

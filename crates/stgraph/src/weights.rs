@@ -1,0 +1,255 @@
+//! Edge-weight assignment.
+//!
+//! The paper assigns every dataset uniform random integer weights from a
+//! per-dataset inclusive range (Table III), and Fig 7 sweeps the range from
+//! `[1, 100]` to `[1, 100K]` on a fixed topology. [`WeightRange`] models
+//! exactly that, and [`reweight`] re-draws the weights of an existing graph
+//! without changing its topology (the Fig 7 experiment).
+
+use crate::csr::{CsrGraph, Weight};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// An inclusive uniform integer weight range `[lo, hi]`, `1 <= lo <= hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightRange {
+    lo: Weight,
+    hi: Weight,
+}
+
+impl WeightRange {
+    /// A new range; panics unless `1 <= lo <= hi`.
+    pub fn new(lo: Weight, hi: Weight) -> Self {
+        assert!(lo >= 1 && lo <= hi, "invalid weight range [{lo},{hi}]");
+        WeightRange { lo, hi }
+    }
+
+    /// The degenerate range `[1, 1]` (unit weights).
+    pub fn unit() -> Self {
+        WeightRange { lo: 1, hi: 1 }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> Weight {
+        self.lo
+    }
+
+    /// Upper bound (inclusive).
+    pub fn hi(&self) -> Weight {
+        self.hi
+    }
+
+    /// Draws one weight uniformly from the range.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> Weight {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// Rebuilds `g` with fresh uniform weights from `range`, preserving the
+/// topology exactly. Both arcs of each undirected edge receive the same new
+/// weight. Used by the Fig 7 edge-weight-distribution experiment.
+pub fn reweight(g: &CsrGraph, range: WeightRange, rng: &mut ChaCha8Rng) -> CsrGraph {
+    let mut b = crate::builder::GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
+    for (u, v, _) in g.undirected_edges() {
+        b.add_edge(u, v, range.sample(rng));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_stays_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let r = WeightRange::new(3, 12);
+        for _ in 0..1000 {
+            let w = r.sample(&mut rng);
+            assert!((3..=12).contains(&w));
+        }
+    }
+
+    #[test]
+    fn unit_range_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let r = WeightRange::unit();
+        assert_eq!(r.sample(&mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_lo() {
+        WeightRange::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted() {
+        WeightRange::new(6, 5);
+    }
+
+    #[test]
+    fn reweight_preserves_topology() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 100), (1, 2, 100), (2, 3, 100), (0, 3, 100)]);
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g2 = reweight(&g, WeightRange::new(1, 5), &mut rng);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v, _) in g.undirected_edges() {
+            let w = g2.edge_weight(u, v).expect("edge must survive reweight");
+            assert!((1..=5).contains(&w));
+            assert_eq!(g2.edge_weight(v, u), Some(w), "weights stay symmetric");
+        }
+    }
+
+    #[test]
+    fn reweight_is_deterministic() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_edges([(0, 1, 9), (1, 2, 9)]);
+        let g = b.build();
+        let g1 = reweight(
+            &g,
+            WeightRange::new(1, 1000),
+            &mut ChaCha8Rng::seed_from_u64(42),
+        );
+        let g2 = reweight(
+            &g,
+            WeightRange::new(1, 1000),
+            &mut ChaCha8Rng::seed_from_u64(42),
+        );
+        for (u, v, w) in g1.undirected_edges() {
+            assert_eq!(g2.edge_weight(u, v), Some(w));
+        }
+    }
+}
+
+/// A parametric edge-weight distribution. The paper's Fig 7 varies the
+/// *range* of a uniform distribution; real knowledge networks (§I: weights
+/// "often a function of the metadata") produce other shapes, so the suite
+/// also offers log-uniform (heavy-tailed toward small weights) and bimodal
+/// (strong ties vs weak ties) families for the extended Fig 7 sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightDistribution {
+    /// Uniform over an inclusive range (the paper's setting).
+    Uniform(WeightRange),
+    /// `exp(uniform(ln lo, ln hi))` — most edges near the low end.
+    LogUniform(WeightRange),
+    /// Strong ties from `low` with probability `1 - weak_fraction`, weak
+    /// ties from `high` otherwise.
+    Bimodal {
+        /// Range of strong (cheap) ties.
+        low: WeightRange,
+        /// Range of weak (expensive) ties.
+        high: WeightRange,
+        /// Probability of drawing from `high`, in `[0, 1]`.
+        weak_fraction: f64,
+    },
+}
+
+impl WeightDistribution {
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightDistribution::Uniform(_) => "uniform",
+            WeightDistribution::LogUniform(_) => "log-uniform",
+            WeightDistribution::Bimodal { .. } => "bimodal",
+        }
+    }
+
+    /// Draws one weight.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> Weight {
+        match *self {
+            WeightDistribution::Uniform(r) => r.sample(rng),
+            WeightDistribution::LogUniform(r) => {
+                let (lo, hi) = (r.lo() as f64, r.hi() as f64);
+                let x = rng.gen_range(lo.ln()..=hi.ln()).exp();
+                (x.round() as Weight).clamp(r.lo(), r.hi())
+            }
+            WeightDistribution::Bimodal {
+                low,
+                high,
+                weak_fraction,
+            } => {
+                if rng.gen_bool(weak_fraction.clamp(0.0, 1.0)) {
+                    high.sample(rng)
+                } else {
+                    low.sample(rng)
+                }
+            }
+        }
+    }
+}
+
+/// Rebuilds `g` with fresh weights drawn from `dist`, preserving topology
+/// (the distribution-shape variant of [`reweight`]).
+pub fn reweight_with(g: &CsrGraph, dist: WeightDistribution, rng: &mut ChaCha8Rng) -> CsrGraph {
+    let mut b = crate::builder::GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
+    for (u, v, _) in g.undirected_edges() {
+        b.add_edge(u, v, dist.sample(rng));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod distribution_tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_distributions_stay_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let r = WeightRange::new(2, 5000);
+        for dist in [
+            WeightDistribution::Uniform(r),
+            WeightDistribution::LogUniform(r),
+            WeightDistribution::Bimodal {
+                low: WeightRange::new(2, 10),
+                high: WeightRange::new(1000, 5000),
+                weak_fraction: 0.3,
+            },
+        ] {
+            for _ in 0..2000 {
+                let w = dist.sample(&mut rng);
+                assert!((2..=5000).contains(&w), "{}: {w}", dist.name());
+            }
+        }
+    }
+
+    #[test]
+    fn log_uniform_skews_low() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let r = WeightRange::new(1, 10_000);
+        let uni = WeightDistribution::Uniform(r);
+        let log = WeightDistribution::LogUniform(r);
+        let mean = |d: &WeightDistribution, rng: &mut ChaCha8Rng| {
+            (0..5000).map(|_| d.sample(rng)).sum::<u64>() as f64 / 5000.0
+        };
+        assert!(mean(&log, &mut rng) < mean(&uni, &mut rng) / 2.0);
+    }
+
+    #[test]
+    fn reweight_with_preserves_topology() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 7), (1, 2, 7), (2, 3, 7)]);
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g2 = reweight_with(
+            &g,
+            WeightDistribution::LogUniform(WeightRange::new(1, 100)),
+            &mut rng,
+        );
+        assert_eq!(
+            g.undirected_edges()
+                .map(|(u, v, _)| (u, v))
+                .collect::<Vec<_>>(),
+            g2.undirected_edges()
+                .map(|(u, v, _)| (u, v))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Typed point-to-point channels between ranks.
+//!
+//! A [`ChannelGroup`] is the simulation's network interface: rank-to-rank
+//! unbounded channels carrying one visitor type, opened collectively (every
+//! rank must call [`crate::Comm::open_channels`] in the same program order,
+//! exactly like creating an MPI communicator). Sends are attributed to the
+//! phase label the group was opened under.
+
+use crate::counters::PhaseStats;
+#[cfg(test)]
+use crossbeam::channel::unbounded;
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// One rank's endpoints of a typed all-to-all channel group.
+pub struct ChannelGroup<T: Send + 'static> {
+    rank: usize,
+    senders: Vec<Sender<T>>,
+    receiver: Receiver<T>,
+    stats: Arc<PhaseStats>,
+}
+
+impl<T: Send + 'static> ChannelGroup<T> {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Vec<Sender<T>>,
+        receiver: Receiver<T>,
+        stats: Arc<PhaseStats>,
+    ) -> Self {
+        ChannelGroup {
+            rank,
+            senders,
+            receiver,
+            stats,
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn num_ranks(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `msg` to `dest`'s inbound queue. Counted as a remote message
+    /// even when `dest == self.rank()` — use the traversal driver's local
+    /// push for zero-cost self-delivery.
+    pub fn send(&self, dest: usize, msg: T) {
+        self.stats.remote_msgs.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .remote_bytes
+            .fetch_add(std::mem::size_of::<T>() as u64, Ordering::Relaxed);
+        self.senders[dest]
+            .send(msg)
+            .expect("receiver dropped while world is running");
+    }
+
+    /// Non-blocking receive from this rank's inbound queue.
+    pub fn try_recv(&self) -> Option<T> {
+        match self.receiver.try_recv() {
+            Ok(m) => Some(m),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                unreachable!("own sender kept alive by the group")
+            }
+        }
+    }
+
+    /// Records a visitor delivered locally, bypassing the channel.
+    pub(crate) fn count_local(&self) {
+        self.stats.local_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn stats(&self) -> &Arc<PhaseStats> {
+        &self.stats
+    }
+}
+
+impl<V: Send + 'static> ChannelGroup<Vec<V>> {
+    /// Ships an aggregated visitor batch; counters record the individual
+    /// visitors (and one batch), so message statistics stay batch-size
+    /// independent.
+    pub fn send_batch(&self, dest: usize, batch: Vec<V>) {
+        self.stats
+            .remote_msgs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.stats.remote_bytes.fetch_add(
+            (batch.len() * std::mem::size_of::<V>()) as u64,
+            Ordering::Relaxed,
+        );
+        self.stats.remote_batches.fetch_add(1, Ordering::Relaxed);
+        self.senders[dest]
+            .send(batch)
+            .expect("receiver dropped while world is running");
+    }
+}
+
+/// Creates the full `p x p` mesh of channel endpoints locally, for unit
+/// tests that exercise a group without a full world.
+#[cfg(test)]
+pub(crate) fn local_endpoints<T: Send + 'static>(p: usize) -> (Vec<Sender<T>>, Vec<Receiver<T>>) {
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    (senders, receivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::RankCounters;
+
+    fn group_pair() -> (ChannelGroup<u32>, ChannelGroup<u32>) {
+        let (senders, mut receivers) = local_endpoints::<u32>(2);
+        let c = RankCounters::default();
+        let g1 = ChannelGroup::new(0, senders.clone(), receivers.remove(0), c.phase("t"));
+        let g2 = ChannelGroup::new(1, senders, receivers.remove(0), c.phase("t"));
+        (g1, g2)
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let (g1, g2) = group_pair();
+        g1.send(1, 42);
+        assert_eq!(g2.try_recv(), Some(42));
+        assert_eq!(g2.try_recv(), None);
+    }
+
+    #[test]
+    fn sends_are_counted() {
+        let (g1, g2) = group_pair();
+        g1.send(1, 1);
+        g1.send(1, 2);
+        let _ = (g2.try_recv(), g2.try_recv());
+        assert_eq!(g1.stats().remote_msgs.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            g1.stats().remote_bytes.load(Ordering::Relaxed),
+            2 * std::mem::size_of::<u32>() as u64
+        );
+    }
+}

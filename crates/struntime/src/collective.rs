@@ -1,0 +1,133 @@
+//! Collective operations: barrier-synchronized all-reduce and broadcast.
+//!
+//! These mirror the `MPI_Allreduce(MPI_MIN)` collectives the paper's
+//! Alg 5 uses for global min-distance-edge identification and edge pruning,
+//! plus the chunked variant discussed in §V-F ("multiple collective
+//! operations ... on smaller chunks, e.g., 500K or 1M items per chunk")
+//! that trades runtime for lower peak buffer memory.
+//!
+//! Every collective must be called by **all** ranks of a world in the same
+//! program order, like their MPI counterparts. The reduction buffer is a
+//! single shared slot: rank 0 seeds it with its local vector, the other
+//! ranks fold theirs in (serialized by the slot mutex), and everyone copies
+//! the result back out.
+
+use crate::Comm;
+
+impl Comm {
+    /// In-place all-reduce: after the call, `data` on every rank holds the
+    /// element-wise combination of all ranks' inputs. All ranks must pass
+    /// equal-length slices.
+    pub fn allreduce<T, F>(&self, data: &mut [T], combine: F)
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut T, &T),
+    {
+        self.memory()
+            .record("collective_buffer", std::mem::size_of_val(data));
+        self.barrier();
+        if self.rank() == 0 {
+            *self.shared().collective_slot.lock() = Some(Box::new(data.to_vec()));
+        }
+        self.barrier();
+        if self.rank() != 0 {
+            let mut slot = self.shared().collective_slot.lock();
+            let acc = slot
+                .as_mut()
+                .expect("collective slot seeded by rank 0")
+                .downcast_mut::<Vec<T>>()
+                .expect("collective type mismatch across ranks");
+            assert_eq!(
+                acc.len(),
+                data.len(),
+                "allreduce length mismatch across ranks"
+            );
+            for (a, b) in acc.iter_mut().zip(data.iter()) {
+                combine(a, b);
+            }
+        }
+        self.barrier();
+        {
+            let slot = self.shared().collective_slot.lock();
+            let acc = slot
+                .as_ref()
+                .expect("collective slot still seeded")
+                .downcast_ref::<Vec<T>>()
+                .expect("collective type mismatch across ranks");
+            data.clone_from_slice(acc);
+        }
+        self.barrier();
+        if self.rank() == 0 {
+            *self.shared().collective_slot.lock() = None;
+        }
+        self.memory()
+            .release("collective_buffer", std::mem::size_of_val(data));
+    }
+
+    /// All-reduce over `data` in chunks of `chunk_len` elements, bounding
+    /// the shared buffer to one chunk at a time (the paper's memory
+    /// optimization for the ~50M-element |S| = 10K edge buffer, §V-F).
+    pub fn allreduce_chunked<T, F>(&self, data: &mut [T], chunk_len: usize, combine: F)
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut T, &T),
+    {
+        assert!(chunk_len >= 1, "chunk length must be positive");
+        // All ranks iterate the same chunk boundaries, so the inner
+        // collectives stay aligned.
+        let mut start = 0;
+        while start < data.len() {
+            let end = (start + chunk_len).min(data.len());
+            self.allreduce(&mut data[start..end], &combine);
+            start = end;
+        }
+        // Even a zero-length input must participate in the same number of
+        // collectives on every rank; lengths are equal by contract.
+    }
+
+    /// Element-wise minimum all-reduce (`MPI_Allreduce(MPI_MIN)`).
+    pub fn allreduce_min<T>(&self, data: &mut [T])
+    where
+        T: Clone + Ord + Send + 'static,
+    {
+        self.allreduce(data, |a, b| {
+            if *b < *a {
+                *a = b.clone();
+            }
+        });
+    }
+
+    /// Element-wise sum all-reduce over `u64`s.
+    pub fn allreduce_sum(&self, data: &mut [u64]) {
+        self.allreduce(data, |a, b| *a += *b);
+    }
+
+    /// Broadcast: `root` supplies `Some(value)`, every other rank passes
+    /// `None`; all ranks return the root's value.
+    pub fn broadcast<T>(&self, root: usize, value: Option<T>) -> T
+    where
+        T: Clone + Send + 'static,
+    {
+        assert!(root < self.num_ranks());
+        debug_assert_eq!(self.rank() == root, value.is_some());
+        self.barrier();
+        if self.rank() == root {
+            *self.shared().collective_slot.lock() =
+                Some(Box::new(value.expect("root provides the value")));
+        }
+        self.barrier();
+        let out = {
+            let slot = self.shared().collective_slot.lock();
+            slot.as_ref()
+                .expect("broadcast slot seeded by root")
+                .downcast_ref::<T>()
+                .expect("broadcast type mismatch across ranks")
+                .clone()
+        };
+        self.barrier();
+        if self.rank() == root {
+            *self.shared().collective_slot.lock() = None;
+        }
+        out
+    }
+}

@@ -1,0 +1,520 @@
+#![warn(missing_docs)]
+
+//! # struntime — a simulated distributed message-passing runtime
+//!
+//! The paper's implementation runs on MPI + HavoqGT across up to 8K
+//! processes. This crate reproduces that execution model on a single
+//! machine: a [`World`] spawns one OS thread per *rank*; ranks own disjoint
+//! graph partitions (see `stgraph::partition`), exchange typed visitor
+//! messages through [`channels::ChannelGroup`]s, synchronize with MPI-style
+//! [collectives](Comm::allreduce), and run HavoqGT-style asynchronous
+//! vertex-centric traversals via [`traversal::run_traversal`] with either a
+//! FIFO or a priority local message queue ([`queue::QueueKind`]).
+//!
+//! Everything the paper measures about its runtime — per-phase message
+//! counts (Fig 6), queue-discipline effects (Fig 5), collective buffer
+//! memory (Fig 8) — is observable here through [`counters`] and [`memory`].
+//!
+//! ```
+//! use struntime::{World, QueueKind, run_traversal};
+//!
+//! // Four ranks pass a hop counter around a ring until it reaches 4.
+//! let out = World::run(4, |comm| {
+//!     let chan = comm.open_channels::<Vec<u32>>("ring");
+//!     let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+//!     let mut seen = 0u32;
+//!     run_traversal(comm, &chan, QueueKind::Fifo, |_| 0, init, |hops, pusher| {
+//!         seen += 1;
+//!         if hops < 4 {
+//!             pusher.push((pusher.rank() + 1) % 4, hops + 1);
+//!         }
+//!     });
+//!     seen
+//! });
+//! assert_eq!(out.results.iter().sum::<u32>(), 5);
+//! ```
+
+pub mod channels;
+mod collective;
+pub mod counters;
+pub mod memory;
+pub mod persistent;
+pub mod queue;
+pub mod shared;
+pub mod traversal;
+
+pub use channels::ChannelGroup;
+pub use counters::{merge_snapshots, PhaseSnapshot};
+pub use persistent::PersistentWorld;
+pub use queue::QueueKind;
+pub use traversal::{run_traversal, Pusher, TraversalStats};
+
+use counters::RankCounters;
+use memory::MemoryTracker;
+use shared::Shared;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A rank's handle to the world: identity, channels, collectives, counters.
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    counters: Arc<RankCounters>,
+    memory: Arc<MemoryTracker>,
+    tag_counter: u64,
+}
+
+impl Comm {
+    pub(crate) fn new_for_persistent(rank: usize, shared: Arc<Shared>) -> Comm {
+        Comm {
+            rank,
+            shared,
+            counters: Arc::new(RankCounters::default()),
+            memory: Arc::new(MemoryTracker::default()),
+            tag_counter: 0,
+        }
+    }
+
+    pub(crate) fn install_observers(
+        &mut self,
+        counters: Arc<RankCounters>,
+        memory: Arc<MemoryTracker>,
+    ) {
+        self.counters = counters;
+        self.memory = memory;
+    }
+
+    /// This rank's id, in `0..num_ranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn num_ranks(&self) -> usize {
+        self.shared.num_ranks
+    }
+
+    pub(crate) fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// This rank's message counters.
+    pub fn counters(&self) -> &RankCounters {
+        &self.counters
+    }
+
+    /// This rank's memory ledger.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// Collectively opens a typed all-to-all channel group. Every rank must
+    /// call this in the same program order (tags are assigned from a local
+    /// counter that advances identically on all ranks). Messages sent
+    /// through the group are counted under `phase`.
+    pub fn open_channels<V: Send + 'static>(&mut self, phase: &'static str) -> ChannelGroup<V> {
+        let tag = self.tag_counter;
+        self.tag_counter += 1;
+        let p = self.num_ranks();
+        let (sender, receiver) = crossbeam::channel::unbounded::<V>();
+        {
+            let mut reg = self.shared.channel_registry.lock();
+            let slots = reg
+                .entry(tag)
+                .or_insert_with(|| (0..p).map(|_| None).collect());
+            slots[self.rank] = Some(Box::new(sender));
+        }
+        self.barrier();
+        let senders = {
+            let reg = self.shared.channel_registry.lock();
+            reg[&tag]
+                .iter()
+                .map(|slot| {
+                    slot.as_ref()
+                        .expect("all ranks registered before the barrier")
+                        .downcast_ref::<crossbeam::channel::Sender<V>>()
+                        .expect("channel type mismatch across ranks")
+                        .clone()
+                })
+                .collect::<Vec<_>>()
+        };
+        self.barrier();
+        if self.rank == 0 {
+            self.shared.channel_registry.lock().remove(&tag);
+        }
+        ChannelGroup::new(self.rank, senders, receiver, self.counters.phase(phase))
+    }
+}
+
+/// Per-rank observability data returned alongside the rank results.
+#[derive(Clone, Debug)]
+pub struct RankReport {
+    /// Per-phase message counters.
+    pub counters: BTreeMap<&'static str, PhaseSnapshot>,
+    /// Peak algorithm-state bytes, total.
+    pub peak_memory_bytes: usize,
+    /// Peak algorithm-state bytes per label.
+    pub peak_memory_by_label: BTreeMap<&'static str, usize>,
+}
+
+/// Everything a [`World::run`] produces.
+#[derive(Clone, Debug)]
+pub struct RunOutput<T> {
+    /// Each rank closure's return value, indexed by rank.
+    pub results: Vec<T>,
+    /// Each rank's counters and memory peaks, indexed by rank.
+    pub reports: Vec<RankReport>,
+}
+
+impl<T> RunOutput<T> {
+    /// Cluster-wide per-phase message counts (sum over ranks).
+    pub fn merged_counters(&self) -> BTreeMap<&'static str, PhaseSnapshot> {
+        let snaps: Vec<_> = self.reports.iter().map(|r| r.counters.clone()).collect();
+        merge_snapshots(&snaps)
+    }
+
+    /// Cluster-wide peak algorithm-state bytes (sum of per-rank peaks —
+    /// Fig 8 reports cluster-wide peaks the same way).
+    pub fn total_peak_memory(&self) -> usize {
+        self.reports.iter().map(|r| r.peak_memory_bytes).sum()
+    }
+}
+
+/// The simulated cluster.
+pub struct World;
+
+impl World {
+    /// Spawns `p` ranks, runs `f` on each with its [`Comm`], and joins them.
+    /// Panics in any rank propagate after all ranks are joined.
+    pub fn run<T, F>(p: usize, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(p >= 1, "need at least one rank");
+        let shared = Arc::new(Shared::new(p));
+        let counters: Vec<_> = (0..p).map(|_| Arc::new(RankCounters::default())).collect();
+        let memory: Vec<_> = (0..p).map(|_| Arc::new(MemoryTracker::default())).collect();
+
+        let results: Vec<T> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..p)
+                .map(|rank| {
+                    let mut comm = Comm {
+                        rank,
+                        shared: Arc::clone(&shared),
+                        counters: Arc::clone(&counters[rank]),
+                        memory: Arc::clone(&memory[rank]),
+                        tag_counter: 0,
+                    };
+                    let f = &f;
+                    scope.spawn(move || f(&mut comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        });
+
+        let reports = (0..p)
+            .map(|rank| RankReport {
+                counters: counters[rank].snapshot(),
+                peak_memory_bytes: memory[rank].peak_total(),
+                peak_memory_by_label: memory[rank].peaks(),
+            })
+            .collect();
+        RunOutput { results, reports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| comm.rank());
+        assert_eq!(out.results, vec![0]);
+    }
+
+    #[test]
+    fn ranks_are_distinct() {
+        let out = World::run(4, |comm| comm.rank());
+        let mut ranks = out.results.clone();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let counter = AtomicUsize::new(0);
+        World::run(4, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must see all four increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn point_to_point_messages() {
+        let out = World::run(3, |comm| {
+            let chan = comm.open_channels::<usize>("p2p");
+            // Each rank sends its id to the next rank.
+            chan.send((comm.rank() + 1) % 3, comm.rank());
+            comm.barrier();
+            let got = chan.try_recv().expect("message waiting after barrier");
+            (got + 1) % 3 == comm.rank()
+        });
+        assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn allreduce_min_agrees_with_sequential() {
+        let out = World::run(4, |comm| {
+            let mut data = vec![
+                (comm.rank() as u64 + 3) % 4,
+                10 - comm.rank() as u64,
+                comm.rank() as u64,
+            ];
+            comm.allreduce_min(&mut data);
+            data
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![0, 7, 0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum() {
+        let out = World::run(5, |comm| {
+            let mut data = vec![1u64, comm.rank() as u64];
+            comm.allreduce_sum(&mut data);
+            data
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![5, 10]);
+        }
+    }
+
+    #[test]
+    fn chunked_allreduce_matches_unchunked() {
+        for chunk in [1usize, 2, 3, 7, 100] {
+            let out = World::run(3, |comm| {
+                let mut data: Vec<u64> = (0..10)
+                    .map(|i| (i * 7 + comm.rank() as u64 * 3) % 13)
+                    .collect();
+                comm.allreduce_chunked(&mut data, chunk, |a, b| {
+                    if *b < *a {
+                        *a = *b;
+                    }
+                });
+                data
+            });
+            let expect: Vec<u64> = (0..10)
+                .map(|i| (0..3).map(|r| (i * 7 + r * 3) % 13).min().unwrap())
+                .collect();
+            for r in &out.results {
+                assert_eq!(r, &expect, "chunk = {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_roots_value() {
+        let out = World::run(4, |comm| {
+            let v = if comm.rank() == 2 {
+                Some(vec![9u64, 8, 7])
+            } else {
+                None
+            };
+            comm.broadcast(2, v)
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_interfere() {
+        let out = World::run(3, |comm| {
+            let mut a = vec![comm.rank() as u64];
+            comm.allreduce_sum(&mut a);
+            let mut b = vec![comm.rank() as u64 + 10];
+            comm.allreduce_min(&mut b);
+            (a[0], b[0])
+        });
+        for &(s, m) in &out.results {
+            assert_eq!((s, m), (3, 10));
+        }
+    }
+
+    #[test]
+    fn traversal_token_ring_terminates() {
+        let p = 4;
+        let out = World::run(p, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("ring");
+            let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+            let mut seen = 0u32;
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Fifo,
+                |_| 0,
+                init,
+                |hops, pusher| {
+                    seen += 1;
+                    if (hops as usize) < 2 * p {
+                        pusher.push((pusher.rank() + 1) % p, hops + 1);
+                    }
+                },
+            );
+            seen
+        });
+        assert_eq!(out.results.iter().sum::<u32>(), 2 * p as u32 + 1);
+    }
+
+    #[test]
+    fn traversal_with_no_work_terminates() {
+        let out = World::run(4, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("empty");
+            let stats = run_traversal(comm, &chan, QueueKind::Priority, |_| 0, [], |_, _| {});
+            stats.processed
+        });
+        assert_eq!(out.results.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn traversal_flood_reaches_every_rank() {
+        let p = 5usize;
+        let out = World::run(p, |comm| {
+            let chan = comm.open_channels::<Vec<u8>>("flood");
+            let init = if comm.rank() == 0 { vec![0u8] } else { vec![] };
+            let mut processed = 0u64;
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Fifo,
+                |_| 0,
+                init,
+                |gen, pusher| {
+                    processed += 1;
+                    if gen == 0 {
+                        for d in 0..p {
+                            pusher.push(d, 1u8);
+                        }
+                    }
+                },
+            );
+            processed
+        });
+        // Rank 0's seed plus one flood message per rank.
+        assert_eq!(out.results.iter().sum::<u64>(), 1 + p as u64);
+        assert!(out.results.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn back_to_back_traversals() {
+        let out = World::run(3, |comm| {
+            let chan1 = comm.open_channels::<Vec<u32>>("first");
+            let chan2 = comm.open_channels::<Vec<u32>>("second");
+            let mut count = 0u32;
+            let init = if comm.rank() == 0 { vec![5u32] } else { vec![] };
+            run_traversal(
+                comm,
+                &chan1,
+                QueueKind::Fifo,
+                |_| 0,
+                init,
+                |v, pusher| {
+                    count += v;
+                    if v > 1 {
+                        pusher.push((pusher.rank() + 1) % 3, v - 1);
+                    }
+                },
+            );
+            let init = if comm.rank() == 2 { vec![3u32] } else { vec![] };
+            run_traversal(
+                comm,
+                &chan2,
+                QueueKind::Priority,
+                |&v| v as u64,
+                init,
+                |v, pusher| {
+                    count += v * 10;
+                    if v > 1 {
+                        pusher.push((pusher.rank() + 1) % 3, v - 1);
+                    }
+                },
+            );
+            count
+        });
+        // First: 5+4+3+2+1 = 15. Second: (3+2+1)*10 = 60.
+        let total: u32 = out.results.iter().sum();
+        assert_eq!(total, 75);
+    }
+
+    #[test]
+    fn counters_attribute_phases() {
+        let out = World::run(2, |comm| {
+            let chan = comm.open_channels::<u32>("phase_a");
+            chan.send(1 - comm.rank(), 1);
+            comm.barrier();
+            while chan.try_recv().is_some() {}
+        });
+        let merged = out.merged_counters();
+        assert_eq!(merged["phase_a"].remote_msgs, 2);
+    }
+
+    #[test]
+    fn memory_reports_propagate() {
+        let out = World::run(2, |comm| {
+            comm.memory().record("state", 1000 * (comm.rank() + 1));
+        });
+        assert_eq!(out.total_peak_memory(), 1000 + 2000);
+        assert_eq!(out.reports[1].peak_memory_by_label["state"], 2000);
+    }
+
+    #[test]
+    fn priority_traversal_processes_in_order_single_rank() {
+        let out = World::run(1, |comm| {
+            let chan = comm.open_channels::<Vec<u64>>("prio");
+            let mut order = Vec::new();
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Priority,
+                |&v| v,
+                vec![5u64, 1, 3, 2, 4],
+                |v, _| order.push(v),
+            );
+            order
+        });
+        assert_eq!(out.results[0], vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn traversal_stats_track_processing() {
+        let out = World::run(2, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("stats");
+            let init = if comm.rank() == 0 {
+                vec![1u32, 2, 3]
+            } else {
+                vec![]
+            };
+            run_traversal(comm, &chan, QueueKind::Fifo, |_| 0, init, |_, _| {})
+        });
+        let total: u64 = out.results.iter().map(|s| s.processed).sum();
+        assert_eq!(total, 3);
+        assert!(out.results[0].peak_queue_len >= 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,211 @@
+//! A persistent world: rank threads that outlive individual computations.
+//!
+//! [`crate::World::run`] spawns and joins one thread per rank for every
+//! call — fine for batch solves, wasteful for the interactive loop the
+//! paper motivates (many small solves against one resident graph, like an
+//! MPI job that stays allocated between queries). [`PersistentWorld`]
+//! keeps the rank threads alive; each [`PersistentWorld::execute`] ships a
+//! job closure to every rank and collects results, with fresh counters and
+//! memory ledgers per job so observability matches `World::run`.
+
+use crate::counters::RankCounters;
+use crate::memory::MemoryTracker;
+use crate::shared::Shared;
+use crate::{Comm, RankReport, RunOutput};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::any::Any;
+use std::sync::Arc;
+
+type JobFn = dyn Fn(&mut Comm) -> Box<dyn Any + Send> + Send + Sync;
+
+struct Job {
+    f: Arc<JobFn>,
+    counters: Arc<RankCounters>,
+    memory: Arc<MemoryTracker>,
+    results: Sender<(usize, Box<dyn Any + Send>)>,
+}
+
+/// A world whose rank threads persist across computations.
+pub struct PersistentWorld {
+    num_ranks: usize,
+    job_senders: Vec<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PersistentWorld {
+    /// Spawns `p` resident rank threads.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        let shared = Arc::new(Shared::new(p));
+        let mut job_senders = Vec::with_capacity(p);
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            job_senders.push(tx);
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                let mut comm = Comm::new_for_persistent(rank, shared);
+                while let Ok(job) = rx.recv() {
+                    comm.install_observers(Arc::clone(&job.counters), Arc::clone(&job.memory));
+                    let out = (job.f)(&mut comm);
+                    // The coordinator outlives the job; a send failure
+                    // means it gave up, which only happens on panic there.
+                    let _ = job.results.send((rank, out));
+                }
+            }));
+        }
+        PersistentWorld {
+            num_ranks: p,
+            job_senders,
+            handles,
+        }
+    }
+
+    /// Number of resident ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Runs `f` on every rank concurrently and returns the per-rank
+    /// results plus per-job observability, exactly like
+    /// [`crate::World::run`]. Jobs are serialized: one `execute` completes
+    /// before the next begins.
+    pub fn execute<T, F>(&self, f: F) -> RunOutput<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> T + Send + Sync + 'static,
+    {
+        let p = self.num_ranks;
+        let f: Arc<JobFn> =
+            Arc::new(move |comm: &mut Comm| Box::new(f(comm)) as Box<dyn Any + Send>);
+        let counters: Vec<_> = (0..p).map(|_| Arc::new(RankCounters::default())).collect();
+        let memory: Vec<_> = (0..p).map(|_| Arc::new(MemoryTracker::default())).collect();
+        let (results_tx, results_rx) = bounded(p);
+        for rank in 0..p {
+            self.job_senders[rank]
+                .send(Job {
+                    f: Arc::clone(&f),
+                    counters: Arc::clone(&counters[rank]),
+                    memory: Arc::clone(&memory[rank]),
+                    results: results_tx.clone(),
+                })
+                .expect("rank thread alive");
+        }
+        drop(results_tx);
+        let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        for _ in 0..p {
+            let (rank, boxed) = results_rx.recv().expect("rank thread panicked");
+            let value = *boxed.downcast::<T>().expect("job result type");
+            slots[rank] = Some(value);
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every rank reported"))
+            .collect();
+        let reports = (0..p)
+            .map(|rank| RankReport {
+                counters: counters[rank].snapshot(),
+                peak_memory_bytes: memory[rank].peak_total(),
+                peak_memory_by_label: memory[rank].peaks(),
+            })
+            .collect();
+        RunOutput { results, reports }
+    }
+}
+
+impl Drop for PersistentWorld {
+    fn drop(&mut self) {
+        // Closing the job channels ends each thread's recv loop.
+        self.job_senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_traversal, QueueKind};
+
+    #[test]
+    fn executes_multiple_jobs() {
+        let world = PersistentWorld::new(3);
+        for round in 0..5u64 {
+            let out = world.execute(move |comm| comm.rank() as u64 * 10 + round);
+            assert_eq!(
+                out.results,
+                vec![round, 10 + round, 20 + round],
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn traversals_work_on_persistent_ranks() {
+        let world = PersistentWorld::new(4);
+        for _ in 0..3 {
+            let out = world.execute(|comm| {
+                let chan = comm.open_channels::<Vec<u32>>("ring");
+                let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+                let mut seen = 0u32;
+                run_traversal(
+                    comm,
+                    &chan,
+                    QueueKind::Fifo,
+                    |_| 0,
+                    init,
+                    |hops, pusher| {
+                        seen += 1;
+                        if hops < 8 {
+                            pusher.push((pusher.rank() + 1) % 4, hops + 1);
+                        }
+                    },
+                );
+                seen
+            });
+            assert_eq!(out.results.iter().sum::<u32>(), 9);
+        }
+    }
+
+    #[test]
+    fn counters_are_fresh_per_job() {
+        let world = PersistentWorld::new(2);
+        let run = || {
+            world.execute(|comm| {
+                let chan = comm.open_channels::<u8>("p");
+                chan.send(1 - comm.rank(), 1);
+                comm.barrier();
+                while chan.try_recv().is_some() {}
+            })
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first.merged_counters()["p"].remote_msgs, 2);
+        assert_eq!(
+            second.merged_counters()["p"].remote_msgs,
+            2,
+            "counters must not accumulate across jobs"
+        );
+    }
+
+    #[test]
+    fn collectives_work_across_jobs() {
+        let world = PersistentWorld::new(3);
+        for _ in 0..3 {
+            let out = world.execute(|comm| {
+                let mut v = vec![comm.rank() as u64 + 1];
+                comm.allreduce_sum(&mut v);
+                v[0]
+            });
+            assert_eq!(out.results, vec![6, 6, 6]);
+        }
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let world = PersistentWorld::new(2);
+        world.execute(|comm| comm.rank());
+        drop(world); // must not hang or panic
+    }
+}

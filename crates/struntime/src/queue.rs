@@ -1,0 +1,253 @@
+//! Local visitor queues: FIFO and priority disciplines.
+//!
+//! This is the paper's headline optimization knob (§IV, §V-C): HavoqGT's
+//! default message queue is FIFO; the authors replace it with a priority
+//! queue that "gives precedence to a message from a vertex at a lower
+//! distance", approximating Dijkstra's settle order inside the asynchronous
+//! Bellman-Ford kernel. Ties are broken by arrival order so the priority
+//! queue degrades gracefully to FIFO on uniform priorities.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Which queue discipline a traversal uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// First-in first-out (HavoqGT's default).
+    Fifo,
+    /// Min-priority first (the paper's optimization); lower keys pop first.
+    Priority,
+    /// Pops pseudo-randomly (seeded xorshift). A chaos-testing discipline:
+    /// it simulates adversarial network reordering, so algorithms whose
+    /// results must be timing-independent (like the Steiner solver's
+    /// strict-label fixpoint) can be exercised under the worst schedules.
+    Adversarial {
+        /// Seed of the per-queue shuffle stream.
+        seed: u64,
+    },
+}
+
+impl QueueKind {
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueKind::Fifo => "fifo",
+            QueueKind::Priority => "priority",
+            QueueKind::Adversarial { .. } => "adversarial",
+        }
+    }
+}
+
+struct Entry<V> {
+    prio: u64,
+    seq: u64,
+    value: V,
+}
+
+impl<V> PartialEq for Entry<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl<V> Eq for Entry<V> {}
+impl<V> PartialOrd for Entry<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V> Ord for Entry<V> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; reverse so the smallest (prio, seq)
+        // pops first.
+        (other.prio, other.seq).cmp(&(self.prio, self.seq))
+    }
+}
+
+/// A local visitor queue with a runtime-selected discipline.
+pub struct VisitorQueue<V> {
+    kind: QueueKind,
+    fifo: VecDeque<V>,
+    heap: BinaryHeap<Entry<V>>,
+    bag: Vec<V>,
+    rng_state: u64,
+    seq: u64,
+}
+
+impl<V> VisitorQueue<V> {
+    /// An empty queue of the given discipline.
+    pub fn new(kind: QueueKind) -> Self {
+        let rng_state = match kind {
+            // Xorshift state must be non-zero.
+            QueueKind::Adversarial { seed } => seed | 1,
+            _ => 1,
+        };
+        VisitorQueue {
+            kind,
+            fifo: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            bag: Vec::new(),
+            rng_state,
+            seq: 0,
+        }
+    }
+
+    /// The queue discipline.
+    pub fn kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // Xorshift64: cheap, deterministic, good enough for shuffling.
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    /// Enqueues `value`; `prio` is used only by the priority discipline.
+    pub fn push(&mut self, prio: u64, value: V) {
+        match self.kind {
+            QueueKind::Fifo => self.fifo.push_back(value),
+            QueueKind::Priority => {
+                let seq = self.seq;
+                self.seq += 1;
+                self.heap.push(Entry { prio, seq, value });
+            }
+            QueueKind::Adversarial { .. } => self.bag.push(value),
+        }
+    }
+
+    /// Dequeues the next visitor, or `None` when empty.
+    pub fn pop(&mut self) -> Option<V> {
+        match self.kind {
+            QueueKind::Fifo => self.fifo.pop_front(),
+            QueueKind::Priority => self.heap.pop().map(|e| e.value),
+            QueueKind::Adversarial { .. } => {
+                if self.bag.is_empty() {
+                    None
+                } else {
+                    let i = (self.next_rand() % self.bag.len() as u64) as usize;
+                    Some(self.bag.swap_remove(i))
+                }
+            }
+        }
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        match self.kind {
+            QueueKind::Fifo => self.fifo.is_empty(),
+            QueueKind::Priority => self.heap.is_empty(),
+            QueueKind::Adversarial { .. } => self.bag.is_empty(),
+        }
+    }
+
+    /// Number of queued visitors.
+    pub fn len(&self) -> usize {
+        match self.kind {
+            QueueKind::Fifo => self.fifo.len(),
+            QueueKind::Priority => self.heap.len(),
+            QueueKind::Adversarial { .. } => self.bag.len(),
+        }
+    }
+
+    /// Approximate heap footprint of the queue's buffers in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self.kind {
+            QueueKind::Fifo => self.fifo.capacity() * std::mem::size_of::<V>(),
+            QueueKind::Priority => self.heap.capacity() * std::mem::size_of::<Entry<V>>(),
+            QueueKind::Adversarial { .. } => self.bag.capacity() * std::mem::size_of::<V>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut q = VisitorQueue::new(QueueKind::Fifo);
+        q.push(9, 'a');
+        q.push(1, 'b');
+        q.push(5, 'c');
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), Some('c'));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn priority_pops_smallest_first() {
+        let mut q = VisitorQueue::new(QueueKind::Priority);
+        q.push(9, 'a');
+        q.push(1, 'b');
+        q.push(5, 'c');
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), Some('c'));
+        assert_eq!(q.pop(), Some('a'));
+    }
+
+    #[test]
+    fn priority_ties_break_by_arrival() {
+        let mut q = VisitorQueue::new(QueueKind::Priority);
+        q.push(3, 'x');
+        q.push(3, 'y');
+        q.push(3, 'z');
+        assert_eq!(q.pop(), Some('x'));
+        assert_eq!(q.pop(), Some('y'));
+        assert_eq!(q.pop(), Some('z'));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = VisitorQueue::new(QueueKind::Priority);
+        assert!(q.is_empty());
+        q.push(1, 1u32);
+        q.push(2, 2u32);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod adversarial_tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_returns_every_element() {
+        let mut q = VisitorQueue::new(QueueKind::Adversarial { seed: 7 });
+        for i in 0..100u32 {
+            q.push(0, i);
+        }
+        let mut got: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adversarial_is_deterministic_per_seed() {
+        let drain = |seed| {
+            let mut q = VisitorQueue::new(QueueKind::Adversarial { seed });
+            for i in 0..50u32 {
+                q.push(0, i);
+            }
+            std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()
+        };
+        assert_eq!(drain(3), drain(3));
+        assert_ne!(drain(3), drain(4));
+    }
+
+    #[test]
+    fn adversarial_actually_reorders() {
+        let mut q = VisitorQueue::new(QueueKind::Adversarial { seed: 11 });
+        for i in 0..50u32 {
+            q.push(0, i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_ne!(got, (0..50).collect::<Vec<_>>(), "should not be FIFO order");
+    }
+}

@@ -1,0 +1,79 @@
+//! State shared by all ranks of a [`crate::World`]: the channel registry,
+//! the barrier, the collective exchange slot, and the quiescence detector.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// One boxed `Sender<V>` slot per rank, keyed by channel tag.
+pub type ChannelSlots = Vec<Option<Box<dyn Any + Send>>>;
+
+/// Global termination-detection state for one asynchronous traversal.
+///
+/// `sent` counts remote visitors injected into channels, `received` counts
+/// remote visitors drained from channels, and `idle` counts ranks whose
+/// local queue and inbound channel are both empty. The traversal is over
+/// when all ranks are idle and `sent == received` observed stably (see
+/// [`crate::traversal`] for the double-read protocol and its argument).
+#[derive(Debug, Default)]
+pub struct Quiescence {
+    /// Remote visitors pushed into channels.
+    pub sent: AtomicU64,
+    /// Remote visitors drained from channels.
+    pub received: AtomicU64,
+    /// Ranks currently idle.
+    pub idle: AtomicUsize,
+    /// Set once by the detecting rank; all ranks exit on observing it.
+    pub done: AtomicBool,
+}
+
+impl Quiescence {
+    /// Resets for a fresh traversal. Callers must fence with barriers so no
+    /// rank is still inside the previous traversal.
+    pub fn reset(&self) {
+        self.sent.store(0, Ordering::SeqCst);
+        self.received.store(0, Ordering::SeqCst);
+        self.idle.store(0, Ordering::SeqCst);
+        self.done.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Everything the ranks of one world share.
+pub struct Shared {
+    /// Number of ranks.
+    pub num_ranks: usize,
+    /// Cyclic barrier across all ranks.
+    pub barrier: Barrier,
+    /// Channel-endpoint registry used by `Comm::open_channels`: maps a tag
+    /// to one boxed `Sender` per rank.
+    pub channel_registry: Mutex<HashMap<u64, ChannelSlots>>,
+    /// Exchange slot for collectives (reduction accumulator / broadcast
+    /// value), guarded by the collective call protocol in
+    /// [`crate::collective`].
+    pub collective_slot: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Termination detector for asynchronous traversals.
+    pub quiescence: Quiescence,
+}
+
+impl Shared {
+    /// Shared state for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        Shared {
+            num_ranks: p,
+            barrier: Barrier::new(p),
+            channel_registry: Mutex::new(HashMap::new()),
+            collective_slot: Mutex::new(None),
+            quiescence: Quiescence::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("num_ranks", &self.num_ranks)
+            .finish_non_exhaustive()
+    }
+}

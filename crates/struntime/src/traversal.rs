@@ -1,0 +1,266 @@
+//! Asynchronous vertex-centric traversal driver with message aggregation.
+//!
+//! This is the runtime's equivalent of HavoqGT's `do_traversal()`: every
+//! rank drains its inbound channel into a local [`VisitorQueue`] (FIFO or
+//! priority), invokes the user's `visit` callback on each dequeued visitor,
+//! and forwards the visitors the callback pushes — locally for owned
+//! destinations, over the channel group otherwise. Computation and
+//! communication overlap freely; there is no superstep barrier.
+//!
+//! ## Aggregation
+//!
+//! Like HavoqGT, outgoing visitors are *aggregated*: per-destination
+//! buffers fill up to [`TraversalOptions::batch_size`] and ship as one
+//! network message; whatever remains is flushed before a rank declares
+//! itself idle, so aggregation never delays quiescence indefinitely.
+//! Counters still count individual visitors, so Fig 6-style message
+//! statistics are batch-size independent. Aggregation slightly loosens the
+//! priority discipline across ranks (visitors inside a batch arrive
+//! together) — the same "light-weight and best-effort only" caveat the
+//! paper attaches to its prioritization.
+//!
+//! ## Termination
+//!
+//! Quiescence is detected with shared `sent` / `received` counters and an
+//! idle-rank count (see [`crate::shared::Quiescence`]). `sent` is bumped
+//! once per *batch* before it enters a channel and `received` when it is
+//! drained, so `sent == received` implies no batch is in flight; ranks
+//! flush their buffers before joining the idle set, so buffered visitors
+//! can never hide from the detector. Rank 0 declares termination when it
+//! observes, in order: `sent == received`, all ranks idle, and then
+//! `sent`/`received` unchanged by a second read. A rank can only leave the
+//! idle set by draining a batch, which bumps `received`; a working rank
+//! can only create obligations by bumping `sent`. Both reads bracketing
+//! the idle check being equal therefore proves no rank left idleness and
+//! no new work appeared — the system is quiescent.
+
+use crate::channels::ChannelGroup;
+use crate::queue::{QueueKind, VisitorQueue};
+use crate::Comm;
+use std::sync::atomic::Ordering::SeqCst;
+
+/// Default visitors per network batch (HavoqGT-style aggregation).
+pub const DEFAULT_BATCH_SIZE: usize = 64;
+
+/// Tuning knobs of one traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraversalOptions {
+    /// Local queue discipline.
+    pub queue: QueueKind,
+    /// Visitors per network batch (`1` disables aggregation).
+    pub batch_size: usize,
+}
+
+impl TraversalOptions {
+    /// Options with the given queue and the default batch size.
+    pub fn new(queue: QueueKind) -> Self {
+        TraversalOptions {
+            queue,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+/// Handle the `visit` callback uses to emit follow-on visitors.
+pub struct Pusher<'a, V: Send + 'static> {
+    rank: usize,
+    batch_size: usize,
+    chan: &'a ChannelGroup<Vec<V>>,
+    comm: &'a Comm,
+    local: &'a mut Vec<V>,
+    outgoing: &'a mut Vec<Vec<V>>,
+}
+
+impl<'a, V: Send + 'static> Pusher<'a, V> {
+    /// Routes visitor `v` to `dest`: the local queue when `dest` is this
+    /// rank, a (buffered) network batch otherwise.
+    pub fn push(&mut self, dest: usize, v: V) {
+        if dest == self.rank {
+            self.chan.count_local();
+            self.local.push(v);
+        } else {
+            self.outgoing[dest].push(v);
+            if self.outgoing[dest].len() >= self.batch_size {
+                flush_one(self.comm, self.chan, &mut self.outgoing[dest], dest);
+            }
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+fn flush_one<V: Send + 'static>(
+    comm: &Comm,
+    chan: &ChannelGroup<Vec<V>>,
+    buffer: &mut Vec<V>,
+    dest: usize,
+) {
+    if buffer.is_empty() {
+        return;
+    }
+    // Count the in-flight batch before it enters the channel so the
+    // quiescence detector can never observe sent < actual.
+    comm.shared().quiescence.sent.fetch_add(1, SeqCst);
+    chan.send_batch(dest, std::mem::take(buffer));
+}
+
+/// Per-rank statistics returned by [`run_traversal`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Visitors this rank processed (local + remote).
+    pub processed: u64,
+    /// Peak length of this rank's local queue.
+    pub peak_queue_len: usize,
+    /// Peak bytes held by this rank's local queue buffers.
+    pub peak_queue_bytes: usize,
+}
+
+/// Runs one asynchronous traversal to quiescence with default aggregation.
+/// Collective: every rank of the world must call it with the same channel
+/// group (by open order) and options. `init` seeds this rank's local
+/// queue; `priority` keys the priority discipline (ignored under FIFO);
+/// `visit` processes one visitor and may push more through the [`Pusher`].
+pub fn run_traversal<V, P, F>(
+    comm: &Comm,
+    chan: &ChannelGroup<Vec<V>>,
+    queue: QueueKind,
+    priority: P,
+    init: impl IntoIterator<Item = V>,
+    visit: F,
+) -> TraversalStats
+where
+    V: Send + 'static,
+    P: Fn(&V) -> u64,
+    F: FnMut(V, &mut Pusher<'_, V>),
+{
+    run_traversal_config(
+        comm,
+        chan,
+        TraversalOptions::new(queue),
+        priority,
+        init,
+        visit,
+    )
+}
+
+/// [`run_traversal`] with explicit [`TraversalOptions`].
+pub fn run_traversal_config<V, P, F>(
+    comm: &Comm,
+    chan: &ChannelGroup<Vec<V>>,
+    options: TraversalOptions,
+    priority: P,
+    init: impl IntoIterator<Item = V>,
+    mut visit: F,
+) -> TraversalStats
+where
+    V: Send + 'static,
+    P: Fn(&V) -> u64,
+    F: FnMut(V, &mut Pusher<'_, V>),
+{
+    assert!(options.batch_size >= 1, "batch size must be positive");
+    let q = &comm.shared().quiescence;
+    let p = comm.num_ranks();
+    let rank = comm.rank();
+
+    // Fresh detector state; the barriers fence off the previous traversal.
+    comm.barrier();
+    if rank == 0 {
+        q.reset();
+    }
+    comm.barrier();
+
+    let mut queue = VisitorQueue::new(options.queue);
+    for v in init {
+        let pr = priority(&v);
+        queue.push(pr, v);
+    }
+
+    let mut stats = TraversalStats::default();
+    let mut local_buf: Vec<V> = Vec::new();
+    let mut outgoing: Vec<Vec<V>> = (0..p).map(|_| Vec::new()).collect();
+    let mut idle = false;
+
+    loop {
+        // Drain the inbound channel into the local queue. Leave the idle
+        // set BEFORE acknowledging the batch: if `received` were bumped
+        // first, the detector could observe `sent == received` while this
+        // rank still counted as idle and held an unprocessed batch — a
+        // premature-termination race.
+        while let Some(batch) = chan.try_recv() {
+            if idle {
+                q.idle.fetch_sub(1, SeqCst);
+                idle = false;
+            }
+            q.received.fetch_add(1, SeqCst);
+            for v in batch {
+                let pr = priority(&v);
+                queue.push(pr, v);
+            }
+        }
+
+        if let Some(v) = queue.pop() {
+            debug_assert!(!idle, "queue cannot be non-empty while idle");
+            let mut pusher = Pusher {
+                rank,
+                batch_size: options.batch_size,
+                chan,
+                comm,
+                local: &mut local_buf,
+                outgoing: &mut outgoing,
+            };
+            visit(v, &mut pusher);
+            stats.processed += 1;
+            for nv in local_buf.drain(..) {
+                let pr = priority(&nv);
+                queue.push(pr, nv);
+            }
+            stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
+            stats.peak_queue_bytes = stats.peak_queue_bytes.max(queue.memory_bytes());
+            continue;
+        }
+
+        // Local queue dry: flush aggregation buffers before going idle so
+        // buffered visitors are visible to the quiescence detector.
+        let mut flushed = false;
+        for (dest, buffer) in outgoing.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                flush_one(comm, chan, buffer, dest);
+                flushed = true;
+            }
+        }
+        if flushed {
+            continue; // Re-check the channel before idling.
+        }
+
+        // Locally quiet: join the idle set and watch for termination.
+        if !idle {
+            q.idle.fetch_add(1, SeqCst);
+            idle = true;
+        }
+        if q.done.load(SeqCst) {
+            break;
+        }
+        if rank == 0 {
+            let s1 = q.sent.load(SeqCst);
+            let r1 = q.received.load(SeqCst);
+            if s1 == r1 && q.idle.load(SeqCst) == p {
+                let s2 = q.sent.load(SeqCst);
+                let r2 = q.received.load(SeqCst);
+                if s1 == s2 && r1 == r2 {
+                    q.done.store(true, SeqCst);
+                    break;
+                }
+            }
+        }
+        std::thread::yield_now();
+    }
+
+    comm.memory()
+        .record("visitor_queue_peak", stats.peak_queue_bytes);
+    // No rank may reset the detector (next traversal) before all have left.
+    comm.barrier();
+    stats
+}

@@ -1,0 +1,208 @@
+//! Group Steiner trees: connect at least one representative of every
+//! vertex group.
+//!
+//! Applications from the paper's citations: VLSI routing (a net must touch
+//! one pin of each pin-group) and knowledge search (an answer tree must
+//! contain one entity matching each query keyword — the SIGMOD'16 "group
+//! Steiner tree search" formulation).
+//!
+//! The solver is a two-phase reduction to the ordinary problem:
+//!
+//! 1. **Representative selection.** Augment the graph with one virtual
+//!    terminal per group, attached to each member by an edge of uniform
+//!    large weight, and run the ordinary 2-approximation. Each virtual
+//!    terminal connects through exactly the member the approximation found
+//!    cheapest in context — those members become the representatives.
+//! 2. **Final tree.** Solve the ordinary Steiner problem on the chosen
+//!    representatives in the *original* graph.
+//!
+//! This is a heuristic: group Steiner admits no constant-factor
+//! polynomial approximation (unless P = NP), so no bound is claimed; the
+//! tests check feasibility (every group touched, valid tree) and sanity
+//! against brute force on small instances.
+
+use baselines::mehlhorn;
+use stgraph::builder::GraphBuilder;
+use stgraph::csr::{CsrGraph, Vertex, Weight};
+use stgraph::error::SteinerError;
+use stgraph::steiner_tree::SteinerTree;
+
+/// Computes a feasible group Steiner tree: a tree in `g` containing at
+/// least one vertex from every group. Groups must be non-empty; a vertex
+/// may appear in several groups.
+///
+/// ```
+/// use stgraph::GraphBuilder;
+/// use stvariants::group_steiner;
+///
+/// // Path 0-1-2-3-4; keyword A matches {0, 4}, keyword B matches {1, 3}.
+/// let mut b = GraphBuilder::new(5);
+/// for i in 0..4 {
+///     b.add_edge(i, i + 1, 1);
+/// }
+/// let g = b.build();
+/// let tree = group_steiner(&g, &[vec![0, 4], vec![1, 3]]).unwrap();
+/// // Adjacent representatives (0,1) or (4,3) beat anything spanning.
+/// assert_eq!(tree.total_distance(), 1);
+/// ```
+pub fn group_steiner(g: &CsrGraph, groups: &[Vec<Vertex>]) -> Result<SteinerTree, SteinerError> {
+    if groups.is_empty() {
+        return Err(SteinerError::NoSeeds);
+    }
+    for group in groups {
+        if group.is_empty() {
+            return Err(SteinerError::NoSeeds);
+        }
+        for &v in group {
+            if v as usize >= g.num_vertices() {
+                return Err(SteinerError::SeedOutOfRange(v));
+            }
+        }
+    }
+    // Single-group fast path: any member alone is a feasible (empty) tree.
+    if groups.len() == 1 {
+        let rep = *groups[0].iter().min().expect("non-empty group");
+        return Ok(SteinerTree::new([rep], []));
+    }
+
+    // Phase 1: augmented graph with one virtual terminal per group.
+    // Attachment weight dominates any real path so virtual edges never
+    // substitute for graph structure.
+    let attach_weight: Weight = g.total_weight().min(u64::MAX as u128 / 4) as Weight + 1;
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::with_capacity(
+        n + groups.len(),
+        g.num_edges() + groups.iter().map(Vec::len).sum::<usize>(),
+    );
+    for (u, v, w) in g.undirected_edges() {
+        b.add_edge(u, v, w);
+    }
+    let mut virtual_terminals = Vec::with_capacity(groups.len());
+    for (i, group) in groups.iter().enumerate() {
+        let vt = (n + i) as Vertex;
+        virtual_terminals.push(vt);
+        for &member in group {
+            b.add_edge(vt, member, attach_weight);
+        }
+    }
+    let augmented = b.build();
+    let phase1 = mehlhorn(&augmented, &virtual_terminals)?;
+
+    // Representatives: the real endpoints of virtual-terminal edges.
+    let mut reps: Vec<Vertex> = Vec::new();
+    for &(u, v, _) in &phase1.edges {
+        let (virt, real) = if u as usize >= n { (u, v) } else { (v, u) };
+        if virt as usize >= n && (real as usize) < n {
+            reps.push(real);
+        }
+    }
+    reps.sort_unstable();
+    reps.dedup();
+    debug_assert!(
+        groups
+            .iter()
+            .all(|grp| grp.iter().any(|m| reps.binary_search(m).is_ok())),
+        "phase 1 must choose a representative per group"
+    );
+
+    // Phase 2: ordinary Steiner tree over the representatives.
+    mehlhorn(g, &reps)
+}
+
+/// Whether `tree` touches every group (feasibility check used by tests
+/// and callers).
+pub fn covers_all_groups(tree: &SteinerTree, groups: &[Vec<Vertex>]) -> bool {
+    let vertices = tree.vertices();
+    groups
+        .iter()
+        .all(|group| group.iter().any(|m| vertices.binary_search(m).is_ok()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgraph::datasets::Dataset;
+
+    fn path(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn picks_close_representatives() {
+        // Path 0..=9; groups {0, 9} and {1, 8}: picking (0,1) or (9,8)
+        // costs 1; mixing ends costs >= 7.
+        let g = path(10);
+        let t = group_steiner(&g, &[vec![0, 9], vec![1, 8]]).unwrap();
+        assert!(t.validate(&g).is_ok());
+        assert!(covers_all_groups(&t, &[vec![0, 9], vec![1, 8]]));
+        assert_eq!(t.total_distance(), 1, "must pair adjacent ends");
+    }
+
+    #[test]
+    fn single_group_needs_no_edges() {
+        let g = path(5);
+        let t = group_steiner(&g, &[vec![2, 4]]).unwrap();
+        assert_eq!(t.num_edges(), 0);
+        assert!(covers_all_groups(&t, &[vec![2, 4]]));
+    }
+
+    #[test]
+    fn singleton_groups_reduce_to_ordinary_steiner() {
+        let g = Dataset::Cts.generate_tiny(3);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 5).copied().collect();
+        let groups: Vec<Vec<Vertex>> = seeds.iter().map(|&s| vec![s]).collect();
+        let grouped = group_steiner(&g, &groups).unwrap();
+        let ordinary = mehlhorn(&g, &seeds).unwrap();
+        assert_eq!(grouped.total_distance(), ordinary.total_distance());
+    }
+
+    #[test]
+    fn feasible_on_scale_free_graphs() {
+        let g = Dataset::Mco.generate_tiny(8);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let groups: Vec<Vec<Vertex>> = (0..4)
+            .map(|i| {
+                verts
+                    .iter()
+                    .skip(i * 7)
+                    .step_by(29)
+                    .take(5)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        let t = group_steiner(&g, &groups).unwrap();
+        assert!(t.validate(&g).is_ok());
+        assert!(covers_all_groups(&t, &groups));
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let g = path(3);
+        assert!(matches!(group_steiner(&g, &[]), Err(SteinerError::NoSeeds)));
+        assert!(matches!(
+            group_steiner(&g, &[vec![0], vec![]]),
+            Err(SteinerError::NoSeeds)
+        ));
+        assert!(matches!(
+            group_steiner(&g, &[vec![0], vec![9]]),
+            Err(SteinerError::SeedOutOfRange(9))
+        ));
+    }
+
+    #[test]
+    fn overlapping_groups_can_share_a_representative() {
+        // Both groups contain vertex 2; the best tree is just {2}.
+        let g = path(5);
+        let t = group_steiner(&g, &[vec![0, 2], vec![2, 4]]).unwrap();
+        assert!(covers_all_groups(&t, &[vec![0, 2], vec![2, 4]]));
+        assert_eq!(t.total_distance(), 0);
+    }
+}

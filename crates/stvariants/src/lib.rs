@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # stvariants — Steiner problem variants
+//!
+//! The paper's related-work section (§VI) surveys the practical variants
+//! of the Steiner problem: "the Steiner arborescence, euclidean and
+//! rectilinear minimum tree, group, prize-collecting, and node-weighted
+//! Steiner tree problem". Two of them show up directly in the paper's
+//! application citations — group Steiner trees for VLSI routing and
+//! knowledge-graph search, node-weighted trees for cancer-pathway
+//! discovery — and both reduce cleanly to the ordinary edge-weighted
+//! problem this suite solves. This crate provides those reductions as
+//! documented heuristics:
+//!
+//! - [`group`]: connect at least one member of every *group* of vertices
+//!   (two-phase virtual-terminal reduction; no approximation guarantee —
+//!   group Steiner admits no constant-factor approximation unless P=NP);
+//! - [`node_weighted`]: vertices carry costs too (cost-splitting
+//!   reduction; exact when node costs are zero, heuristic otherwise).
+
+pub mod group;
+pub mod node_weighted;
+
+pub use group::group_steiner;
+pub use node_weighted::{node_weighted_steiner, NodeWeightedTree};
+
+#[cfg(test)]
+mod proptests;

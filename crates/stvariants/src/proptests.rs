@@ -1,0 +1,85 @@
+//! Property-based tests of the problem variants on random connected
+//! instances.
+
+use crate::{group_steiner, node_weighted_steiner};
+use proptest::prelude::*;
+use stgraph::builder::GraphBuilder;
+use stgraph::csr::{CsrGraph, Vertex};
+
+/// Strategy: a connected weighted graph (spanning tree + extras).
+fn arb_graph(max_n: usize, max_extra: usize) -> impl Strategy<Value = CsrGraph> {
+    (4..max_n).prop_flat_map(move |n| {
+        let tree_weights = proptest::collection::vec(1..40u64, n - 1);
+        let tree_parents: Vec<_> = (1..n).map(|v| 0..v).collect();
+        let extras =
+            proptest::collection::vec((0..n as Vertex, 0..n as Vertex, 1..40u64), 0..max_extra);
+        (tree_weights, tree_parents, extras).prop_map(move |(tw, tp, extras)| {
+            let mut b = GraphBuilder::new(n);
+            for (v, (&w, &p)) in tw.iter().zip(tp.iter()).enumerate() {
+                b.add_edge((v + 1) as Vertex, p as Vertex, w);
+            }
+            for (u, v, w) in extras {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Group Steiner always returns a feasible, valid tree whose distance
+    /// never beats the best single-representative-combination lower bound
+    /// checked via the exact solver on the chosen representatives.
+    #[test]
+    fn group_steiner_is_feasible(
+        g in arb_graph(16, 20),
+        raw_groups in proptest::collection::vec(
+            proptest::collection::hash_set(0u32..16, 1..4), 1..4),
+    ) {
+        let n = g.num_vertices() as u32;
+        let groups: Vec<Vec<u32>> = raw_groups
+            .into_iter()
+            .map(|s| s.into_iter().map(|v| v % n).collect::<Vec<_>>())
+            .collect();
+        let tree = group_steiner(&g, &groups).unwrap();
+        prop_assert!(tree.validate(&g).is_ok(), "{:?}", tree.validate(&g));
+        prop_assert!(crate::group::covers_all_groups(&tree, &groups));
+        // The representatives' exact optimum lower-bounds the phase-2 tree.
+        if tree.seeds.len() >= 2 && tree.seeds.len() <= 8 {
+            let opt = baselines::dreyfus_wagner(&g, &tree.seeds)
+                .unwrap()
+                .total_distance();
+            prop_assert!(tree.total_distance() >= opt);
+            let bound = 2.0 * opt as f64 + 1e-9;
+            prop_assert!((tree.total_distance() as f64) <= bound);
+        }
+    }
+
+    /// Node-weighted solutions are valid trees; with zero costs the edge
+    /// cost is within the 2-approx family of the exact optimum.
+    #[test]
+    fn node_weighted_is_sound(
+        g in arb_graph(14, 16),
+        raw_seeds in proptest::collection::hash_set(0u32..14, 2..5),
+        cost_scale in 0u64..30,
+    ) {
+        let n = g.num_vertices() as u32;
+        let mut seeds: Vec<u32> = raw_seeds.into_iter().map(|v| v % n).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        if seeds.len() < 2 {
+            return Ok(());
+        }
+        let costs: Vec<u64> = (0..n as u64).map(|v| (v * 7) % (cost_scale + 1)).collect();
+        let r = node_weighted_steiner(&g, &costs, &seeds).unwrap();
+        prop_assert!(r.tree.validate(&g).is_ok(), "{:?}", r.tree.validate(&g));
+        prop_assert_eq!(r.edge_cost, r.tree.total_distance());
+        let node_sum: u64 = r.tree.vertices().iter().map(|&v| costs[v as usize]).sum();
+        prop_assert_eq!(r.node_cost, node_sum);
+        prop_assert_eq!(r.total_cost(), r.edge_cost + r.node_cost);
+    }
+}

@@ -1,0 +1,97 @@
+//! Interactive relationship exploration: the paper's §I workflow where "a
+//! user will interact with such computation in various ways ... adding or
+//! removing classes of edges and/or vertices and adjusting edge distance
+//! functions based on investigating the output".
+//!
+//! This example emulates three interaction rounds on a social-graph
+//! analogue: (1) initial solve, (2) re-weight a "relationship class" the
+//! user distrusts (making those edges expensive), (3) delete the most
+//! load-bearing Steiner vertex and re-solve — each round re-running the
+//! solver fast enough for interactivity.
+//!
+//! Run: `cargo run --release --example interactive_exploration`
+
+use steiner::{solve, SolveReport, SolverConfig};
+use stgraph::datasets::Dataset;
+use stgraph::{CsrGraph, GraphBuilder};
+
+fn resolve(graph: &CsrGraph, seeds: &[u32]) -> SolveReport {
+    let config = SolverConfig {
+        num_ranks: 2,
+        ..SolverConfig::default()
+    };
+    solve(graph, seeds, &config).expect("seeds connected")
+}
+
+fn describe(round: &str, report: &SolveReport) {
+    println!(
+        "{round}: distance {:>8}, {:>3} edges, {:>3} steiner vertices, solved in {:?}",
+        report.tree.total_distance(),
+        report.tree.num_edges(),
+        report.tree.steiner_vertices().len(),
+        report.time_to_solution()
+    );
+}
+
+fn main() {
+    let graph = Dataset::Lvj.generate_tiny(7);
+    let seeds = seeds::select(&graph, 12, seeds::Strategy::BfsLevel, 5);
+    println!(
+        "social graph: {} users, {} ties; exploring connections among {:?}\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        seeds
+    );
+
+    // Round 1: the initial picture.
+    let round1 = resolve(&graph, &seeds);
+    describe("round 1 (initial)      ", &round1);
+
+    // Round 2: the user distrusts "weak ties" — edges above the median
+    // weight — and triples their distance to push the tree onto strong
+    // relationships.
+    let mut weights: Vec<u64> = graph.undirected_edges().map(|(_, _, w)| w).collect();
+    weights.sort_unstable();
+    let median = weights[weights.len() / 2];
+    let mut b = GraphBuilder::with_capacity(graph.num_vertices(), graph.num_edges());
+    for (u, v, w) in graph.undirected_edges() {
+        let adjusted = if w > median { w * 3 } else { w };
+        b.add_edge(u, v, adjusted);
+    }
+    let reweighted = b.build();
+    let round2 = resolve(&reweighted, &seeds);
+    describe("round 2 (weak ties x3) ", &round2);
+
+    // Round 3: the user removes the most-connected Steiner vertex in the
+    // current tree ("what if this intermediary disappears?").
+    let tree = &round2.tree;
+    let hub = *tree
+        .steiner_vertices()
+        .iter()
+        .max_by_key(|&&v| reweighted.degree(v))
+        .expect("tree uses steiner vertices");
+    let mut b = GraphBuilder::with_capacity(reweighted.num_vertices(), reweighted.num_edges());
+    for (u, v, w) in reweighted.undirected_edges() {
+        if u != hub && v != hub {
+            b.add_edge(u, v, w);
+        }
+    }
+    let without_hub = b.build();
+    match solve(
+        &without_hub,
+        &seeds,
+        &SolverConfig {
+            num_ranks: 2,
+            ..SolverConfig::default()
+        },
+    ) {
+        Ok(round3) => {
+            describe(&format!("round 3 (drop hub {hub:>3})"), &round3);
+            println!(
+                "\nremoving hub {hub} cost {} extra distance — the graph routed around it",
+                round3.tree.total_distance() as i64 - round2.tree.total_distance() as i64
+            );
+        }
+        Err(e) => println!("round 3: removing hub {hub} disconnected the seeds ({e})"),
+    }
+}

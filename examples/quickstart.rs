@@ -1,0 +1,61 @@
+//! Quickstart: build a weighted graph, pick seed vertices, and compute a
+//! 2-approximate Steiner minimal tree with the distributed solver.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use steiner::{solve, SolverConfig};
+use stgraph::GraphBuilder;
+
+fn main() {
+    // A small road-network-like graph: two clusters joined by a bridge,
+    // plus a shortcut hub. Weights are travel costs.
+    let mut b = GraphBuilder::new(10);
+    b.extend_edges([
+        // Cluster A: 0-1-2 triangle.
+        (0, 1, 3),
+        (1, 2, 4),
+        (0, 2, 5),
+        // Cluster B: 6-7-8 triangle.
+        (6, 7, 3),
+        (7, 8, 4),
+        (6, 8, 5),
+        // Bridge through 3-4-5.
+        (2, 3, 2),
+        (3, 4, 2),
+        (4, 5, 2),
+        (5, 6, 2),
+        // Hub 9 shortcuts the middle.
+        (3, 9, 1),
+        (9, 5, 1),
+    ]);
+    let graph = b.build();
+
+    // The user's entities of interest (terminals).
+    let seeds = vec![0, 8, 4];
+
+    let config = SolverConfig {
+        num_ranks: 2, // simulated "MPI processes"
+        ..SolverConfig::default()
+    };
+    let report = solve(&graph, &seeds, &config).expect("seeds are connected");
+
+    println!("Steiner tree for seeds {seeds:?}:");
+    for &(u, v, w) in &report.tree.edges {
+        println!("  {u} -- {v}  (weight {w})");
+    }
+    println!("total distance D(G_S) = {}", report.tree.total_distance());
+    println!(
+        "steiner (non-seed) vertices used: {:?}",
+        report.tree.steiner_vertices()
+    );
+    println!();
+    println!("phase breakdown:");
+    for (phase, time) in report.phase_times.iter() {
+        println!("  {:<16} {time:?}", phase.name());
+    }
+    println!();
+    println!("graphviz:\n{}", report.tree.to_dot());
+
+    // Every returned tree passes full validation against the graph.
+    report.tree.validate(&graph).expect("valid Steiner tree");
+}

@@ -1,0 +1,109 @@
+//! VLSI net routing with group Steiner trees — the paper's first-cited
+//! application domain (§I refs [4], [5]: "class steiner trees and
+//! vlsi-design", wirelength estimation for placement).
+//!
+//! A chip is a routing grid; a *net* must electrically connect one pin
+//! from each of its pin-groups (equivalent pins of a macro are a group).
+//! Wirelength is the routing metric, and the group Steiner tree is the
+//! canonical wirelength estimator. This example routes three nets on a
+//! congestion-weighted grid and reports wirelength against the naive
+//! bounding-box (HPWL) estimate.
+//!
+//! Run: `cargo run --release --example vlsi_routing`
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stgraph::generators::grid2d;
+use stgraph::GraphBuilder;
+use stvariants::{group::covers_all_groups, group_steiner};
+
+const COLS: usize = 24;
+const ROWS: usize = 24;
+
+fn id(r: usize, c: usize) -> u32 {
+    (r * COLS + c) as u32
+}
+
+fn pos(v: u32) -> (usize, usize) {
+    ((v as usize) / COLS, (v as usize) % COLS)
+}
+
+fn main() {
+    // Routing fabric: a grid whose edge weights model congestion (center
+    // tracks are busier, so they cost more).
+    let mut rng = ChaCha8Rng::seed_from_u64(1889); // first Steiner paper
+    let mut b = GraphBuilder::new(ROWS * COLS);
+    for (u, v) in grid2d(ROWS, COLS) {
+        let (r1, c1) = pos(u);
+        let center =
+            ((r1 as f64 - ROWS as f64 / 2.0).abs() + (c1 as f64 - COLS as f64 / 2.0).abs()) as u64;
+        let congestion = (ROWS as u64).saturating_sub(center) / 4;
+        b.add_edge(u, v, 1 + congestion + rng.gen_range(0..2));
+    }
+    let fabric = b.build();
+    println!(
+        "routing fabric: {ROWS}x{COLS} grid, {} tracks, congestion-weighted",
+        fabric.num_edges()
+    );
+
+    // Three nets; each pin-group lists electrically equivalent pins.
+    let nets: Vec<(&str, Vec<Vec<u32>>)> = vec![
+        (
+            "clk",
+            vec![
+                vec![id(0, 0), id(1, 0)],     // driver corner
+                vec![id(0, 23), id(1, 23)],   // NE sink
+                vec![id(23, 0), id(22, 0)],   // SW sink
+                vec![id(23, 23), id(22, 23)], // SE sink
+            ],
+        ),
+        (
+            "data0",
+            vec![
+                vec![id(4, 4)],
+                vec![id(4, 19), id(5, 19)],
+                vec![id(12, 12), id(12, 13), id(13, 12)],
+            ],
+        ),
+        (
+            "rst",
+            vec![
+                vec![id(20, 2), id(20, 3)],
+                vec![id(2, 20)],
+                vec![id(10, 21), id(11, 21)],
+                vec![id(18, 18)],
+            ],
+        ),
+    ];
+
+    println!(
+        "\n{:<6} {:>6} {:>11} {:>12} {:>7}",
+        "net", "pins", "wirelength", "HPWL bound", "ratio"
+    );
+    for (name, groups) in &nets {
+        let tree = group_steiner(&fabric, groups).expect("routable");
+        assert!(covers_all_groups(&tree, groups), "net must touch all pins");
+        tree.validate(&fabric).expect("valid route");
+
+        // Half-perimeter wirelength of the chosen pins: the classic quick
+        // estimate that Steiner routing refines.
+        let chosen: Vec<(usize, usize)> = tree.seeds.iter().map(|&s| pos(s)).collect();
+        let (mut rmin, mut rmax, mut cmin, mut cmax) = (usize::MAX, 0, usize::MAX, 0);
+        for &(r, c) in &chosen {
+            rmin = rmin.min(r);
+            rmax = rmax.max(r);
+            cmin = cmin.min(c);
+            cmax = cmax.max(c);
+        }
+        let hpwl = (rmax - rmin) + (cmax - cmin);
+        println!(
+            "{name:<6} {:>6} {:>11} {:>12} {:>6.2}x",
+            groups.len(),
+            tree.total_distance(),
+            hpwl,
+            tree.total_distance() as f64 / hpwl.max(1) as f64
+        );
+    }
+    println!("\n(wirelength > HPWL because HPWL ignores congestion weighting and");
+    println!("multi-pin branching; the Steiner route is the achievable estimate)");
+}

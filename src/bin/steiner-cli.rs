@@ -1,0 +1,389 @@
+//! `steiner-cli` — command-line front end to the suite.
+//!
+//! ```text
+//! steiner-cli generate --dataset LVJ --out graph.bin [--tiny] [--seed N]
+//! steiner-cli stats    --graph graph.bin
+//! steiner-cli solve    --graph graph.bin (--seeds 1,2,3 | --select K[:STRATEGY])
+//!                      [--ranks P] [--queue fifo|priority] [--refine]
+//!                      [--improve ROUNDS] [--dot out.dot]
+//! steiner-cli compare  --graph graph.bin --select K[:STRATEGY]
+//! ```
+//!
+//! Strategies: bfs-level (default), uniform-random, eccentric, proximate.
+
+use baselines::{kmb, mehlhorn, takahashi, www};
+use seeds::Strategy;
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+use steiner::interactive::InteractiveSession;
+use steiner::{solve, QueueKind, SolverConfig};
+use stgraph::csr::{CsrGraph, Vertex};
+use stgraph::datasets::Dataset;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  steiner-cli generate --dataset NAME --out FILE [--tiny] [--seed N]
+  steiner-cli stats    --graph FILE
+  steiner-cli solve    --graph FILE (--seeds A,B,C | --select K[:STRATEGY])
+                       [--ranks P] [--queue fifo|priority] [--refine]
+                       [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
+  steiner-cli compare  --graph FILE --select K[:STRATEGY]
+  steiner-cli repl     --graph FILE [--select K[:STRATEGY]]
+
+repl commands: add V | remove V | seeds | tree | dot FILE | help | quit
+
+datasets: WDC CLW UKW FRS LVJ PTN MCO CTS
+strategies: bfs-level uniform-random eccentric proximate";
+
+/// Splits `args` into a flag map; boolean flags map to an empty string.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        let boolean = matches!(name, "tiny" | "refine");
+        if boolean {
+            flags.insert(name.to_string(), String::new());
+            i += 1;
+        } else {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), v.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "solve" => cmd_solve(&flags),
+        "compare" => cmd_compare(&flags),
+        "repl" => cmd_repl(&flags),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn dataset_by_name(name: &str) -> Result<Dataset, String> {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name:?}"))
+}
+
+fn strategy_by_name(name: &str) -> Result<Strategy, String> {
+    Strategy::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| format!("unknown strategy {name:?}"))
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Result<CsrGraph, String> {
+    let path = flags.get("graph").ok_or("--graph is required")?;
+    stgraph::io::load_binary(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn seeds_from_flags(g: &CsrGraph, flags: &HashMap<String, String>) -> Result<Vec<Vertex>, String> {
+    if let Some(list) = flags.get("seeds") {
+        return list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<Vertex>()
+                    .map_err(|_| format!("bad seed {t:?}"))
+            })
+            .collect();
+    }
+    if let Some(spec) = flags.get("select") {
+        let (k_str, strat_str) = match spec.split_once(':') {
+            Some((k, s)) => (k, s),
+            None => (spec.as_str(), "bfs-level"),
+        };
+        let k: usize = k_str
+            .parse()
+            .map_err(|_| format!("bad seed count {k_str:?}"))?;
+        let strategy = strategy_by_name(strat_str)?;
+        let rng_seed = flag_num(flags, "seed", 1)?;
+        return Ok(seeds::select(g, k, strategy, rng_seed));
+    }
+    Err("need --seeds or --select".into())
+}
+
+fn flag_num(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{name} value {v:?}")),
+    }
+}
+
+fn rank_count(flags: &HashMap<String, String>) -> Result<usize, String> {
+    let ranks = flag_num(flags, "ranks", 4)?;
+    if ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    Ok(ranks as usize)
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = dataset_by_name(flags.get("dataset").ok_or("--dataset is required")?)?;
+    let out = flags.get("out").ok_or("--out is required")?;
+    let seed = flag_num(flags, "seed", 1)?;
+    let g = if flags.contains_key("tiny") {
+        dataset.generate_tiny(seed)
+    } else {
+        dataset.generate(seed)
+    };
+    stgraph::io::save_binary(&g, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} analogue: {} vertices, {} edges -> {out}",
+        dataset.name(),
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let s = stgraph::stats::GraphStats::of(&g);
+    let cc = stgraph::traversal::connected_components(&g);
+    println!("vertices      {}", s.num_vertices);
+    println!("arcs (2|E|)   {}", s.num_arcs);
+    println!("max degree    {}", s.max_degree);
+    println!("avg degree    {:.2}", s.avg_degree);
+    println!("weight range  [{}, {}]", s.weight_range.0, s.weight_range.1);
+    println!("memory        {} bytes", s.memory_bytes);
+    println!("components    {}", cc.num_components);
+    println!("largest comp  {} vertices", cc.sizes[cc.largest() as usize]);
+    Ok(())
+}
+
+fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let seeds = seeds_from_flags(&g, flags)?;
+    let queue = match flags.get("queue").map(String::as_str) {
+        None | Some("priority") => QueueKind::Priority,
+        Some("fifo") => QueueKind::Fifo,
+        Some(other) => return Err(format!("unknown queue {other:?}")),
+    };
+    let config = SolverConfig {
+        num_ranks: rank_count(flags)?,
+        queue,
+        refine: flags.contains_key("refine"),
+        ..SolverConfig::default()
+    };
+    let t = Instant::now();
+    let report = solve(&g, &seeds, &config).map_err(|e| e.to_string())?;
+    let wall = t.elapsed();
+    let mut tree = report.tree.clone();
+
+    let improve_rounds = flag_num(flags, "improve", 0)? as usize;
+    if improve_rounds > 0 {
+        let improved = baselines::key_path_improve(&g, &tree, improve_rounds);
+        println!(
+            "key-path improvement: {} exchanges saved {}",
+            improved.exchanges, improved.saved
+        );
+        tree = improved.tree;
+    }
+
+    println!("seeds          {}", seeds.len());
+    println!("tree edges     {}", tree.num_edges());
+    println!("total distance {}", tree.total_distance());
+    println!("steiner verts  {}", tree.steiner_vertices().len());
+    println!("wall time      {wall:?}");
+    println!("phase breakdown (max across {} ranks):", config.num_ranks);
+    for (phase, time) in report.phase_times.iter() {
+        println!("  {:<16} {time:?}", phase.name());
+    }
+    if let Some(dot) = flags.get("dot") {
+        std::fs::write(dot, tree.to_dot()).map_err(|e| format!("writing {dot}: {e}"))?;
+        println!("wrote {dot}");
+    }
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, tree.to_text()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    tree.validate(&g)
+        .map_err(|e| format!("internal: invalid tree: {e}"))?;
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let seeds = seeds_from_flags(&g, flags)?;
+    println!(
+        "{:<22} {:>12} {:>10} {:>12}",
+        "algorithm", "distance", "edges", "time"
+    );
+    let run = |name: &str, f: &dyn Fn() -> Result<stgraph::SteinerTree, String>| {
+        let t = Instant::now();
+        match f() {
+            Ok(tree) => println!(
+                "{name:<22} {:>12} {:>10} {:>12?}",
+                tree.total_distance(),
+                tree.num_edges(),
+                t.elapsed()
+            ),
+            Err(e) => println!("{name:<22} failed: {e}"),
+        }
+    };
+    run("takahashi", &|| {
+        takahashi(&g, &seeds).map_err(|e| e.to_string())
+    });
+    run("kmb", &|| kmb(&g, &seeds).map_err(|e| e.to_string()));
+    run("www", &|| www(&g, &seeds).map_err(|e| e.to_string()));
+    run("mehlhorn", &|| {
+        mehlhorn(&g, &seeds).map_err(|e| e.to_string())
+    });
+    let cfg = SolverConfig {
+        num_ranks: rank_count(flags)?,
+        ..SolverConfig::default()
+    };
+    run("distributed", &|| {
+        solve(&g, &seeds, &cfg)
+            .map(|r| r.tree)
+            .map_err(|e| e.to_string())
+    });
+    run("distributed+refine", &|| {
+        solve(
+            &g,
+            &seeds,
+            &SolverConfig {
+                refine: true,
+                ..cfg
+            },
+        )
+        .map(|r| r.tree)
+        .map_err(|e| e.to_string())
+    });
+    if seeds.len() <= 10 {
+        run("exact (dreyfus-wagner)", &|| {
+            baselines::dreyfus_wagner(&g, &seeds).map_err(|e| e.to_string())
+        });
+    } else {
+        match baselines::steiner_lower_bound(&g, &seeds) {
+            Ok(lb) => println!("{:<22} {lb:>12} (certified lower bound)", "optimum >="),
+            Err(e) => println!("lower bound failed: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let initial = if flags.contains_key("seeds") || flags.contains_key("select") {
+        seeds_from_flags(&g, flags)?
+    } else {
+        Vec::new()
+    };
+    let mut session = InteractiveSession::new(&g, &initial).map_err(|e| e.to_string())?;
+    println!(
+        "interactive session: {} vertices, {} edges, {} seeds; type `help`",
+        g.num_vertices(),
+        g.num_edges(),
+        session.seeds().len()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        use std::io::BufRead;
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            break; // EOF
+        }
+        let mut it = line.split_whitespace();
+        let Some(cmd) = it.next() else { continue };
+        let outcome = match cmd {
+            "quit" | "exit" => break,
+            "help" => {
+                println!("commands: add V | remove V | seeds | tree | dot FILE | quit");
+                Ok(())
+            }
+            "seeds" => {
+                println!("{:?}", session.seeds());
+                Ok(())
+            }
+            "add" | "remove" => match it.next().and_then(|t| t.parse::<Vertex>().ok()) {
+                None => Err(format!("{cmd} needs a vertex id")),
+                Some(v) => {
+                    let t = Instant::now();
+                    let res = if cmd == "add" {
+                        session.add_seed(v)
+                    } else {
+                        session.remove_seed(v)
+                    };
+                    res.map(|stats| {
+                        println!(
+                            "{cmd} {v}: relabeled {} vertices in {:?}",
+                            stats.relabeled,
+                            t.elapsed()
+                        );
+                    })
+                    .map_err(|e| e.to_string())
+                }
+            },
+            "tree" => {
+                let t = Instant::now();
+                match session.tree() {
+                    Ok(tree) => {
+                        let m = tree.metrics();
+                        println!(
+                            "tree: distance {} | {} edges | {} steiner vertices | \
+                             diameter {} | built in {:?}",
+                            m.total_distance,
+                            m.num_edges,
+                            m.steiner_vertices,
+                            m.weighted_diameter,
+                            t.elapsed()
+                        );
+                        Ok(())
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "dot" => match it.next() {
+                None => Err("dot needs a file path".into()),
+                Some(path) => session
+                    .tree()
+                    .map_err(|e| e.to_string())
+                    .and_then(|tree| std::fs::write(path, tree.to_dot()).map_err(|e| e.to_string()))
+                    .map(|()| println!("wrote {path}")),
+            },
+            other => Err(format!("unknown command {other:?} (try `help`)")),
+        };
+        if let Err(e) = outcome {
+            println!("error: {e}");
+        }
+    }
+    Ok(())
+}

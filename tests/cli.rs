@@ -1,0 +1,159 @@
+//! Black-box tests of the `steiner-cli` binary: every subcommand driven
+//! end-to-end through a real process, including the interactive REPL fed
+//! over stdin.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_steiner-cli"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "steiner-cli-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn generate_graph(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("g.bin");
+    let out = cli()
+        .args([
+            "generate",
+            "--dataset",
+            "CTS",
+            "--out",
+            path.to_str().unwrap(),
+            "--tiny",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+#[test]
+fn generate_and_stats_roundtrip() {
+    let dir = tempdir();
+    let graph = generate_graph(&dir);
+    let out = cli()
+        .args(["stats", "--graph", graph.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vertices      512"), "{text}");
+    assert!(text.contains("components"), "{text}");
+}
+
+#[test]
+fn solve_reports_tree_and_phases() {
+    let dir = tempdir();
+    let graph = generate_graph(&dir);
+    let dot = dir.join("tree.dot");
+    let out = cli()
+        .args([
+            "solve",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--select",
+            "8",
+            "--ranks",
+            "2",
+            "--improve",
+            "5",
+            "--dot",
+            dot.to_str().unwrap(),
+            "--out",
+            dir.join("tree.txt").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total distance"), "{text}");
+    assert!(text.contains("voronoi"), "{text}");
+    let dot_text = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(dot_text.starts_with("graph steiner_tree"));
+    let tree_text = std::fs::read_to_string(dir.join("tree.txt")).expect("tree written");
+    let parsed = stgraph::SteinerTree::from_text(&tree_text).expect("parseable");
+    assert!(parsed.num_edges() > 0);
+}
+
+#[test]
+fn compare_lists_all_algorithms() {
+    let dir = tempdir();
+    let graph = generate_graph(&dir);
+    let out = cli()
+        .args([
+            "compare",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--select",
+            "6",
+            "--ranks",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for algo in [
+        "takahashi",
+        "kmb",
+        "www",
+        "mehlhorn",
+        "distributed",
+        "exact",
+    ] {
+        assert!(text.contains(algo), "missing {algo} in:\n{text}");
+    }
+}
+
+#[test]
+fn repl_executes_scripted_session() {
+    let dir = tempdir();
+    let graph = generate_graph(&dir);
+    let mut child = cli()
+        .args(["repl", "--graph", graph.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"add 1\nadd 100\ntree\nbogus\nseeds\nremove 100\nquit\n")
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("add 1: relabeled"), "{text}");
+    assert!(text.contains("tree: distance"), "{text}");
+    assert!(text.contains("error: unknown command"), "{text}");
+    assert!(text.contains("[1, 100]"), "{text}");
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = cli().args(["solve"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+
+    let out = cli().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+}

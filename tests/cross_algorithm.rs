@@ -1,0 +1,148 @@
+//! Cross-algorithm agreement: the exact solver, the three sequential
+//! 2-approximations, the certified lower bound, and the distributed solver
+//! must relate to each other exactly as theory dictates.
+
+use baselines::{dreyfus_wagner, kmb, mehlhorn, steiner_lower_bound, www};
+use steiner::{solve, SolverConfig};
+use stgraph::datasets::Dataset;
+use stgraph::GraphBuilder;
+
+fn instance(seed: u64, k: usize) -> (stgraph::CsrGraph, Vec<u32>) {
+    let g = Dataset::Cts.generate_tiny(seed);
+    let cc = stgraph::traversal::connected_components(&g);
+    let verts = cc.largest_component_vertices();
+    let seeds: Vec<u32> = verts.iter().step_by(verts.len() / k).copied().collect();
+    (g, seeds)
+}
+
+#[test]
+fn ordering_exact_lb_and_approximations() {
+    for seed in 0..6u64 {
+        let (g, seeds) = instance(seed, 6);
+        let opt = dreyfus_wagner(&g, &seeds).unwrap().total_distance();
+        let lb = steiner_lower_bound(&g, &seeds).unwrap();
+        assert!(lb <= opt, "instance {seed}: lb {lb} > opt {opt}");
+
+        let bound = 2.0 * (1.0 - 1.0 / seeds.len() as f64) * opt as f64 + 1e-9;
+        let cfg = SolverConfig {
+            num_ranks: 3,
+            ..SolverConfig::default()
+        };
+        for (name, d) in [
+            ("kmb", kmb(&g, &seeds).unwrap().total_distance()),
+            ("www", www(&g, &seeds).unwrap().total_distance()),
+            ("mehlhorn", mehlhorn(&g, &seeds).unwrap().total_distance()),
+            (
+                "distributed",
+                solve(&g, &seeds, &cfg).unwrap().tree.total_distance(),
+            ),
+        ] {
+            assert!(d >= opt, "instance {seed}: {name} {d} beat optimum {opt}");
+            assert!(
+                (d as f64) <= bound,
+                "instance {seed}: {name} {d} broke bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_seeds_all_algorithms_find_shortest_path() {
+    // With |S| = 2 every algorithm must return exactly a shortest path.
+    let mut b = GraphBuilder::new(6);
+    b.extend_edges([
+        (0, 1, 2),
+        (1, 2, 2),
+        (2, 5, 2), // cheap route: 6
+        (0, 3, 3),
+        (3, 4, 3),
+        (4, 5, 3), // expensive route: 9
+        (0, 5, 100),
+    ]);
+    let g = b.build();
+    let seeds = [0u32, 5];
+    let cfg = SolverConfig {
+        num_ranks: 2,
+        ..SolverConfig::default()
+    };
+    assert_eq!(dreyfus_wagner(&g, &seeds).unwrap().total_distance(), 6);
+    assert_eq!(kmb(&g, &seeds).unwrap().total_distance(), 6);
+    assert_eq!(www(&g, &seeds).unwrap().total_distance(), 6);
+    assert_eq!(mehlhorn(&g, &seeds).unwrap().total_distance(), 6);
+    assert_eq!(solve(&g, &seeds, &cfg).unwrap().tree.total_distance(), 6);
+}
+
+#[test]
+fn all_vertices_as_seeds_reduces_to_mst() {
+    // With S = V, the Steiner minimal tree is the graph's MST.
+    let mut b = GraphBuilder::new(5);
+    b.extend_edges([
+        (0, 1, 1),
+        (1, 2, 2),
+        (2, 3, 3),
+        (3, 4, 4),
+        (0, 4, 100),
+        (0, 2, 50),
+        (1, 3, 50),
+    ]);
+    let g = b.build();
+    let seeds: Vec<u32> = (0..5).collect();
+    let mst_weight = 1 + 2 + 3 + 4;
+    let cfg = SolverConfig {
+        num_ranks: 2,
+        ..SolverConfig::default()
+    };
+    for d in [
+        dreyfus_wagner(&g, &seeds).unwrap().total_distance(),
+        kmb(&g, &seeds).unwrap().total_distance(),
+        www(&g, &seeds).unwrap().total_distance(),
+        mehlhorn(&g, &seeds).unwrap().total_distance(),
+        solve(&g, &seeds, &cfg).unwrap().tree.total_distance(),
+    ] {
+        assert_eq!(d, mst_weight);
+    }
+}
+
+#[test]
+fn refinement_brings_distributed_to_sequential_quality() {
+    for seed in 0..4u64 {
+        let (g, seeds) = instance(seed + 40, 8);
+        let refined = solve(
+            &g,
+            &seeds,
+            &SolverConfig {
+                num_ranks: 3,
+                refine: true,
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap()
+        .tree
+        .total_distance();
+        let seq = mehlhorn(&g, &seeds).unwrap().total_distance();
+        let gap = refined.abs_diff(seq) as f64 / seq as f64;
+        assert!(
+            gap < 0.15,
+            "instance {seed}: refined {refined} vs mehlhorn {seq}"
+        );
+    }
+}
+
+#[test]
+fn steiner_vertices_actually_help() {
+    // The hub-star instance: the optimum must pass through the non-seed
+    // hub; algorithms forbidden from Steiner vertices would pay 8, not 6.
+    let mut b = GraphBuilder::new(4);
+    b.extend_edges([
+        (0, 1, 4),
+        (1, 2, 4),
+        (0, 2, 4),
+        (0, 3, 2),
+        (1, 3, 2),
+        (2, 3, 2),
+    ]);
+    let g = b.build();
+    let t = dreyfus_wagner(&g, &[0, 1, 2]).unwrap();
+    assert_eq!(t.total_distance(), 6);
+    assert_eq!(t.steiner_vertices(), vec![3]);
+}

@@ -1,0 +1,96 @@
+//! Reproducibility guarantees: identical inputs produce identical outputs
+//! across repeated runs, configurations, and serialization round-trips.
+
+use steiner::{solve, SolverConfig};
+use stgraph::datasets::Dataset;
+
+#[test]
+fn repeated_solves_are_identical() {
+    let g = Dataset::Ptn.generate_tiny(3);
+    let seeds = seeds::select(&g, 12, seeds::Strategy::BfsLevel, 5);
+    let cfg = SolverConfig {
+        num_ranks: 4,
+        ..SolverConfig::default()
+    };
+    let first = solve(&g, &seeds, &cfg).unwrap().tree;
+    for _ in 0..5 {
+        // Asynchronous message timing varies run to run; the strict-label
+        // fixpoint must absorb it completely.
+        assert_eq!(solve(&g, &seeds, &cfg).unwrap().tree, first);
+    }
+}
+
+#[test]
+fn dataset_generation_is_stable_across_calls() {
+    for dataset in Dataset::ALL {
+        let a = dataset.generate_tiny(77);
+        let b = dataset.generate_tiny(77);
+        assert_eq!(
+            a.undirected_edges().collect::<Vec<_>>(),
+            b.undirected_edges().collect::<Vec<_>>(),
+            "{}",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn seed_selection_is_stable() {
+    let g = Dataset::Mco.generate_tiny(1);
+    for strategy in seeds::Strategy::ALL {
+        assert_eq!(
+            seeds::select(&g, 15, strategy, 9),
+            seeds::select(&g, 15, strategy, 9),
+            "{}",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn binary_roundtrip_preserves_solution() {
+    let g = Dataset::Cts.generate_tiny(2);
+    let seeds = seeds::select(&g, 8, seeds::Strategy::UniformRandom, 3);
+    let cfg = SolverConfig {
+        num_ranks: 2,
+        ..SolverConfig::default()
+    };
+    let before = solve(&g, &seeds, &cfg).unwrap().tree;
+
+    let mut buf = Vec::new();
+    stgraph::io::write_binary(&g, &mut buf).unwrap();
+    let g2 = stgraph::io::read_binary(&buf[..]).unwrap();
+    let after = solve(&g2, &seeds, &cfg).unwrap().tree;
+    assert_eq!(before, after);
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_solution() {
+    let g = Dataset::Cts.generate_tiny(4);
+    let seeds = seeds::select(&g, 6, seeds::Strategy::BfsLevel, 1);
+    let cfg = SolverConfig {
+        num_ranks: 2,
+        ..SolverConfig::default()
+    };
+    let before = solve(&g, &seeds, &cfg).unwrap().tree;
+
+    let mut buf = Vec::new();
+    stgraph::io::write_edge_list(&g, &mut buf).unwrap();
+    let g2 = stgraph::io::read_edge_list(&buf[..]).unwrap();
+    let after = solve(&g2, &seeds, &cfg).unwrap().tree;
+    assert_eq!(before, after);
+}
+
+#[test]
+fn dot_export_is_deterministic() {
+    let g = Dataset::Mco.generate_tiny(6);
+    let seeds = seeds::select(&g, 6, seeds::Strategy::BfsLevel, 2);
+    let cfg = SolverConfig {
+        num_ranks: 3,
+        ..SolverConfig::default()
+    };
+    let a = solve(&g, &seeds, &cfg).unwrap().tree.to_dot();
+    let b = solve(&g, &seeds, &cfg).unwrap().tree.to_dot();
+    assert_eq!(a, b);
+    assert!(a.starts_with("graph steiner_tree {"));
+}

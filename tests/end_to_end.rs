@@ -1,0 +1,135 @@
+//! End-to-end integration: dataset generation → seed selection →
+//! distributed solve → validation, across every dataset analogue.
+
+use steiner::{solve, QueueKind, SolverConfig};
+use stgraph::datasets::Dataset;
+
+fn seeds_for(g: &stgraph::CsrGraph, k: usize) -> Vec<u32> {
+    let cc = stgraph::traversal::connected_components(g);
+    let cap = cc.sizes[cc.largest() as usize] / 2;
+    seeds::select(g, k.min(cap.max(2)), seeds::Strategy::BfsLevel, 11)
+}
+
+#[test]
+fn every_dataset_solves_and_validates() {
+    for dataset in Dataset::ALL {
+        let g = dataset.generate_tiny(5);
+        let seeds = seeds_for(&g, 16);
+        let cfg = SolverConfig {
+            num_ranks: 3,
+            ..SolverConfig::default()
+        };
+        let report =
+            solve(&g, &seeds, &cfg).unwrap_or_else(|e| panic!("{} failed: {e}", dataset.name()));
+        report
+            .tree
+            .validate(&g)
+            .unwrap_or_else(|e| panic!("{} invalid tree: {e}", dataset.name()));
+        assert_eq!(report.tree.seeds, seeds, "{}", dataset.name());
+        assert!(
+            report.tree.num_edges() >= seeds.len() - 1,
+            "{}: tree too small to span seeds",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn distributed_tree_beats_no_2x_of_sequential() {
+    // The distributed result is never worse than 2x the sequential
+    // Mehlhorn distance (both are 2-approximations of the same optimum;
+    // in practice they agree closely).
+    for dataset in [Dataset::Lvj, Dataset::Ptn, Dataset::Cts] {
+        let g = dataset.generate_tiny(9);
+        let seeds = seeds_for(&g, 12);
+        let cfg = SolverConfig {
+            num_ranks: 4,
+            ..SolverConfig::default()
+        };
+        let dist = solve(&g, &seeds, &cfg).unwrap().tree.total_distance();
+        let seq = baselines::mehlhorn(&g, &seeds).unwrap().total_distance();
+        let ratio = dist as f64 / seq as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{}: distributed {dist} vs sequential {seq}",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn seed_count_sweep_grows_tree_sublinearly() {
+    let g = Dataset::Frs.generate_tiny(3);
+    let cfg = SolverConfig {
+        num_ranks: 2,
+        ..SolverConfig::default()
+    };
+    let mut last_edges = 0;
+    for k in [4usize, 16, 64] {
+        let seeds = seeds_for(&g, k);
+        let report = solve(&g, &seeds, &cfg).unwrap();
+        let edges = report.tree.num_edges();
+        assert!(edges > last_edges, "tree must grow with |S|");
+        // Sublinear growth: edges per seed shrinks (Table IV's shape).
+        assert!(edges < k * 40, "tree grew implausibly fast");
+        last_edges = edges;
+    }
+}
+
+#[test]
+fn queue_and_rank_matrix_all_agree() {
+    let g = Dataset::Mco.generate_tiny(21);
+    let seeds = seeds_for(&g, 10);
+    let mut trees = Vec::new();
+    for p in [1usize, 2, 5] {
+        for queue in [QueueKind::Fifo, QueueKind::Priority] {
+            let cfg = SolverConfig {
+                num_ranks: p,
+                queue,
+                ..SolverConfig::default()
+            };
+            trees.push(solve(&g, &seeds, &cfg).unwrap().tree);
+        }
+    }
+    for t in &trees[1..] {
+        assert_eq!(t, &trees[0], "configuration changed the deterministic tree");
+    }
+}
+
+#[test]
+fn message_counts_scale_with_graph_size() {
+    let small = Dataset::Cts.generate_tiny(1);
+    let large = Dataset::Lvj.generate_tiny(1);
+    let cfg = SolverConfig {
+        num_ranks: 2,
+        ..SolverConfig::default()
+    };
+    let count = |g: &stgraph::CsrGraph| {
+        let seeds = seeds_for(g, 8);
+        let report = solve(g, &seeds, &cfg).unwrap();
+        report.message_counts["voronoi"].total_msgs()
+    };
+    assert!(
+        count(&large) > count(&small),
+        "bigger graphs must generate more Voronoi traffic"
+    );
+}
+
+#[test]
+fn tree_edge_phase_traffic_is_comparatively_tiny() {
+    // Fig 6's shape: tree-edge identification sends orders of magnitude
+    // fewer messages than Voronoi computation.
+    let g = Dataset::Lvj.generate_tiny(15);
+    let seeds = seeds_for(&g, 16);
+    let cfg = SolverConfig {
+        num_ranks: 4,
+        ..SolverConfig::default()
+    };
+    let report = solve(&g, &seeds, &cfg).unwrap();
+    let voronoi = report.message_counts["voronoi"].total_msgs();
+    let tree = report.message_counts["tree_edge"].total_msgs();
+    assert!(
+        tree * 10 < voronoi,
+        "tree_edge {tree} not << voronoi {voronoi}"
+    );
+}

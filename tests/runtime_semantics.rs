@@ -1,0 +1,196 @@
+//! Integration tests of the simulated runtime through its public API:
+//! distributed kernels built on `struntime` must agree with their
+//! sequential references.
+
+use baselines::shortest_path::dijkstra;
+use stgraph::datasets::Dataset;
+use stgraph::partition::partition_graph;
+use struntime::{run_traversal, QueueKind, World};
+
+/// A distributed SSSP written directly against the runtime (not through
+/// the steiner crate) — exercises channels, owner routing, queue
+/// disciplines, and termination detection end to end.
+fn distributed_sssp(g: &stgraph::CsrGraph, source: u32, p: usize, queue: QueueKind) -> Vec<u64> {
+    #[derive(Clone, Copy)]
+    struct Relax {
+        target: u32,
+        dist: u64,
+    }
+    let pg = partition_graph(g, p, None);
+    let pg = &pg;
+    let out = World::run(p, |comm| {
+        let chan = comm.open_channels::<Vec<Relax>>("sssp");
+        let rg = &pg.ranks[comm.rank()];
+        let mut dist = vec![u64::MAX; rg.num_owned()];
+        let base = rg.owned.start;
+        let init = if rg.owns(source) {
+            vec![Relax {
+                target: source,
+                dist: 0,
+            }]
+        } else {
+            vec![]
+        };
+        run_traversal(
+            comm,
+            &chan,
+            queue,
+            |m| m.dist,
+            init,
+            |m, pusher| {
+                let i = (m.target - base) as usize;
+                if m.dist < dist[i] {
+                    dist[i] = m.dist;
+                    for (v, w) in rg.adj(m.target) {
+                        pusher.push(
+                            pg.partition.owner(v),
+                            Relax {
+                                target: v,
+                                dist: m.dist + w,
+                            },
+                        );
+                    }
+                }
+            },
+        );
+        (base, dist)
+    });
+    let mut full = vec![u64::MAX; g.num_vertices()];
+    for (base, dist) in out.results {
+        for (i, d) in dist.into_iter().enumerate() {
+            full[base as usize + i] = d;
+        }
+    }
+    full
+}
+
+#[test]
+fn distributed_sssp_matches_dijkstra() {
+    let g = Dataset::Cts.generate_tiny(8);
+    let reference = dijkstra(&g, 0).dist;
+    for p in [1usize, 2, 4] {
+        for queue in [QueueKind::Fifo, QueueKind::Priority] {
+            let got = distributed_sssp(&g, 0, p, queue);
+            assert_eq!(got, reference, "p={p}, queue={}", queue.name());
+        }
+    }
+}
+
+#[test]
+fn priority_queue_reduces_sssp_messages() {
+    // The core claim behind the paper's Fig 5/6, measured on the raw
+    // runtime: Dijkstra-order processing wastes fewer relaxations.
+    let g = Dataset::Lvj.generate_tiny(8);
+    let count = |queue: QueueKind| {
+        let pg = partition_graph(&g, 2, None);
+        let pg = &pg;
+        let out = World::run(2, |comm| {
+            let chan = comm.open_channels::<Vec<(u32, u64)>>("sssp");
+            let rg = &pg.ranks[comm.rank()];
+            let mut dist = vec![u64::MAX; rg.num_owned()];
+            let base = rg.owned.start;
+            let init = if rg.owns(0) {
+                vec![(0u32, 0u64)]
+            } else {
+                vec![]
+            };
+            let stats = run_traversal(
+                comm,
+                &chan,
+                queue,
+                |&(_, d)| d,
+                init,
+                |(t, d), pusher| {
+                    let i = (t - base) as usize;
+                    if d < dist[i] {
+                        dist[i] = d;
+                        for (v, w) in rg.adj(t) {
+                            pusher.push(pg.partition.owner(v), (v, d + w));
+                        }
+                    }
+                },
+            );
+            stats.processed
+        });
+        out.results.iter().sum::<u64>()
+    };
+    let fifo = count(QueueKind::Fifo);
+    let priority = count(QueueKind::Priority);
+    assert!(
+        priority < fifo,
+        "priority ({priority}) should process fewer visitors than FIFO ({fifo})"
+    );
+}
+
+#[test]
+fn collectives_compose_with_traversals() {
+    // Alternate traversal and collective phases, as the solver does.
+    let out = World::run(4, |comm| {
+        let chan = comm.open_channels::<Vec<u64>>("work");
+        let mut acc = 0u64;
+        let init = vec![comm.rank() as u64 + 1];
+        run_traversal(
+            comm,
+            &chan,
+            QueueKind::Fifo,
+            |_| 0,
+            init,
+            |v, pusher| {
+                acc += v;
+                if v < 4 {
+                    pusher.push((pusher.rank() + 1) % 4, v + 10)
+                }
+            },
+        );
+        let mut sum = vec![acc];
+        comm.allreduce_sum(&mut sum);
+        let mut mn = vec![acc];
+        comm.allreduce_min(&mut mn);
+        (sum[0], mn[0])
+    });
+    // Seeds 1..4 processed once each (10+v > 4 stops forwarding except v<4:
+    // ranks 0..3 start with 1,2,3,4; values 1,2,3 forward 11,12,13).
+    let expect_sum: u64 = (1 + 2 + 3 + 4) + (11 + 12 + 13);
+    for &(s, m) in &out.results {
+        assert_eq!(s, expect_sum);
+        assert!(m <= s);
+    }
+}
+
+#[test]
+fn world_reports_per_rank_counters() {
+    let g = Dataset::Ptn.generate_tiny(5);
+    let pg = partition_graph(&g, 3, None);
+    let pg = &pg;
+    let out = World::run(3, |comm| {
+        let chan = comm.open_channels::<Vec<(u32, u64)>>("flood");
+        let rg = &pg.ranks[comm.rank()];
+        let mut seen = vec![false; rg.num_owned()];
+        let base = rg.owned.start;
+        let init = if rg.owns(0) {
+            vec![(0u32, 0u64)]
+        } else {
+            vec![]
+        };
+        run_traversal(
+            comm,
+            &chan,
+            QueueKind::Fifo,
+            |_| 0,
+            init,
+            |(t, d), pusher| {
+                let i = (t - base) as usize;
+                if !seen[i] {
+                    seen[i] = true;
+                    for (v, _) in rg.adj(t) {
+                        pusher.push(pg.partition.owner(v), (v, d + 1));
+                    }
+                }
+            },
+        );
+    });
+    let merged = out.merged_counters();
+    assert!(merged["flood"].total_msgs() > 0);
+    // Per-rank counter breakdown exists for every rank.
+    assert_eq!(out.reports.len(), 3);
+}

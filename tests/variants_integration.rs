@@ -1,0 +1,102 @@
+//! Integration tests of the problem variants against the rest of the
+//! suite: group Steiner and node-weighted results must compose with the
+//! core types, the distributed solver, and the improvement passes.
+
+use stgraph::datasets::Dataset;
+use stvariants::{group::covers_all_groups, group_steiner, node_weighted_steiner};
+
+fn lcc_vertices(g: &stgraph::CsrGraph) -> Vec<u32> {
+    stgraph::traversal::connected_components(g).largest_component_vertices()
+}
+
+#[test]
+fn group_tree_improvable_by_key_path_search() {
+    let g = Dataset::Mco.generate_tiny(31);
+    let verts = lcc_vertices(&g);
+    let groups: Vec<Vec<u32>> = (0..5)
+        .map(|i| {
+            verts
+                .iter()
+                .skip(i * 3)
+                .step_by(37)
+                .take(4)
+                .copied()
+                .collect()
+        })
+        .collect();
+    let tree = group_steiner(&g, &groups).expect("answerable");
+    let improved = baselines::key_path_improve(&g, &tree, 10);
+    assert!(improved.tree.total_distance() <= tree.total_distance());
+    assert!(improved.tree.validate(&g).is_ok());
+    // Improvement must not lose group coverage: it only reroutes paths
+    // between the same seed set.
+    assert!(covers_all_groups(&improved.tree, &groups));
+}
+
+#[test]
+fn group_representatives_agree_with_distributed_solver() {
+    let g = Dataset::Cts.generate_tiny(33);
+    let verts = lcc_vertices(&g);
+    let groups: Vec<Vec<u32>> = (0..4)
+        .map(|i| {
+            verts
+                .iter()
+                .skip(i * 5)
+                .step_by(23)
+                .take(3)
+                .copied()
+                .collect()
+        })
+        .collect();
+    let tree = group_steiner(&g, &groups).expect("answerable");
+    // Re-solving the chosen representatives distributed must match the
+    // sequential phase-2 distance (same algorithm family).
+    let reps = tree.seeds.clone();
+    let cfg = steiner::SolverConfig {
+        num_ranks: 3,
+        refine: true,
+        ..steiner::SolverConfig::default()
+    };
+    let distributed = steiner::solve(&g, &reps, &cfg).expect("connected");
+    let (a, b) = (
+        tree.total_distance() as f64,
+        distributed.tree.total_distance() as f64,
+    );
+    assert!(
+        (a - b).abs() / a.max(b).max(1.0) < 0.15,
+        "group phase-2 {a} vs distributed {b}"
+    );
+}
+
+#[test]
+fn node_weighted_composes_with_metrics_and_dot() {
+    let g = Dataset::Ptn.generate_tiny(35);
+    let verts = lcc_vertices(&g);
+    let seeds: Vec<u32> = verts.iter().step_by(verts.len() / 6).copied().collect();
+    let costs: Vec<u64> = g.vertices().map(|v| (v as u64 * 13) % 40).collect();
+    let r = node_weighted_steiner(&g, &costs, &seeds).expect("connected");
+    let m = r.tree.metrics();
+    assert_eq!(m.num_edges, r.tree.num_edges());
+    assert!(m.total_distance == r.edge_cost);
+    let dot = r.tree.to_dot();
+    assert!(dot.contains("graph steiner_tree"));
+}
+
+#[test]
+fn zero_cost_node_weighted_matches_distributed() {
+    let g = Dataset::Cts.generate_tiny(37);
+    let verts = lcc_vertices(&g);
+    let seeds: Vec<u32> = verts.iter().step_by(verts.len() / 5).copied().collect();
+    let nw = node_weighted_steiner(&g, &vec![0; g.num_vertices()], &seeds).expect("connected");
+    let cfg = steiner::SolverConfig {
+        num_ranks: 2,
+        refine: true,
+        ..steiner::SolverConfig::default()
+    };
+    let d = steiner::solve(&g, &seeds, &cfg).expect("connected");
+    let (a, b) = (nw.edge_cost as f64, d.tree.total_distance() as f64);
+    assert!(
+        (a - b).abs() / a.max(b).max(1.0) < 0.15,
+        "node-weighted(0) {a} vs distributed {b}"
+    );
+}
