@@ -6,8 +6,6 @@
 //! same weight) and have their adjacency lists sorted by target vertex, which
 //! enables `O(log deg)` edge lookups via binary search.
 
-use serde::{Deserialize, Serialize};
-
 /// Vertex identifier. 32 bits comfortably covers the scaled-down analogues
 /// this suite works with (the paper's full-scale graphs would need 64).
 pub type Vertex = u32;
@@ -31,7 +29,7 @@ pub const INF: Distance = u64::MAX;
 ///   and self-loops;
 /// - all weights are `>= 1`;
 /// - the arc set is symmetric with matching weights.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CsrGraph {
     offsets: Vec<u64>,
     targets: Vec<Vertex>,

@@ -1,0 +1,459 @@
+//! Protocol audit layer: exactly-once delivery and quiescence verification.
+//!
+//! Built for the `check` cargo feature. When enabled, every message a
+//! [`crate::ChannelGroup`] ships is wrapped in a [`Tagged`] envelope
+//! carrying a world-unique batch id; the [`AuditState`] ledger records the
+//! send (source, destination, phase label, visitor count) and matches the
+//! eventual receive against it. At the end of every traversal the runtime
+//! verifies, against the ledger and the quiescence counters:
+//!
+//! - **exactly-once delivery** — no batch sent during the traversal is
+//!   still outstanding (lost), delivered twice (duplicated), delivered to
+//!   a rank it was not addressed to (misrouted), or received without a
+//!   matching send (phantom);
+//! - **`sent == received` at `done`** — the counter pair the double-read
+//!   protocol relies on really is balanced when termination is declared;
+//! - **no send after `done`** — a rank that ships a batch after the
+//!   detector fired proves the detector fired early;
+//! - **no rank exits with work** — a rank leaving the traversal loop with
+//!   a non-empty local queue terminated prematurely;
+//! - **idle accounting** — every rank is in the idle set at termination.
+//!
+//! Violations are recorded, not panicked on, so a stress harness can
+//! aggregate them across hundreds of perturbed schedules; they surface in
+//! [`crate::RunOutput::audit_violations`].
+//!
+//! Without the `check` feature the envelope type collapses to the bare
+//! message (`Wire<T> = T`), no ledger calls are compiled into the channel
+//! hot path, and the traversal-end verification is skipped — the audit
+//! layer costs nothing in release builds.
+//!
+//! ## Scope and caveats
+//!
+//! The ledger retains one entry per delivered batch for the lifetime of a
+//! world (memory linear in message count) — `check` builds are debugging
+//! and CI tools, not production configurations. Epochs scope traversal-end
+//! verification to batches sent *during that traversal*: raw
+//! `ChannelGroup::send` traffic racing with the verification instant of an
+//! unrelated traversal on another channel could in principle be attributed
+//! to the closing epoch; separating raw sends from traversals with a
+//! barrier (which all workloads in this repository do) avoids the window.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Whether the audit layer was compiled in (the `check` cargo feature).
+pub const fn is_active() -> bool {
+    cfg!(feature = "check")
+}
+
+/// In-band envelope carrying the audit batch id (check builds only; the
+/// wire type of every channel becomes `Tagged<T>` instead of `T`).
+#[derive(Clone, Debug)]
+pub struct Tagged<T> {
+    /// World-unique batch id assigned at send time.
+    pub id: u64,
+    /// The caller's message, untouched.
+    pub payload: T,
+}
+
+/// One verified-protocol violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// A batch was sent during the audited traversal but never delivered.
+    LostBatch {
+        /// Batch id.
+        id: u64,
+        /// Sending rank.
+        src: usize,
+        /// Addressed rank.
+        dest: usize,
+        /// Phase label of the channel group.
+        phase: &'static str,
+        /// Visitors inside the batch.
+        visitors: u64,
+    },
+    /// A batch id was delivered more than once.
+    DuplicateDelivery {
+        /// Batch id.
+        id: u64,
+        /// Rank that received the duplicate.
+        rank: usize,
+    },
+    /// A batch id was received that no send ever recorded.
+    PhantomBatch {
+        /// Batch id.
+        id: u64,
+        /// Rank that received it.
+        rank: usize,
+    },
+    /// A batch was delivered to a rank other than its addressee.
+    MisroutedBatch {
+        /// Batch id.
+        id: u64,
+        /// Rank the batch was addressed to.
+        expected_dest: usize,
+        /// Rank that actually received it.
+        actual_dest: usize,
+        /// Phase label of the channel group.
+        phase: &'static str,
+    },
+    /// `sent != received` when termination was verified.
+    CounterMismatch {
+        /// Batches counted into channels.
+        sent: u64,
+        /// Batches counted out of channels.
+        received: u64,
+    },
+    /// A rank shipped a batch after the detector declared termination —
+    /// direct evidence the detector fired early.
+    SendAfterDone {
+        /// Sending rank.
+        src: usize,
+        /// Addressed rank.
+        dest: usize,
+        /// Phase label of the channel group.
+        phase: &'static str,
+    },
+    /// A rank left the traversal loop with visitors still queued.
+    PrematureTermination {
+        /// The rank.
+        rank: usize,
+        /// Visitors still in its local queue.
+        queued: usize,
+    },
+    /// The idle-rank count did not equal the world size at termination.
+    IdleAccounting {
+        /// Observed idle count.
+        idle: usize,
+        /// World size.
+        ranks: usize,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::LostBatch {
+                id,
+                src,
+                dest,
+                phase,
+                visitors,
+            } => write!(
+                f,
+                "lost batch {id}: rank {src} -> rank {dest} (phase \"{phase}\", \
+                 {visitors} visitors) was sent but never delivered"
+            ),
+            AuditViolation::DuplicateDelivery { id, rank } => {
+                write!(f, "duplicate delivery of batch {id} at rank {rank}")
+            }
+            AuditViolation::PhantomBatch { id, rank } => write!(
+                f,
+                "phantom batch {id} received at rank {rank} with no recorded send"
+            ),
+            AuditViolation::MisroutedBatch {
+                id,
+                expected_dest,
+                actual_dest,
+                phase,
+            } => write!(
+                f,
+                "misrouted batch {id} (phase \"{phase}\"): addressed to rank \
+                 {expected_dest}, delivered to rank {actual_dest}"
+            ),
+            AuditViolation::CounterMismatch { sent, received } => write!(
+                f,
+                "quiescence counter mismatch at done: sent = {sent}, received = {received}"
+            ),
+            AuditViolation::SendAfterDone { src, dest, phase } => write!(
+                f,
+                "send after done: rank {src} shipped a batch to rank {dest} \
+                 (phase \"{phase}\") after termination was declared"
+            ),
+            AuditViolation::PrematureTermination { rank, queued } => write!(
+                f,
+                "premature termination: rank {rank} exited with {queued} queued visitor(s)"
+            ),
+            AuditViolation::IdleAccounting { idle, ranks } => write!(
+                f,
+                "idle accounting: {idle} of {ranks} ranks idle at termination"
+            ),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SentRecord {
+    src: usize,
+    dest: usize,
+    phase: &'static str,
+    visitors: u64,
+    epoch: u64,
+}
+
+#[derive(Default)]
+struct Ledger {
+    /// Epoch of the traversal currently (or most recently) running.
+    epoch: u64,
+    /// Batches sent but not yet delivered, by id.
+    outstanding: HashMap<u64, SentRecord>,
+    /// Rank that consumed each delivered batch, by id.
+    delivered: HashMap<u64, usize>,
+    violations: Vec<AuditViolation>,
+}
+
+/// The world-wide audit ledger. Lives in [`crate::shared::Shared`]; one
+/// per world, shared by all ranks. All methods are safe to call from any
+/// rank concurrently.
+#[derive(Default)]
+pub struct AuditState {
+    next_id: AtomicU64,
+    ledger: Mutex<Ledger>,
+}
+
+impl AuditState {
+    /// Fresh empty ledger.
+    pub fn new() -> Self {
+        AuditState::default()
+    }
+
+    /// Records a batch entering a channel; returns its world-unique id.
+    pub fn record_send(&self, src: usize, dest: usize, phase: &'static str, visitors: u64) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let mut ledger = self.ledger.lock();
+        let epoch = ledger.epoch;
+        ledger.outstanding.insert(
+            id,
+            SentRecord {
+                src,
+                dest,
+                phase,
+                visitors,
+                epoch,
+            },
+        );
+        id
+    }
+
+    /// Records a batch leaving a channel at `rank`, checking delivery
+    /// invariants (duplicate / phantom / misrouted).
+    pub fn record_recv(&self, id: u64, rank: usize) {
+        let mut ledger = self.ledger.lock();
+        match ledger.outstanding.remove(&id) {
+            Some(rec) => {
+                if rec.dest != rank {
+                    ledger.violations.push(AuditViolation::MisroutedBatch {
+                        id,
+                        expected_dest: rec.dest,
+                        actual_dest: rank,
+                        phase: rec.phase,
+                    });
+                }
+                ledger.delivered.insert(id, rank);
+            }
+            None => {
+                let v = if ledger.delivered.contains_key(&id) {
+                    AuditViolation::DuplicateDelivery { id, rank }
+                } else {
+                    AuditViolation::PhantomBatch { id, rank }
+                };
+                ledger.violations.push(v);
+            }
+        }
+    }
+
+    /// Opens a new audit epoch (called by rank 0 at traversal start while
+    /// all ranks are fenced by barriers); sends recorded from now on belong
+    /// to the returned epoch.
+    pub fn begin_epoch(&self) -> u64 {
+        let mut ledger = self.ledger.lock();
+        ledger.epoch += 1;
+        ledger.epoch
+    }
+
+    /// Records a violation observed directly by the runtime.
+    pub fn report(&self, violation: AuditViolation) {
+        self.ledger.lock().violations.push(violation);
+    }
+
+    /// Traversal-end verification (rank 0, after the closing barrier):
+    /// flags batches of `epoch` still outstanding as lost, checks the
+    /// quiescence counters balance and the idle set is full, and closes
+    /// the epoch.
+    pub fn verify_quiescence(
+        &self,
+        epoch: u64,
+        ranks: usize,
+        sent: u64,
+        received: u64,
+        idle: usize,
+    ) {
+        let mut ledger = self.ledger.lock();
+        let mut lost: Vec<(u64, SentRecord)> = ledger
+            .outstanding
+            .iter()
+            .filter(|(_, rec)| rec.epoch == epoch)
+            .map(|(&id, &rec)| (id, rec))
+            .collect();
+        lost.sort_by_key(|&(id, _)| id);
+        for (id, rec) in lost {
+            ledger.violations.push(AuditViolation::LostBatch {
+                id,
+                src: rec.src,
+                dest: rec.dest,
+                phase: rec.phase,
+                visitors: rec.visitors,
+            });
+        }
+        if sent != received {
+            ledger
+                .violations
+                .push(AuditViolation::CounterMismatch { sent, received });
+        }
+        if idle != ranks {
+            ledger
+                .violations
+                .push(AuditViolation::IdleAccounting { idle, ranks });
+        }
+        // Close the epoch so later traffic is never attributed to it.
+        ledger.epoch += 1;
+    }
+
+    /// Number of sent-but-undelivered batches (all epochs).
+    pub fn outstanding_len(&self) -> usize {
+        self.ledger.lock().outstanding.len()
+    }
+
+    /// Drains and returns every violation recorded so far.
+    pub fn take_violations(&self) -> Vec<AuditViolation> {
+        std::mem::take(&mut self.ledger.lock().violations)
+    }
+}
+
+impl fmt::Debug for AuditState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditState")
+            .field("outstanding", &self.outstanding_len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_send_recv_leaves_no_violations() {
+        let audit = AuditState::new();
+        let epoch = audit.begin_epoch();
+        let id = audit.record_send(0, 1, "t", 3);
+        audit.record_recv(id, 1);
+        audit.verify_quiescence(epoch, 2, 1, 1, 2);
+        assert!(audit.take_violations().is_empty());
+        assert_eq!(audit.outstanding_len(), 0);
+    }
+
+    #[test]
+    fn undelivered_batch_is_lost() {
+        let audit = AuditState::new();
+        let epoch = audit.begin_epoch();
+        let id = audit.record_send(0, 1, "t", 5);
+        audit.verify_quiescence(epoch, 2, 1, 0, 2);
+        let violations = audit.take_violations();
+        assert!(violations.contains(&AuditViolation::LostBatch {
+            id,
+            src: 0,
+            dest: 1,
+            phase: "t",
+            visitors: 5,
+        }));
+        assert!(violations.contains(&AuditViolation::CounterMismatch {
+            sent: 1,
+            received: 0,
+        }));
+    }
+
+    #[test]
+    fn double_delivery_is_flagged() {
+        let audit = AuditState::new();
+        let id = audit.record_send(0, 1, "t", 1);
+        audit.record_recv(id, 1);
+        audit.record_recv(id, 1);
+        assert_eq!(
+            audit.take_violations(),
+            vec![AuditViolation::DuplicateDelivery { id, rank: 1 }]
+        );
+    }
+
+    #[test]
+    fn unknown_id_is_phantom() {
+        let audit = AuditState::new();
+        audit.record_recv(99, 0);
+        assert_eq!(
+            audit.take_violations(),
+            vec![AuditViolation::PhantomBatch { id: 99, rank: 0 }]
+        );
+    }
+
+    #[test]
+    fn wrong_rank_is_misrouted() {
+        let audit = AuditState::new();
+        let id = audit.record_send(0, 1, "t", 1);
+        audit.record_recv(id, 2);
+        assert_eq!(
+            audit.take_violations(),
+            vec![AuditViolation::MisroutedBatch {
+                id,
+                expected_dest: 1,
+                actual_dest: 2,
+                phase: "t",
+            }]
+        );
+    }
+
+    #[test]
+    fn epochs_scope_lost_batches() {
+        let audit = AuditState::new();
+        let e1 = audit.begin_epoch();
+        let stale = audit.record_send(0, 1, "old", 1);
+        // The stale batch belongs to epoch e1; verifying a later epoch
+        // must not flag it.
+        audit.verify_quiescence(e1 + 1, 2, 0, 0, 2);
+        assert!(audit.take_violations().is_empty());
+        // Verifying its own epoch does.
+        audit.verify_quiescence(e1, 2, 0, 0, 2);
+        assert!(audit
+            .take_violations()
+            .iter()
+            .any(|v| matches!(v, AuditViolation::LostBatch { id, .. } if *id == stale)));
+    }
+
+    #[test]
+    fn idle_shortfall_is_flagged() {
+        let audit = AuditState::new();
+        let epoch = audit.begin_epoch();
+        audit.verify_quiescence(epoch, 4, 0, 0, 3);
+        assert_eq!(
+            audit.take_violations(),
+            vec![AuditViolation::IdleAccounting { idle: 3, ranks: 4 }]
+        );
+    }
+
+    #[test]
+    fn violations_render_structured_messages() {
+        let msg = AuditViolation::LostBatch {
+            id: 7,
+            src: 1,
+            dest: 2,
+            phase: "voronoi",
+            visitors: 64,
+        }
+        .to_string();
+        assert!(msg.contains("lost batch 7"));
+        assert!(msg.contains("rank 1 -> rank 2"));
+        assert!(msg.contains("voronoi"));
+    }
+}

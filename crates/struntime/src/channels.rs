@@ -5,34 +5,75 @@
 //! rank must call [`crate::Comm::open_channels`] in the same program order,
 //! exactly like creating an MPI communicator). Sends are attributed to the
 //! phase label the group was opened under.
+//!
+//! With the `check` feature, every message travels inside a
+//! [`crate::audit::Tagged`] envelope carrying a world-unique batch id,
+//! recorded against the world's [`crate::audit::AuditState`] ledger on
+//! send and matched on receive; without the feature the wire type is the
+//! bare message and no ledger calls are compiled in.
 
+use crate::audit::AuditState;
 use crate::counters::PhaseStats;
-#[cfg(test)]
-use crossbeam::channel::unbounded;
+use crate::perturb::{SchedulePerturber, SyncPoint};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+/// What actually travels through a channel: the caller's message, wrapped
+/// in an audit envelope on `check` builds.
+#[cfg(feature = "check")]
+pub(crate) type Wire<T> = crate::audit::Tagged<T>;
+/// What actually travels through a channel (bare message — the audit
+/// envelope exists only on `check` builds).
+#[cfg(not(feature = "check"))]
+pub(crate) type Wire<T> = T;
+
+/// Non-generic context a group needs from its world: the audit ledger,
+/// this rank's schedule perturber (if the world is perturbed), and the
+/// phase label for diagnostics.
+pub(crate) struct GroupCtx {
+    /// Only read by the `check`-gated wrap/unwrap paths.
+    #[cfg_attr(not(feature = "check"), allow(dead_code))]
+    pub audit: Arc<AuditState>,
+    pub perturb: Option<Arc<SchedulePerturber>>,
+    pub phase: &'static str,
+}
+
+impl GroupCtx {
+    /// A context detached from any world, for unit tests.
+    #[cfg(test)]
+    pub(crate) fn detached(phase: &'static str) -> Self {
+        GroupCtx {
+            audit: Arc::new(AuditState::new()),
+            perturb: None,
+            phase,
+        }
+    }
+}
+
 /// One rank's endpoints of a typed all-to-all channel group.
 pub struct ChannelGroup<T: Send + 'static> {
     rank: usize,
-    senders: Vec<Sender<T>>,
-    receiver: Receiver<T>,
+    senders: Vec<Sender<Wire<T>>>,
+    receiver: Receiver<Wire<T>>,
     stats: Arc<PhaseStats>,
+    ctx: GroupCtx,
 }
 
 impl<T: Send + 'static> ChannelGroup<T> {
     pub(crate) fn new(
         rank: usize,
-        senders: Vec<Sender<T>>,
-        receiver: Receiver<T>,
+        senders: Vec<Sender<Wire<T>>>,
+        receiver: Receiver<Wire<T>>,
         stats: Arc<PhaseStats>,
+        ctx: GroupCtx,
     ) -> Self {
         ChannelGroup {
             rank,
             senders,
             receiver,
             stats,
+            ctx,
         }
     }
 
@@ -46,23 +87,79 @@ impl<T: Send + 'static> ChannelGroup<T> {
         self.senders.len()
     }
 
-    /// Sends `msg` to `dest`'s inbound queue. Counted as a remote message
-    /// even when `dest == self.rank()` — use the traversal driver's local
-    /// push for zero-cost self-delivery.
+    /// The phase label this group was opened under.
+    pub fn phase(&self) -> &'static str {
+        self.ctx.phase
+    }
+
+    fn pause(&self, point: SyncPoint) {
+        if let Some(p) = &self.ctx.perturb {
+            p.pause(point);
+        }
+    }
+
+    /// Wraps a message for the wire, recording the send in the audit
+    /// ledger (check builds).
+    #[cfg(feature = "check")]
+    fn wrap(&self, dest: usize, payload: T, visitors: u64) -> Wire<T> {
+        let id = self
+            .ctx
+            .audit
+            .record_send(self.rank, dest, self.ctx.phase, visitors);
+        crate::audit::Tagged { id, payload }
+    }
+
+    /// Wraps a message for the wire (identity without the audit layer).
+    #[cfg(not(feature = "check"))]
+    fn wrap(&self, _dest: usize, payload: T, _visitors: u64) -> Wire<T> {
+        payload
+    }
+
+    /// Unwraps a wire message, recording the delivery in the audit ledger
+    /// (check builds).
+    #[cfg(feature = "check")]
+    fn unwrap_wire(&self, wire: Wire<T>) -> T {
+        self.ctx.audit.record_recv(wire.id, self.rank);
+        wire.payload
+    }
+
+    /// Unwraps a wire message (identity without the audit layer).
+    #[cfg(not(feature = "check"))]
+    fn unwrap_wire(&self, wire: Wire<T>) -> T {
+        wire
+    }
+
+    fn ship(&self, dest: usize, wire: Wire<T>) {
+        if self.senders[dest].send(wire).is_err() {
+            unreachable!("receiver endpoint dropped while its world is running");
+        }
+    }
+
+    /// Sends `msg` to `dest`'s inbound queue. A self-send (`dest ==
+    /// self.rank()`) is delivered through the channel like any other
+    /// message but is counted as a *local* message: no network hop would
+    /// be crossed on a real cluster, so charging it as remote would skew
+    /// the paper's per-phase message statistics. The traversal driver's
+    /// local push remains the zero-copy path for self-delivery.
     pub fn send(&self, dest: usize, msg: T) {
-        self.stats.remote_msgs.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .remote_bytes
-            .fetch_add(std::mem::size_of::<T>() as u64, Ordering::Relaxed);
-        self.senders[dest]
-            .send(msg)
-            .expect("receiver dropped while world is running");
+        if dest == self.rank {
+            self.stats.local_msgs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.remote_msgs.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .remote_bytes
+                .fetch_add(std::mem::size_of::<T>() as u64, Ordering::Relaxed);
+        }
+        self.pause(SyncPoint::ChannelSend);
+        let wire = self.wrap(dest, msg, 1);
+        self.ship(dest, wire);
     }
 
     /// Non-blocking receive from this rank's inbound queue.
     pub fn try_recv(&self) -> Option<T> {
+        self.pause(SyncPoint::ChannelRecv);
         match self.receiver.try_recv() {
-            Ok(m) => Some(m),
+            Ok(wire) => Some(self.unwrap_wire(wire)),
             Err(TryRecvError::Empty) => None,
             Err(TryRecvError::Disconnected) => {
                 unreachable!("own sender kept alive by the group")
@@ -84,30 +181,42 @@ impl<T: Send + 'static> ChannelGroup<T> {
 impl<V: Send + 'static> ChannelGroup<Vec<V>> {
     /// Ships an aggregated visitor batch; counters record the individual
     /// visitors (and one batch), so message statistics stay batch-size
-    /// independent.
+    /// independent. Like [`ChannelGroup::send`], a self-addressed batch
+    /// counts as local traffic.
     pub fn send_batch(&self, dest: usize, batch: Vec<V>) {
-        self.stats
-            .remote_msgs
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        self.stats.remote_bytes.fetch_add(
-            (batch.len() * std::mem::size_of::<V>()) as u64,
-            Ordering::Relaxed,
-        );
-        self.stats.remote_batches.fetch_add(1, Ordering::Relaxed);
-        self.senders[dest]
-            .send(batch)
-            .expect("receiver dropped while world is running");
+        if dest == self.rank {
+            self.stats
+                .local_msgs
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        } else {
+            self.stats
+                .remote_msgs
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.stats.remote_bytes.fetch_add(
+                (batch.len() * std::mem::size_of::<V>()) as u64,
+                Ordering::Relaxed,
+            );
+            self.stats.remote_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pause(SyncPoint::ChannelSend);
+        let visitors = batch.len() as u64;
+        let wire = self.wrap(dest, batch, visitors);
+        self.ship(dest, wire);
     }
 }
+
+/// One sender per destination plus every rank's receiving end.
+#[cfg(test)]
+pub(crate) type Endpoints<T> = (Vec<Sender<Wire<T>>>, Vec<Receiver<Wire<T>>>);
 
 /// Creates the full `p x p` mesh of channel endpoints locally, for unit
 /// tests that exercise a group without a full world.
 #[cfg(test)]
-pub(crate) fn local_endpoints<T: Send + 'static>(p: usize) -> (Vec<Sender<T>>, Vec<Receiver<T>>) {
+pub(crate) fn local_endpoints<T: Send + 'static>(p: usize) -> Endpoints<T> {
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
-        let (s, r) = unbounded();
+        let (s, r) = crossbeam::channel::unbounded();
         senders.push(s);
         receivers.push(r);
     }
@@ -122,8 +231,20 @@ mod tests {
     fn group_pair() -> (ChannelGroup<u32>, ChannelGroup<u32>) {
         let (senders, mut receivers) = local_endpoints::<u32>(2);
         let c = RankCounters::default();
-        let g1 = ChannelGroup::new(0, senders.clone(), receivers.remove(0), c.phase("t"));
-        let g2 = ChannelGroup::new(1, senders, receivers.remove(0), c.phase("t"));
+        let g1 = ChannelGroup::new(
+            0,
+            senders.clone(),
+            receivers.remove(0),
+            c.phase("t"),
+            GroupCtx::detached("t"),
+        );
+        let g2 = ChannelGroup::new(
+            1,
+            senders,
+            receivers.remove(0),
+            c.phase("t"),
+            GroupCtx::detached("t"),
+        );
         (g1, g2)
     }
 
@@ -146,5 +267,32 @@ mod tests {
             g1.stats().remote_bytes.load(Ordering::Relaxed),
             2 * std::mem::size_of::<u32>() as u64
         );
+    }
+
+    #[test]
+    fn self_send_is_delivered_and_counted_local() {
+        let (g1, _g2) = group_pair();
+        g1.send(0, 7);
+        assert_eq!(g1.try_recv(), Some(7));
+        assert_eq!(g1.stats().local_msgs.load(Ordering::Relaxed), 1);
+        assert_eq!(g1.stats().remote_msgs.load(Ordering::Relaxed), 0);
+        assert_eq!(g1.stats().remote_bytes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn self_send_batch_is_counted_local() {
+        let (senders, mut receivers) = local_endpoints::<Vec<u8>>(2);
+        let c = RankCounters::default();
+        let g = ChannelGroup::new(
+            0,
+            senders,
+            receivers.remove(0),
+            c.phase("b"),
+            GroupCtx::detached("b"),
+        );
+        g.send_batch(0, vec![1, 2, 3]);
+        assert_eq!(g.try_recv(), Some(vec![1, 2, 3]));
+        assert_eq!(g.stats().local_msgs.load(Ordering::Relaxed), 3);
+        assert_eq!(g.stats().remote_batches.load(Ordering::Relaxed), 0);
     }
 }

@@ -10,9 +10,34 @@
 //! program order, like their MPI counterparts. The reduction buffer is a
 //! single shared slot: rank 0 seeds it with its local vector, the other
 //! ranks fold theirs in (serialized by the slot mutex), and everyone copies
-//! the result back out.
+//! the result back out. Lockstep is audited: a rank joining with the wrong
+//! element type (i.e. the ranks' collective sequences diverged) gets a
+//! structured panic naming the seeding op and both types, instead of a
+//! bare downcast failure.
 
+use crate::perturb::SyncPoint;
+use crate::shared::CollectiveSlot;
 use crate::Comm;
+
+/// Diagnoses a `None` slot where the protocol guarantees `Some`.
+fn missing_slot(rank: usize, op: &str, stage: &str) -> ! {
+    panic!(
+        "collective lockstep violation: rank {rank} reached the {stage} stage of \
+         {op} but the exchange slot is empty (ranks must call collectives in \
+         identical program order)"
+    )
+}
+
+/// Diagnoses a slot seeded by a different collective / element type.
+fn type_mismatch(rank: usize, op: &str, expected: &str, slot: &CollectiveSlot) -> ! {
+    panic!(
+        "collective type mismatch: rank {rank} joined {op} with element type \
+         `{expected}`, but the slot was seeded by {seeder} with `{found}` \
+         (ranks must call collectives in identical program order with identical types)",
+        seeder = slot.op,
+        found = slot.type_name,
+    )
+}
 
 impl Comm {
     /// In-place all-reduce: after the call, `data` on every rank holds the
@@ -23,20 +48,30 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(&mut T, &T),
     {
+        let type_name = std::any::type_name::<T>();
         self.memory()
             .record("collective_buffer", std::mem::size_of_val(data));
         self.barrier();
         if self.rank() == 0 {
-            *self.shared().collective_slot.lock() = Some(Box::new(data.to_vec()));
+            self.pause(SyncPoint::CollectiveSlot);
+            *self.shared().collective_slot.lock() = Some(CollectiveSlot {
+                value: Box::new(data.to_vec()),
+                type_name,
+                op: "allreduce",
+            });
         }
         self.barrier();
         if self.rank() != 0 {
+            self.pause(SyncPoint::CollectiveSlot);
             let mut slot = self.shared().collective_slot.lock();
-            let acc = slot
-                .as_mut()
-                .expect("collective slot seeded by rank 0")
-                .downcast_mut::<Vec<T>>()
-                .expect("collective type mismatch across ranks");
+            let entry = match slot.as_mut() {
+                Some(e) => e,
+                None => missing_slot(self.rank(), "allreduce", "fold"),
+            };
+            let acc = match entry.value.downcast_mut::<Vec<T>>() {
+                Some(acc) => acc,
+                None => type_mismatch(self.rank(), "allreduce", type_name, entry),
+            };
             assert_eq!(
                 acc.len(),
                 data.len(),
@@ -48,12 +83,16 @@ impl Comm {
         }
         self.barrier();
         {
+            self.pause(SyncPoint::CollectiveSlot);
             let slot = self.shared().collective_slot.lock();
-            let acc = slot
-                .as_ref()
-                .expect("collective slot still seeded")
-                .downcast_ref::<Vec<T>>()
-                .expect("collective type mismatch across ranks");
+            let entry = match slot.as_ref() {
+                Some(e) => e,
+                None => missing_slot(self.rank(), "allreduce", "copy-out"),
+            };
+            let acc = match entry.value.downcast_ref::<Vec<T>>() {
+                Some(acc) => acc,
+                None => type_mismatch(self.rank(), "allreduce", type_name, entry),
+            };
             data.clone_from_slice(acc);
         }
         self.barrier();
@@ -110,19 +149,32 @@ impl Comm {
     {
         assert!(root < self.num_ranks());
         debug_assert_eq!(self.rank() == root, value.is_some());
+        let type_name = std::any::type_name::<T>();
         self.barrier();
         if self.rank() == root {
-            *self.shared().collective_slot.lock() =
-                Some(Box::new(value.expect("root provides the value")));
+            let value = match value {
+                Some(v) => v,
+                None => panic!("broadcast root {root} passed None; the root must supply the value"),
+            };
+            self.pause(SyncPoint::CollectiveSlot);
+            *self.shared().collective_slot.lock() = Some(CollectiveSlot {
+                value: Box::new(value),
+                type_name,
+                op: "broadcast",
+            });
         }
         self.barrier();
         let out = {
+            self.pause(SyncPoint::CollectiveSlot);
             let slot = self.shared().collective_slot.lock();
-            slot.as_ref()
-                .expect("broadcast slot seeded by root")
-                .downcast_ref::<T>()
-                .expect("broadcast type mismatch across ranks")
-                .clone()
+            let entry = match slot.as_ref() {
+                Some(e) => e,
+                None => missing_slot(self.rank(), "broadcast", "copy-out"),
+            };
+            match entry.value.downcast_ref::<T>() {
+                Some(v) => v.clone(),
+                None => type_mismatch(self.rank(), "broadcast", type_name, entry),
+            }
         };
         self.barrier();
         if self.rank() == root {

@@ -34,24 +34,33 @@
 //! assert_eq!(out.results.iter().sum::<u32>(), 5);
 //! ```
 
+pub mod audit;
 pub mod channels;
 mod collective;
 pub mod counters;
 pub mod memory;
 pub mod persistent;
+pub mod perturb;
 pub mod queue;
 pub mod shared;
 pub mod traversal;
 
+pub use audit::AuditViolation;
 pub use channels::ChannelGroup;
 pub use counters::{merge_snapshots, PhaseSnapshot};
 pub use persistent::PersistentWorld;
+pub use perturb::{stress_schedules, PerturbAction, SchedulePerturber, SyncPoint, TraceEntry};
 pub use queue::QueueKind;
-pub use traversal::{run_traversal, Pusher, TraversalStats};
+#[cfg(feature = "check")]
+pub use traversal::run_traversal_mutant_premature;
+pub use traversal::{
+    run_traversal, run_traversal_config, Pusher, TraversalOptions, TraversalStats,
+};
 
+use channels::GroupCtx;
 use counters::RankCounters;
 use memory::MemoryTracker;
-use shared::Shared;
+use shared::{ChannelSlot, Shared};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -62,16 +71,22 @@ pub struct Comm {
     counters: Arc<RankCounters>,
     memory: Arc<MemoryTracker>,
     tag_counter: u64,
+    perturb: Option<Arc<SchedulePerturber>>,
 }
 
 impl Comm {
-    pub(crate) fn new_for_persistent(rank: usize, shared: Arc<Shared>) -> Comm {
+    pub(crate) fn new_for_persistent(
+        rank: usize,
+        shared: Arc<Shared>,
+        perturb: Option<Arc<SchedulePerturber>>,
+    ) -> Comm {
         Comm {
             rank,
             shared,
             counters: Arc::new(RankCounters::default()),
             memory: Arc::new(MemoryTracker::default()),
             tag_counter: 0,
+            perturb,
         }
     }
 
@@ -100,7 +115,22 @@ impl Comm {
 
     /// Blocks until every rank reaches the barrier.
     pub fn barrier(&self) {
+        self.pause(SyncPoint::Barrier);
         self.shared.barrier.wait();
+    }
+
+    /// This rank's schedule perturber, when the world runs under
+    /// [`World::run_config`] with a perturbation seed.
+    pub fn perturber(&self) -> Option<&Arc<SchedulePerturber>> {
+        self.perturb.as_ref()
+    }
+
+    /// Consumes one perturbation decision at `point` (no-op when the world
+    /// is unperturbed).
+    pub(crate) fn pause(&self, point: SyncPoint) {
+        if let Some(p) = &self.perturb {
+            p.pause(point);
+        }
     }
 
     /// This rank's message counters.
@@ -117,29 +147,66 @@ impl Comm {
     /// call this in the same program order (tags are assigned from a local
     /// counter that advances identically on all ranks). Messages sent
     /// through the group are counted under `phase`.
+    ///
+    /// Lockstep is audited: if any rank registered this tag with a
+    /// different visitor type or phase label — i.e. the ranks' programs
+    /// diverged in their channel-open sequences — the call panics with a
+    /// diagnostic naming the tag, both phase labels, and the expected vs.
+    /// found visitor types.
     pub fn open_channels<V: Send + 'static>(&mut self, phase: &'static str) -> ChannelGroup<V> {
         let tag = self.tag_counter;
         self.tag_counter += 1;
         let p = self.num_ranks();
-        let (sender, receiver) = crossbeam::channel::unbounded::<V>();
+        let my_type = std::any::type_name::<V>();
+        let (sender, receiver) = crossbeam::channel::unbounded::<channels::Wire<V>>();
         {
             let mut reg = self.shared.channel_registry.lock();
             let slots = reg
                 .entry(tag)
                 .or_insert_with(|| (0..p).map(|_| None).collect());
-            slots[self.rank] = Some(Box::new(sender));
+            slots[self.rank] = Some(ChannelSlot {
+                sender: Box::new(sender),
+                type_name: my_type,
+                phase,
+            });
         }
         self.barrier();
         let senders = {
             let reg = self.shared.channel_registry.lock();
             reg[&tag]
                 .iter()
-                .map(|slot| {
-                    slot.as_ref()
-                        .expect("all ranks registered before the barrier")
-                        .downcast_ref::<crossbeam::channel::Sender<V>>()
-                        .expect("channel type mismatch across ranks")
-                        .clone()
+                .enumerate()
+                .map(|(r, slot)| {
+                    let slot = match slot {
+                        Some(s) => s,
+                        None => panic!(
+                            "channel lockstep violation: tag {tag}, phase \"{phase}\": \
+                             rank {r} registered no endpoint before the barrier \
+                             (ranks must call open_channels in identical program order)"
+                        ),
+                    };
+                    if slot.phase != phase {
+                        panic!(
+                            "channel lockstep violation: tag {tag}: rank {me} opened \
+                             phase \"{phase}\" but rank {r} opened phase \"{other}\" \
+                             (ranks must call open_channels in identical program order)",
+                            me = self.rank,
+                            other = slot.phase,
+                        );
+                    }
+                    match slot
+                        .sender
+                        .downcast_ref::<crossbeam::channel::Sender<channels::Wire<V>>>()
+                    {
+                        Some(s) => s.clone(),
+                        None => panic!(
+                            "channel type mismatch: tag {tag}, phase \"{phase}\": \
+                             rank {me} expects visitor type `{my_type}` but rank {r} \
+                             registered `{found}`",
+                            me = self.rank,
+                            found = slot.type_name,
+                        ),
+                    }
                 })
                 .collect::<Vec<_>>()
         };
@@ -147,7 +214,18 @@ impl Comm {
         if self.rank == 0 {
             self.shared.channel_registry.lock().remove(&tag);
         }
-        ChannelGroup::new(self.rank, senders, receiver, self.counters.phase(phase))
+        let ctx = GroupCtx {
+            audit: Arc::clone(&self.shared.audit),
+            perturb: self.perturb.clone(),
+            phase,
+        };
+        ChannelGroup::new(
+            self.rank,
+            senders,
+            receiver,
+            self.counters.phase(phase),
+            ctx,
+        )
     }
 }
 
@@ -169,6 +247,13 @@ pub struct RunOutput<T> {
     pub results: Vec<T>,
     /// Each rank's counters and memory peaks, indexed by rank.
     pub reports: Vec<RankReport>,
+    /// Protocol-audit violations recorded during the run. Always empty
+    /// unless the crate was built with the `check` feature (see
+    /// [`audit`]).
+    pub audit_violations: Vec<AuditViolation>,
+    /// Per-rank perturbation traces (first [`perturb::TRACE_CAP`]
+    /// decisions); empty vectors when the world ran unperturbed.
+    pub perturb_traces: Vec<Vec<TraceEntry>>,
 }
 
 impl<T> RunOutput<T> {
@@ -185,6 +270,17 @@ impl<T> RunOutput<T> {
     }
 }
 
+/// Configuration for [`World::run_config`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldConfig {
+    /// When set, every rank runs with a [`SchedulePerturber`] derived from
+    /// this seed: sync points across the runtime yield or spin according
+    /// to a deterministic per-rank ChaCha stream, widening the explored
+    /// schedule space. Same seed ⇒ same decision streams (see
+    /// [`perturb`]).
+    pub perturb_seed: Option<u64>,
+}
+
 /// The simulated cluster.
 pub struct World;
 
@@ -196,10 +292,27 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
+        Self::run_config(p, WorldConfig::default(), f)
+    }
+
+    /// [`World::run`] with explicit [`WorldConfig`] (schedule
+    /// perturbation).
+    pub fn run_config<T, F>(p: usize, config: WorldConfig, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
         assert!(p >= 1, "need at least one rank");
         let shared = Arc::new(Shared::new(p));
         let counters: Vec<_> = (0..p).map(|_| Arc::new(RankCounters::default())).collect();
         let memory: Vec<_> = (0..p).map(|_| Arc::new(MemoryTracker::default())).collect();
+        let perturbers: Vec<Option<Arc<SchedulePerturber>>> = (0..p)
+            .map(|rank| {
+                config
+                    .perturb_seed
+                    .map(|seed| Arc::new(SchedulePerturber::new(seed, rank)))
+            })
+            .collect();
 
         let results: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
@@ -210,6 +323,7 @@ impl World {
                         counters: Arc::clone(&counters[rank]),
                         memory: Arc::clone(&memory[rank]),
                         tag_counter: 0,
+                        perturb: perturbers[rank].clone(),
                     };
                     let f = &f;
                     scope.spawn(move || f(&mut comm))
@@ -217,7 +331,10 @@ impl World {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         });
 
@@ -228,7 +345,15 @@ impl World {
                 peak_memory_by_label: memory[rank].peaks(),
             })
             .collect();
-        RunOutput { results, reports }
+        RunOutput {
+            results,
+            reports,
+            audit_violations: shared.audit.take_violations(),
+            perturb_traces: perturbers
+                .iter()
+                .map(|p| p.as_ref().map(|p| p.trace()).unwrap_or_default())
+                .collect(),
+        }
     }
 }
 

@@ -10,8 +10,9 @@
 
 use crate::counters::RankCounters;
 use crate::memory::MemoryTracker;
+use crate::perturb::SchedulePerturber;
 use crate::shared::Shared;
-use crate::{Comm, RankReport, RunOutput};
+use crate::{Comm, RankReport, RunOutput, WorldConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::any::Any;
 use std::sync::Arc;
@@ -28,6 +29,8 @@ struct Job {
 /// A world whose rank threads persist across computations.
 pub struct PersistentWorld {
     num_ranks: usize,
+    shared: Arc<Shared>,
+    perturbers: Vec<Option<Arc<SchedulePerturber>>>,
     job_senders: Vec<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -35,16 +38,32 @@ pub struct PersistentWorld {
 impl PersistentWorld {
     /// Spawns `p` resident rank threads.
     pub fn new(p: usize) -> Self {
+        Self::new_with_config(p, WorldConfig::default())
+    }
+
+    /// [`PersistentWorld::new`] with explicit [`WorldConfig`]. A
+    /// perturbation seed applies to every job the world executes; the
+    /// per-rank decision streams (and recorded traces) continue across
+    /// jobs rather than restarting.
+    pub fn new_with_config(p: usize, config: WorldConfig) -> Self {
         assert!(p >= 1, "need at least one rank");
         let shared = Arc::new(Shared::new(p));
+        let perturbers: Vec<Option<Arc<SchedulePerturber>>> = (0..p)
+            .map(|rank| {
+                config
+                    .perturb_seed
+                    .map(|seed| Arc::new(SchedulePerturber::new(seed, rank)))
+            })
+            .collect();
         let mut job_senders = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
-        for rank in 0..p {
+        for (rank, perturb) in perturbers.iter().enumerate() {
             let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
             job_senders.push(tx);
             let shared = Arc::clone(&shared);
+            let perturb = perturb.clone();
             handles.push(std::thread::spawn(move || {
-                let mut comm = Comm::new_for_persistent(rank, shared);
+                let mut comm = Comm::new_for_persistent(rank, shared, perturb);
                 while let Ok(job) = rx.recv() {
                     comm.install_observers(Arc::clone(&job.counters), Arc::clone(&job.memory));
                     let out = (job.f)(&mut comm);
@@ -56,6 +75,8 @@ impl PersistentWorld {
         }
         PersistentWorld {
             num_ranks: p,
+            shared,
+            perturbers,
             job_senders,
             handles,
         }
@@ -82,25 +103,40 @@ impl PersistentWorld {
         let memory: Vec<_> = (0..p).map(|_| Arc::new(MemoryTracker::default())).collect();
         let (results_tx, results_rx) = bounded(p);
         for rank in 0..p {
-            self.job_senders[rank]
+            if self.job_senders[rank]
                 .send(Job {
                     f: Arc::clone(&f),
                     counters: Arc::clone(&counters[rank]),
                     memory: Arc::clone(&memory[rank]),
                     results: results_tx.clone(),
                 })
-                .expect("rank thread alive");
+                .is_err()
+            {
+                unreachable!("resident rank {rank} exited while the world is alive");
+            }
         }
         drop(results_tx);
         let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
         for _ in 0..p {
-            let (rank, boxed) = results_rx.recv().expect("rank thread panicked");
-            let value = *boxed.downcast::<T>().expect("job result type");
+            let (rank, boxed) = match results_rx.recv() {
+                Ok(pair) => pair,
+                Err(_) => {
+                    panic!("a resident rank thread panicked or exited before reporting its result")
+                }
+            };
+            let value = match boxed.downcast::<T>() {
+                Ok(v) => *v,
+                Err(_) => unreachable!("job result type fixed by the dispatching closure"),
+            };
             slots[rank] = Some(value);
         }
         let results = slots
             .into_iter()
-            .map(|s| s.expect("every rank reported"))
+            .enumerate()
+            .map(|(rank, s)| match s {
+                Some(v) => v,
+                None => unreachable!("rank {rank} reported exactly once above"),
+            })
             .collect();
         let reports = (0..p)
             .map(|rank| RankReport {
@@ -109,7 +145,16 @@ impl PersistentWorld {
                 peak_memory_by_label: memory[rank].peaks(),
             })
             .collect();
-        RunOutput { results, reports }
+        RunOutput {
+            results,
+            reports,
+            audit_violations: self.shared.audit.take_violations(),
+            perturb_traces: self
+                .perturbers
+                .iter()
+                .map(|p| p.as_ref().map(|p| p.trace()).unwrap_or_default())
+                .collect(),
+        }
     }
 }
 

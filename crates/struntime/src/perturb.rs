@@ -1,0 +1,267 @@
+//! Deterministic schedule exploration: seeded perturbation of sync points.
+//!
+//! The simulated runtime's concurrency bugs — premature termination,
+//! lost-batch races, collective lockstep violations — only manifest under
+//! particular thread interleavings, and an unperturbed test run explores
+//! very few of them. A [`SchedulePerturber`] widens the explored schedule
+//! space: every rank carries a ChaCha-seeded decision stream, and at each
+//! *sync point* (channel send/recv, idle-set entry/exit, the rank-0
+//! double-read gap, collective slot access, barrier entry) the runtime asks
+//! it whether to pass through, yield the OS thread, or spin briefly. Same
+//! seed ⇒ same per-rank decision stream, so a schedule that exposes a bug
+//! is replayable by seed.
+//!
+//! [`stress_schedules`] is the harness: it runs one world per seed and
+//! returns each run's output (including audit violations when the `check`
+//! feature is on), so a single test can sweep hundreds of distinct
+//! schedules.
+//!
+//! Determinism contract: the *decision stream* of a rank is a pure
+//! function of `(seed, rank)` — two runs with the same seed draw identical
+//! action sequences ([`SchedulePerturber::decision_preview`] reproduces
+//! the stream without running anything). Which sync point consumes the
+//! k-th decision still depends on the actual interleaving (e.g. how often
+//! an idle rank polls an empty channel), so recorded traces of two
+//! same-seed runs are prefixes of the same pure stream rather than
+//! necessarily identical.
+
+use crate::{Comm, RunOutput, World, WorldConfig};
+use parking_lot::Mutex;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A synchronization point the runtime exposes to perturbation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SyncPoint {
+    /// A message or batch is about to enter a channel.
+    ChannelSend,
+    /// A rank is about to poll its inbound channel.
+    ChannelRecv,
+    /// A rank is about to join the idle set.
+    IdleEnter,
+    /// A rank is about to leave the idle set.
+    IdleExit,
+    /// Rank 0 sits between the first and second counter reads of the
+    /// double-read termination protocol.
+    DoubleRead,
+    /// A rank is about to touch the shared collective exchange slot.
+    CollectiveSlot,
+    /// A rank is about to wait on the world barrier.
+    Barrier,
+}
+
+/// What the perturber decided at one sync point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PerturbAction {
+    /// Continue immediately.
+    Pass,
+    /// `std::thread::yield_now()`.
+    Yield,
+    /// Spin `n` iterations of `std::hint::spin_loop()`.
+    Spin(u32),
+}
+
+/// One recorded perturbation decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Where the decision was consumed.
+    pub point: SyncPoint,
+    /// What was decided.
+    pub action: PerturbAction,
+}
+
+/// How many decisions each rank records (recording stops after the cap so
+/// long traversals cannot grow traces without bound).
+pub const TRACE_CAP: usize = 256;
+
+struct PerturbInner {
+    rng: ChaCha8Rng,
+    trace: Vec<TraceEntry>,
+}
+
+/// A per-rank deterministic schedule perturber.
+///
+/// Threaded through the runtime by [`World::run_config`]; the rank's
+/// [`Comm`] and every [`crate::ChannelGroup`] it opens hold a handle and
+/// call [`SchedulePerturber::pause`] at each sync point. The lock is
+/// uncontended (one perturber per rank) so the hook is cheap.
+pub struct SchedulePerturber {
+    seed: u64,
+    rank: usize,
+    inner: Mutex<PerturbInner>,
+}
+
+/// Distinct-stream constant for per-rank seed derivation (golden-ratio
+/// increment, as in splitmix64).
+const RANK_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn decide(rng: &mut ChaCha8Rng) -> PerturbAction {
+    match rng.next_u32() % 8 {
+        0..=3 => PerturbAction::Pass,
+        4 | 5 => PerturbAction::Yield,
+        _ => PerturbAction::Spin(1 + rng.next_u32() % 96),
+    }
+}
+
+impl SchedulePerturber {
+    /// Perturber for `rank` with the world-level `seed`. Different ranks
+    /// derive distinct, deterministic ChaCha streams.
+    pub fn new(seed: u64, rank: usize) -> Self {
+        let stream = seed.wrapping_add((rank as u64 + 1).wrapping_mul(RANK_STREAM));
+        SchedulePerturber {
+            seed,
+            rank,
+            inner: Mutex::new(PerturbInner {
+                rng: ChaCha8Rng::seed_from_u64(stream),
+                trace: Vec::new(),
+            }),
+        }
+    }
+
+    /// The world-level seed this perturber was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The rank this perturber belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Consumes the next decision at `point` and executes it (no-op,
+    /// yield, or bounded spin — never blocking, so hooks cannot deadlock
+    /// the runtime).
+    pub fn pause(&self, point: SyncPoint) {
+        let action = {
+            let mut inner = self.inner.lock();
+            let action = decide(&mut inner.rng);
+            if inner.trace.len() < TRACE_CAP {
+                inner.trace.push(TraceEntry { point, action });
+            }
+            action
+        };
+        match action {
+            PerturbAction::Pass => {}
+            PerturbAction::Yield => std::thread::yield_now(),
+            PerturbAction::Spin(n) => {
+                for _ in 0..n {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// The first [`TRACE_CAP`] recorded decisions.
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.inner.lock().trace.clone()
+    }
+
+    /// The pure decision stream for `(seed, rank)`, first `n` entries,
+    /// computed without running anything. Any recorded action trace of a
+    /// world using `seed` is a prefix of this stream — the determinism
+    /// contract tests assert against it.
+    pub fn decision_preview(seed: u64, rank: usize, n: usize) -> Vec<PerturbAction> {
+        let perturber = SchedulePerturber::new(seed, rank);
+        let mut inner = perturber.inner.lock();
+        (0..n).map(|_| decide(&mut inner.rng)).collect()
+    }
+}
+
+impl std::fmt::Debug for SchedulePerturber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulePerturber")
+            .field("seed", &self.seed)
+            .field("rank", &self.rank)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs `f` as a world of `p` ranks once per seed, each run perturbed by a
+/// [`SchedulePerturber`] derived from that seed, and returns `(seed,
+/// output)` pairs. With the `check` feature on, each output carries the
+/// audit violations that schedule produced — the core stress idiom is:
+///
+/// ```
+/// use struntime::stress_schedules;
+///
+/// let outcomes = stress_schedules(2, 0..8u64, |comm| comm.rank());
+/// for (seed, out) in &outcomes {
+///     assert!(out.audit_violations.is_empty(), "seed {seed} broke the protocol");
+/// }
+/// ```
+pub fn stress_schedules<T, F>(
+    p: usize,
+    seeds: impl IntoIterator<Item = u64>,
+    f: F,
+) -> Vec<(u64, RunOutput<T>)>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    seeds
+        .into_iter()
+        .map(|seed| {
+            let config = WorldConfig {
+                perturb_seed: Some(seed),
+            };
+            (seed, World::run_config(p, config, &f))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_stream_is_pure_per_seed_and_rank() {
+        let a = SchedulePerturber::decision_preview(42, 1, 64);
+        let b = SchedulePerturber::decision_preview(42, 1, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, SchedulePerturber::decision_preview(43, 1, 64));
+        assert_ne!(a, SchedulePerturber::decision_preview(42, 2, 64));
+    }
+
+    #[test]
+    fn pause_consumes_the_preview_stream_in_order() {
+        let p = SchedulePerturber::new(7, 0);
+        for point in [
+            SyncPoint::ChannelSend,
+            SyncPoint::ChannelRecv,
+            SyncPoint::IdleEnter,
+            SyncPoint::DoubleRead,
+            SyncPoint::CollectiveSlot,
+        ] {
+            p.pause(point);
+        }
+        let actions: Vec<_> = p.trace().iter().map(|e| e.action).collect();
+        let preview = SchedulePerturber::decision_preview(7, 0, 5);
+        assert_eq!(actions, preview);
+    }
+
+    #[test]
+    fn trace_is_capped() {
+        let p = SchedulePerturber::new(1, 0);
+        for _ in 0..(TRACE_CAP + 100) {
+            p.pause(SyncPoint::Barrier);
+        }
+        assert_eq!(p.trace().len(), TRACE_CAP);
+    }
+
+    #[test]
+    fn spin_counts_are_bounded() {
+        for action in SchedulePerturber::decision_preview(99, 3, 2048) {
+            if let PerturbAction::Spin(n) = action {
+                assert!((1..=96).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn all_action_kinds_occur() {
+        let preview = SchedulePerturber::decision_preview(5, 0, 256);
+        assert!(preview.contains(&PerturbAction::Pass));
+        assert!(preview.contains(&PerturbAction::Yield));
+        assert!(preview.iter().any(|a| matches!(a, PerturbAction::Spin(_))));
+    }
+}

@@ -1,14 +1,39 @@
 //! State shared by all ranks of a [`crate::World`]: the channel registry,
-//! the barrier, the collective exchange slot, and the quiescence detector.
+//! the barrier, the collective exchange slot, the quiescence detector, and
+//! the protocol-audit ledger.
 
+use crate::audit::AuditState;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
-/// One boxed `Sender<V>` slot per rank, keyed by channel tag.
-pub type ChannelSlots = Vec<Option<Box<dyn Any + Send>>>;
+/// One rank's registered channel endpoint plus the metadata needed to
+/// produce structured lockstep diagnostics (which phase label and visitor
+/// type each rank opened the tag with).
+pub struct ChannelSlot {
+    /// The boxed `crossbeam::channel::Sender<Wire<V>>`.
+    pub sender: Box<dyn Any + Send>,
+    /// `std::any::type_name` of the visitor type `V` the rank opened with.
+    pub type_name: &'static str,
+    /// Phase label the rank opened with.
+    pub phase: &'static str,
+}
+
+/// One registered endpoint slot per rank, keyed by channel tag.
+pub type ChannelSlots = Vec<Option<ChannelSlot>>;
+
+/// The collective exchange value plus metadata for structured type
+/// diagnostics when ranks call mismatched collectives.
+pub struct CollectiveSlot {
+    /// The boxed accumulator / broadcast value.
+    pub value: Box<dyn Any + Send>,
+    /// `std::any::type_name` of the seeded value's element/value type.
+    pub type_name: &'static str,
+    /// Which collective seeded the slot (`"allreduce"` / `"broadcast"`).
+    pub op: &'static str,
+}
 
 /// Global termination-detection state for one asynchronous traversal.
 ///
@@ -47,14 +72,17 @@ pub struct Shared {
     /// Cyclic barrier across all ranks.
     pub barrier: Barrier,
     /// Channel-endpoint registry used by `Comm::open_channels`: maps a tag
-    /// to one boxed `Sender` per rank.
+    /// to one registered endpoint slot per rank.
     pub channel_registry: Mutex<HashMap<u64, ChannelSlots>>,
     /// Exchange slot for collectives (reduction accumulator / broadcast
     /// value), guarded by the collective call protocol in
     /// [`crate::collective`].
-    pub collective_slot: Mutex<Option<Box<dyn Any + Send>>>,
+    pub collective_slot: Mutex<Option<CollectiveSlot>>,
     /// Termination detector for asynchronous traversals.
     pub quiescence: Quiescence,
+    /// Protocol-audit ledger (records nothing unless the crate is built
+    /// with the `check` feature — see [`crate::audit`]).
+    pub audit: Arc<AuditState>,
 }
 
 impl Shared {
@@ -66,6 +94,7 @@ impl Shared {
             channel_registry: Mutex::new(HashMap::new()),
             collective_slot: Mutex::new(None),
             quiescence: Quiescence::default(),
+            audit: Arc::new(AuditState::new()),
         }
     }
 }

@@ -33,11 +33,26 @@
 //! can only create obligations by bumping `sent`. Both reads bracketing
 //! the idle check being equal therefore proves no rank left idleness and
 //! no new work appeared — the system is quiescent.
+//!
+//! ## Verification hooks
+//!
+//! Each of the protocol's sync points (channel send/recv inside the
+//! group, idle-set entry/exit, the rank-0 double-read gap) consults the
+//! rank's [`crate::SchedulePerturber`] when the world runs perturbed, and
+//! with the `check` feature the traversal verifies the audit invariants of
+//! [`crate::audit`] at termination: rank 0 opens an audit epoch before
+//! work starts, each rank reports if it exits with queued visitors, sends
+//! after `done` are flagged where they happen, and rank 0 closes the epoch
+//! by checking for lost batches, counter balance, and full idle
+//! accounting.
 
+use crate::audit::{self, AuditViolation};
 use crate::channels::ChannelGroup;
+use crate::perturb::SyncPoint;
 use crate::queue::{QueueKind, VisitorQueue};
 use crate::Comm;
 use std::sync::atomic::Ordering::SeqCst;
+use std::time::Duration;
 
 /// Default visitors per network batch (HavoqGT-style aggregation).
 pub const DEFAULT_BATCH_SIZE: usize = 64;
@@ -101,9 +116,19 @@ fn flush_one<V: Send + 'static>(
     if buffer.is_empty() {
         return;
     }
+    let q = &comm.shared().quiescence;
+    if audit::is_active() && q.done.load(SeqCst) {
+        // In the correct protocol no rank ships work after termination is
+        // declared — a send here proves the detector fired early.
+        comm.shared().audit.report(AuditViolation::SendAfterDone {
+            src: comm.rank(),
+            dest,
+            phase: chan.phase(),
+        });
+    }
     // Count the in-flight batch before it enters the channel so the
     // quiescence detector can never observe sent < actual.
-    comm.shared().quiescence.sent.fetch_add(1, SeqCst);
+    q.sent.fetch_add(1, SeqCst);
     chan.send_batch(dest, std::mem::take(buffer));
 }
 
@@ -153,7 +178,54 @@ pub fn run_traversal_config<V, P, F>(
     options: TraversalOptions,
     priority: P,
     init: impl IntoIterator<Item = V>,
+    visit: F,
+) -> TraversalStats
+where
+    V: Send + 'static,
+    P: Fn(&V) -> u64,
+    F: FnMut(V, &mut Pusher<'_, V>),
+{
+    traversal_loop::<false, V, P, F>(comm, chan, options, priority, init, visit, Duration::ZERO)
+}
+
+/// **Mutation-check variant, `check` builds only — never use for real
+/// work.** Identical to [`run_traversal_config`] except the channel-drain
+/// step deliberately reorders the idle-set exit after the `received`
+/// bump (with `delay` dwelling in the window between them) — the exact
+/// reordering the correct protocol forbids, reintroducing the
+/// premature-termination race the double-read protocol exists to close.
+/// Tests use it to prove the audit layer flags the race (lost batches,
+/// counter mismatch, sends after `done`).
+#[cfg(feature = "check")]
+pub fn run_traversal_mutant_premature<V, P, F>(
+    comm: &Comm,
+    chan: &ChannelGroup<Vec<V>>,
+    options: TraversalOptions,
+    priority: P,
+    init: impl IntoIterator<Item = V>,
+    visit: F,
+    delay: Duration,
+) -> TraversalStats
+where
+    V: Send + 'static,
+    P: Fn(&V) -> u64,
+    F: FnMut(V, &mut Pusher<'_, V>),
+{
+    traversal_loop::<true, V, P, F>(comm, chan, options, priority, init, visit, delay)
+}
+
+/// The traversal loop. `PREMATURE_MUTANT` selects the intentionally broken
+/// drain ordering used by the audit mutation check (see
+/// [`run_traversal_mutant_premature`]); production entry points
+/// monomorphize with `false`, so the mutant branch compiles away.
+fn traversal_loop<const PREMATURE_MUTANT: bool, V, P, F>(
+    comm: &Comm,
+    chan: &ChannelGroup<Vec<V>>,
+    options: TraversalOptions,
+    priority: P,
+    init: impl IntoIterator<Item = V>,
     mut visit: F,
+    mutant_delay: Duration,
 ) -> TraversalStats
 where
     V: Send + 'static,
@@ -167,8 +239,12 @@ where
 
     // Fresh detector state; the barriers fence off the previous traversal.
     comm.barrier();
+    let mut audit_epoch = 0;
     if rank == 0 {
         q.reset();
+        if audit::is_active() {
+            audit_epoch = comm.shared().audit.begin_epoch();
+        }
     }
     comm.barrier();
 
@@ -190,11 +266,25 @@ where
         // rank still counted as idle and held an unprocessed batch — a
         // premature-termination race.
         while let Some(batch) = chan.try_recv() {
-            if idle {
-                q.idle.fetch_sub(1, SeqCst);
-                idle = false;
+            if PREMATURE_MUTANT {
+                // Intentionally wrong order (mutation check): acknowledge
+                // the batch while still counted idle, and dwell in the
+                // race window so the detector can misfire.
+                q.received.fetch_add(1, SeqCst);
+                std::thread::sleep(mutant_delay);
+                if idle {
+                    comm.pause(SyncPoint::IdleExit);
+                    q.idle.fetch_sub(1, SeqCst);
+                    idle = false;
+                }
+            } else {
+                if idle {
+                    comm.pause(SyncPoint::IdleExit);
+                    q.idle.fetch_sub(1, SeqCst);
+                    idle = false;
+                }
+                q.received.fetch_add(1, SeqCst);
             }
-            q.received.fetch_add(1, SeqCst);
             for v in batch {
                 let pr = priority(&v);
                 queue.push(pr, v);
@@ -237,6 +327,7 @@ where
 
         // Locally quiet: join the idle set and watch for termination.
         if !idle {
+            comm.pause(SyncPoint::IdleEnter);
             q.idle.fetch_add(1, SeqCst);
             idle = true;
         }
@@ -247,6 +338,7 @@ where
             let s1 = q.sent.load(SeqCst);
             let r1 = q.received.load(SeqCst);
             if s1 == r1 && q.idle.load(SeqCst) == p {
+                comm.pause(SyncPoint::DoubleRead);
                 let s2 = q.sent.load(SeqCst);
                 let r2 = q.received.load(SeqCst);
                 if s1 == s2 && r1 == r2 {
@@ -258,9 +350,31 @@ where
         std::thread::yield_now();
     }
 
+    if audit::is_active() && !queue.is_empty() {
+        // A correct exit always drains the local queue first.
+        comm.shared()
+            .audit
+            .report(AuditViolation::PrematureTermination {
+                rank,
+                queued: queue.len(),
+            });
+    }
+
     comm.memory()
         .record("visitor_queue_peak", stats.peak_queue_bytes);
     // No rank may reset the detector (next traversal) before all have left.
     comm.barrier();
+    if rank == 0 && audit::is_active() {
+        // All ranks have exited (post-barrier), so every ledger entry for
+        // this epoch is final; any rank entering a *next* traversal blocks
+        // on its opening barrier until rank 0 finishes here.
+        comm.shared().audit.verify_quiescence(
+            audit_epoch,
+            p,
+            q.sent.load(SeqCst),
+            q.received.load(SeqCst),
+            q.idle.load(SeqCst),
+        );
+    }
     stats
 }

@@ -1,0 +1,664 @@
+//! Custom lint pass for the simulated-runtime workspace.
+//!
+//! `cargo run -p xtask -- lint` walks every non-vendored `.rs` file and
+//! enforces four rules that `rustc`/`clippy` cannot express because they
+//! encode *this* codebase's concurrency discipline:
+//!
+//! 1. `relaxed-quiescence` — the double-read termination protocol is only
+//!    sound under `SeqCst`; `Ordering::Relaxed` on the quiescence fields
+//!    (`sent`, `received`, `idle`, `done`) is forbidden in
+//!    `crates/struntime/src`.
+//! 2. `thread-spawn` — raw `thread::spawn` outside `crates/struntime/src`
+//!    bypasses the World's rank lifecycle (counters, audit ledger,
+//!    perturbers, panic propagation); all parallelism must go through the
+//!    runtime.
+//! 3. `unwrap-expect` — `.unwrap()` / `.expect(` in struntime's non-test
+//!    runtime code turn protocol violations into context-free panics; the
+//!    runtime must emit structured diagnostics instead.
+//! 4. `phase-label-dup` — `open_channels` phase labels must be unique per
+//!    call site within a file's non-test code, or per-phase counters and
+//!    audit diagnostics silently merge unrelated channel groups.
+//!
+//! The scanner blanks comment bodies and string/char-literal contents
+//! before matching (so prose and fixtures never trip a rule) and tracks
+//! `#[cfg(test)]` brace regions so test-only code is exempt where a rule
+//! says so. A finding can be suppressed for one line by putting
+//! `stcheck: allow(<rule>)` anywhere on it (typically in a trailing
+//! comment).
+
+use std::fmt;
+use std::path::Path;
+
+/// One finding, pointing at a 1-indexed line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+pub const RULE_RELAXED: &str = "relaxed-quiescence";
+pub const RULE_SPAWN: &str = "thread-spawn";
+pub const RULE_UNWRAP: &str = "unwrap-expect";
+pub const RULE_PHASE_DUP: &str = "phase-label-dup";
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["vendored", "target", ".git"];
+
+/// Collects `(workspace-relative path, contents)` for every `.rs` file
+/// under `root`, skipping vendored shims and build products. Paths are
+/// sorted so findings are deterministic.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push((rel, std::fs::read_to_string(&path)?));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs every rule over in-memory `(path, contents)` pairs. Split from
+/// the filesystem walk so the rules are unit-testable on inline fixtures.
+pub fn run_lints(files: &[(String, String)]) -> Vec<LintError> {
+    let test_modules = collect_test_module_files(files);
+    let mut errors = Vec::new();
+    for (path, content) in files {
+        lint_file(path, content, test_modules.contains(path), &mut errors);
+    }
+    errors
+}
+
+/// Resolves `#[cfg(test)] mod name;` declarations to the files they pull
+/// in (`name.rs` / `name/mod.rs` next to the declaring file), so a
+/// test-only out-of-line module is exempt like an inline `mod tests {}`.
+fn collect_test_module_files(files: &[(String, String)]) -> std::collections::HashSet<String> {
+    let mut out = std::collections::HashSet::new();
+    for (path, content) in files {
+        let blanked = blank(content);
+        let mut search = 0;
+        while let Some(found) = blanked[search..].find("#[cfg(test)]") {
+            let after = search + found + "#[cfg(test)]".len();
+            search = after;
+            if let Some(name) = braceless_mod_name(&blanked[after..]) {
+                let base = module_base_dir(path);
+                out.insert(format!("{base}{name}.rs"));
+                out.insert(format!("{base}{name}/mod.rs"));
+            }
+        }
+    }
+    out
+}
+
+/// If `rest` (blanked text right after an attribute) begins a `mod name;`
+/// item — possibly behind more attributes or `pub` — returns the name.
+fn braceless_mod_name(rest: &str) -> Option<String> {
+    let mut s = rest.trim_start();
+    loop {
+        if let Some(tail) = s.strip_prefix("#[") {
+            s = tail.split_once(']')?.1.trim_start();
+        } else if let Some(tail) = s.strip_prefix("pub") {
+            let tail = tail.trim_start();
+            // `pub(crate)` etc.
+            s = match tail.strip_prefix('(') {
+                Some(t) => t.split_once(')')?.1.trim_start(),
+                None => tail,
+            };
+        } else {
+            break;
+        }
+    }
+    let s = s.strip_prefix("mod")?.trim_start();
+    let name: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if !name.is_empty() && s[name.len()..].trim_start().starts_with(';') {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Directory prefix where a file's child modules live (`lib.rs` /
+/// `main.rs` / `mod.rs` use their own directory; `foo.rs` uses `foo/`).
+fn module_base_dir(path: &str) -> String {
+    let (dir, file) = match path.rsplit_once('/') {
+        Some((d, f)) => (format!("{d}/"), f),
+        None => (String::new(), path),
+    };
+    match file {
+        "lib.rs" | "main.rs" | "mod.rs" => dir,
+        other => format!("{dir}{}/", other.trim_end_matches(".rs")),
+    }
+}
+
+fn lint_file(path: &str, content: &str, declared_test_module: bool, errors: &mut Vec<LintError>) {
+    let blanked = blank(content);
+    let raw_lines: Vec<&str> = content.lines().collect();
+    let blanked_lines: Vec<&str> = blanked.lines().collect();
+    let test_mask = test_line_mask(&blanked);
+    // Integration-test and bench targets, and `#[cfg(test)] mod x;`
+    // files, are test code in their entirety.
+    let whole_file_is_test = declared_test_module
+        || path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.contains("/benches/");
+    let is_test_line =
+        |idx: usize| whole_file_is_test || test_mask.get(idx).copied().unwrap_or(false);
+    let in_struntime = path.starts_with("crates/struntime/src");
+
+    for (idx, bline) in blanked_lines.iter().enumerate() {
+        let raw = raw_lines.get(idx).copied().unwrap_or("");
+        let lineno = idx + 1;
+
+        if in_struntime
+            && bline.contains("Relaxed")
+            && quiescence_field(bline)
+            && !allows(raw, RULE_RELAXED)
+        {
+            errors.push(LintError {
+                path: path.to_string(),
+                line: lineno,
+                rule: RULE_RELAXED,
+                message: "Ordering::Relaxed on a quiescence field; the double-read \
+                          termination protocol requires SeqCst"
+                    .to_string(),
+            });
+        }
+
+        if !in_struntime && bline.contains("thread::spawn") && !allows(raw, RULE_SPAWN) {
+            errors.push(LintError {
+                path: path.to_string(),
+                line: lineno,
+                rule: RULE_SPAWN,
+                message: "raw thread::spawn outside struntime; spawn ranks through \
+                          World/PersistentWorld so counters, audit, and panic \
+                          propagation stay wired"
+                    .to_string(),
+            });
+        }
+
+        if in_struntime
+            && !is_test_line(idx)
+            && (bline.contains(".unwrap()") || bline.contains(".expect("))
+            && !allows(raw, RULE_UNWRAP)
+        {
+            errors.push(LintError {
+                path: path.to_string(),
+                line: lineno,
+                rule: RULE_UNWRAP,
+                message: "unwrap/expect in struntime runtime code; emit a structured \
+                          diagnostic (match + panic! naming tag, phase, and types)"
+                    .to_string(),
+            });
+        }
+    }
+
+    phase_label_dups(path, content, &blanked, &is_test_line, &raw_lines, errors);
+}
+
+/// Does this (blanked) line touch one of the quiescence fields?
+fn quiescence_field(line: &str) -> bool {
+    ["quiescence", ".sent", ".received", ".idle", ".done"]
+        .iter()
+        .any(|f| line.contains(f))
+}
+
+/// Line-scoped suppression: `stcheck: allow(<rule>)` in the raw line.
+fn allows(raw_line: &str, rule: &str) -> bool {
+    raw_line
+        .find("stcheck: allow(")
+        .map(|i| raw_line[i..].contains(&format!("allow({rule})")))
+        .unwrap_or(false)
+}
+
+/// Flags duplicate `open_channels` phase labels among a file's non-test
+/// call sites. Labels are extracted from the *original* text (the blank
+/// pass erases literal contents but keeps the quote delimiters, so the
+/// span is found in the blanked copy and read from the raw one).
+fn phase_label_dups(
+    path: &str,
+    content: &str,
+    blanked: &str,
+    is_test_line: &dyn Fn(usize) -> bool,
+    raw_lines: &[&str],
+    errors: &mut Vec<LintError>,
+) {
+    let bytes = blanked.as_bytes();
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut search = 0;
+    while let Some(found) = blanked[search..].find("open_channels") {
+        let at = search + found;
+        search = at + "open_channels".len();
+        // A call site carries its label before any statement/body
+        // boundary; a definition or bare mention hits `{`, `;`, or `}`
+        // first and is skipped.
+        let mut open = None;
+        for (off, &b) in bytes[search..].iter().enumerate() {
+            match b {
+                b'"' => {
+                    open = Some(search + off);
+                    break;
+                }
+                b'{' | b';' | b'}' => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = blanked[open + 1..].find('"').map(|i| open + 1 + i) else {
+            continue;
+        };
+        let label = content[open + 1..close].to_string();
+        let lineno = blanked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+        if is_test_line(lineno - 1) {
+            continue;
+        }
+        let raw = raw_lines.get(lineno - 1).copied().unwrap_or("");
+        if allows(raw, RULE_PHASE_DUP) {
+            continue;
+        }
+        if let Some((_, first_line)) = seen.iter().find(|(l, _)| *l == label) {
+            errors.push(LintError {
+                path: path.to_string(),
+                line: lineno,
+                rule: RULE_PHASE_DUP,
+                message: format!(
+                    "phase label {label:?} already used by the open_channels call on \
+                     line {first_line}; labels key per-phase counters and audit \
+                     diagnostics, so every call site needs its own"
+                ),
+            });
+        } else {
+            seen.push((label, lineno));
+        }
+    }
+}
+
+/// Replaces comment bodies and string/char-literal contents with spaces,
+/// preserving length, newlines, and quote delimiters, so the rule matchers
+/// only ever see code. Handles nested block comments, escapes, raw strings
+/// (`r"…"`, `r#"…"#`, byte variants), and tells lifetimes from char
+/// literals.
+fn blank(content: &str) -> String {
+    let b = content.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = blank_string(b, &mut out, i),
+            b'r' | b'b' if !ident_char(b.get(i.wrapping_sub(1)).copied()) => {
+                // Possible raw/byte string prefix: r"…", r#"…"#, b"…",
+                // br#"…"#. Anything else falls through as plain code.
+                let mut j = i + 1;
+                if b[i] == b'b' && b.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'"') && (hashes > 0 || j > i + 1 || b[i] != b'b') {
+                    i = blank_raw_string(b, &mut out, j, hashes);
+                } else if b[i] == b'b' && b.get(i + 1) == Some(&b'"') {
+                    i = blank_string(b, &mut out, i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // bytes ('x' or an escape); a lifetime never has a
+                // closing quote right after its identifier.
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Blank the backslash and the escaped char first so a
+                    // `'\''` literal cannot desync the scanner, then any
+                    // tail (e.g. `'\u{1F600}'`).
+                    out[i + 1] = b' ';
+                    if i + 2 < b.len() {
+                        out[i + 2] = b' ';
+                    }
+                    i += 3;
+                    while i < b.len() && b[i] != b'\'' {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    out[i + 1] = b' ';
+                    i += 3;
+                } else {
+                    i += 1; // lifetime
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Blanking is byte-wise; multibyte chars only occur inside the
+    // regions we erased, so the result is valid UTF-8 again.
+    String::from_utf8(out).unwrap_or_else(|_| content.to_string())
+}
+
+fn ident_char(b: Option<u8>) -> bool {
+    matches!(b, Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// Blanks a normal string literal starting at the `"` at `start`; returns
+/// the index just past the closing quote. Quote delimiters survive.
+fn blank_string(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                out[i] = b' ';
+                if i + 1 < b.len() && b[i + 1] != b'\n' {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Blanks a raw string whose opening `"` sits at `quote`, closed by `"`
+/// followed by `hashes` `#`s; returns the index just past the closer.
+fn blank_raw_string(b: &[u8], out: &mut [u8], quote: usize, hashes: usize) -> usize {
+    let mut i = quote + 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        if b[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Per-line flags marking `#[cfg(test)]` brace regions in blanked text.
+/// A `#[cfg(test)]` arms the *next* brace-delimited item; a `;` before
+/// any `{` (e.g. `#[cfg(test)] mod proptests;`) disarms it so the rest of
+/// the file is not swallowed.
+fn test_line_mask(blanked: &str) -> Vec<bool> {
+    let line_count = blanked.lines().count();
+    let mut mask = vec![false; line_count.max(1)];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut regions: Vec<i64> = Vec::new();
+    let mut line = 0;
+    let bytes = blanked.as_bytes();
+    for (i, &c) in bytes.iter().enumerate() {
+        if c == b'#' && blanked[i..].starts_with("#[cfg(test)]") {
+            pending = true;
+        }
+        match c {
+            b'\n' => line += 1,
+            b'{' => {
+                depth += 1;
+                if pending {
+                    regions.push(depth);
+                    pending = false;
+                }
+            }
+            b'}' => {
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                    // The closing line itself still belongs to the region.
+                    if line < mask.len() {
+                        mask[line] = true;
+                    }
+                }
+                depth -= 1;
+            }
+            b';' => pending = false,
+            _ => {}
+        }
+        if !regions.is_empty() && line < mask.len() {
+            mask[line] = true;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Vec<LintError> {
+        run_lints(&[(path.to_string(), src.to_string())])
+    }
+
+    fn rules(errors: &[LintError]) -> Vec<&'static str> {
+        errors.iter().map(|e| e.rule).collect()
+    }
+
+    #[test]
+    fn relaxed_on_quiescence_field_is_flagged_in_struntime_only() {
+        let src = "fn f(q: &Q) { q.sent.fetch_add(1, Ordering::Relaxed); }\n";
+        let hit = lint_one("crates/struntime/src/traversal.rs", src);
+        assert_eq!(rules(&hit), vec![RULE_RELAXED]);
+        assert_eq!(hit[0].line, 1);
+        assert!(lint_one("crates/steiner/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_on_plain_counters_is_fine() {
+        let src = "stats.local_msgs.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(lint_one("crates/struntime/src/channels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_finding_can_be_suppressed_inline() {
+        let src = "q.done.store(true, Ordering::Relaxed); // stcheck: allow(relaxed-quiescence)\n";
+        assert!(lint_one("crates/struntime/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_outside_struntime_is_flagged() {
+        let src = "let h = std::thread::spawn(move || 1);\n";
+        assert_eq!(
+            rules(&lint_one("crates/steiner/src/solver.rs", src)),
+            vec![RULE_SPAWN]
+        );
+        assert!(lint_one("crates/struntime/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn spawn_in_comments_and_strings_is_ignored() {
+        let src = "// never call thread::spawn here\nlet s = \"thread::spawn\";\n";
+        assert!(lint_one("crates/steiner/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_struntime_runtime_code_is_flagged() {
+        let src = "let v = slot.take().unwrap();\nlet w = rx.recv().expect(\"msg\");\n";
+        let hit = lint_one("crates/struntime/src/collective.rs", src);
+        assert_eq!(rules(&hit), vec![RULE_UNWRAP, RULE_UNWRAP]);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_module_is_exempt() {
+        let src = "fn run() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { helper().unwrap(); }\n\
+                   }\n";
+        assert!(lint_one("crates/struntime/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\n\
+                   mod proptests;\n\
+                   fn run() { x.unwrap(); }\n";
+        let hit = lint_one("crates/struntime/src/lib.rs", src);
+        assert_eq!(rules(&hit), vec![RULE_UNWRAP]);
+        assert_eq!(hit[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));\n";
+        assert!(lint_one("crates/struntime/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn duplicate_phase_labels_are_flagged_with_both_lines() {
+        let src = "let a = comm.open_channels::<u8>(\"phase_a\");\n\
+                   let b = comm.open_channels::<u8>(\"phase_b\");\n\
+                   let c = comm.open_channels::<u8>(\"phase_a\");\n";
+        let hit = lint_one("crates/steiner/src/lib.rs", src);
+        assert_eq!(rules(&hit), vec![RULE_PHASE_DUP]);
+        assert_eq!(hit[0].line, 3);
+        assert!(hit[0].message.contains("line 1"));
+    }
+
+    #[test]
+    fn phase_labels_in_test_modules_may_repeat() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn a() { let c = comm.open_channels::<u8>(\"t\"); }\n\
+                       fn b() { let c = comm.open_channels::<u8>(\"t\"); }\n\
+                   }\n";
+        assert!(lint_one("crates/steiner/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn open_channels_definition_site_is_not_a_call_site() {
+        let src = "pub fn open_channels<V: Send>(&mut self, phase: &'static str) -> G<V> {\n\
+                       self.make(phase)\n\
+                   }\n";
+        assert!(lint_one("crates/struntime/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integration_test_files_are_wholly_test_code() {
+        let src = "fn t() { helper().unwrap(); }\n";
+        // unwrap-expect only applies under crates/struntime/src, which has
+        // no tests/ dir, but the mask must hold if one appears.
+        assert!(lint_one("crates/struntime/tests/e2e.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_out_of_line_module_is_wholly_exempt() {
+        let lib = "#[cfg(test)]\nmod proptests;\nfn run() {}\n";
+        let module = "fn t() { helper().unwrap(); }\n";
+        let files = vec![
+            ("crates/struntime/src/lib.rs".to_string(), lib.to_string()),
+            (
+                "crates/struntime/src/proptests.rs".to_string(),
+                module.to_string(),
+            ),
+        ];
+        assert!(run_lints(&files).is_empty());
+        // Without the cfg gate the same module is runtime code.
+        let files = vec![
+            (
+                "crates/struntime/src/lib.rs".to_string(),
+                "mod proptests;\n".to_string(),
+            ),
+            (
+                "crates/struntime/src/proptests.rs".to_string(),
+                module.to_string(),
+            ),
+        ];
+        assert_eq!(rules(&run_lints(&files)), vec![RULE_UNWRAP]);
+    }
+
+    #[test]
+    fn non_root_parent_modules_resolve_child_paths() {
+        let base = module_base_dir("crates/steiner/src/solver.rs");
+        assert_eq!(base, "crates/steiner/src/solver/");
+        assert_eq!(
+            module_base_dir("crates/steiner/src/lib.rs"),
+            "crates/steiner/src/"
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked_safely() {
+        let src = "let p = r#\"thread::spawn\"#;\nlet c = '\"';\nlet l: &'static str = x;\nlet u = v.unwrap();\n";
+        let hit = lint_one("crates/steiner/src/lib.rs", src);
+        assert!(hit.is_empty(), "unexpected findings: {hit:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_leak() {
+        let src = "/* outer /* thread::spawn */ still comment */\nfn f() {}\n";
+        assert!(lint_one("crates/steiner/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Workspace automation entry point.
+//!
+//! ```text
+//! cargo run -p xtask -- lint [root]
+//! ```
+//!
+//! `lint` runs the custom static checks in [`lint`] over every
+//! non-vendored `.rs` file (default root: the workspace directory, found
+//! relative to this crate's manifest). Exit code 0 means clean; 1 means
+//! findings were printed; 2 means usage or I/O error.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> workspace root; CARGO_MANIFEST_DIR is set both
+    // under `cargo run` and `cargo test`.
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    PathBuf::from(manifest)
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let files = match lint::collect_sources(&root) {
+                Ok(files) => files,
+                Err(e) => {
+                    eprintln!(
+                        "xtask lint: failed to read sources under {}: {e}",
+                        root.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            let errors = lint::run_lints(&files);
+            if errors.is_empty() {
+                println!(
+                    "xtask lint: {} files clean ({} rules)",
+                    files.len(),
+                    [
+                        lint::RULE_RELAXED,
+                        lint::RULE_SPAWN,
+                        lint::RULE_UNWRAP,
+                        lint::RULE_PHASE_DUP
+                    ]
+                    .len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for e in &errors {
+                    eprintln!("{e}");
+                }
+                eprintln!("xtask lint: {} finding(s)", errors.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [root]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Mutation check for the protocol audit layer (tier 1).
+//!
+//! A verification layer that never fires is indistinguishable from one
+//! that is wired up wrong, so this test injects the bug the audit exists
+//! to catch: `run_traversal_mutant_premature` reorders the channel-drain
+//! bookkeeping (bumping `received` *before* leaving the idle set, then
+//! dallying inside the window). That reintroduces the premature-
+//! termination race the double-read quiescence protocol closes, and the
+//! audit layer must flag it — lost batches, a sent/received counter
+//! mismatch, or a send observed after `done`.
+
+use std::time::Duration;
+use struntime::{
+    run_traversal, run_traversal_mutant_premature, AuditViolation, Comm, QueueKind,
+    TraversalOptions, World,
+};
+
+/// Two ranks ping a hop counter: rank 0 seeds hop 0, each visit with
+/// `h < 2` forwards `h + 1` to the peer. Rank 0 dallies before its first
+/// push so rank 1 is parked in the idle set when the batch arrives —
+/// lining the schedule up with the mutant's vulnerable window.
+fn hop_workload(comm: &mut Comm, mutant_delay: Option<Duration>) -> Vec<AuditViolation> {
+    let chan = comm.open_channels::<Vec<u32>>("mutation_probe");
+    let rank = comm.rank();
+    let init = if rank == 0 { vec![0u32] } else { vec![] };
+    let visit = move |h: u32, pusher: &mut struntime::Pusher<'_, u32>| {
+        if h == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if h < 2 {
+            pusher.push(1 - pusher.rank(), h + 1);
+        }
+    };
+    let options = TraversalOptions::new(QueueKind::Fifo);
+    match mutant_delay {
+        Some(delay) => {
+            run_traversal_mutant_premature(comm, &chan, options, |_| 0, init, visit, delay);
+        }
+        None => {
+            run_traversal(comm, &chan, QueueKind::Fifo, |_| 0, init, visit);
+        }
+    }
+    Vec::new()
+}
+
+#[test]
+fn correct_traversal_passes_the_same_audit() {
+    let out = World::run(2, |comm| hop_workload(comm, None));
+    assert!(
+        out.audit_violations.is_empty(),
+        "the unmutated protocol must be clean under the identical workload: {:?}",
+        out.audit_violations
+    );
+}
+
+#[test]
+fn audit_flags_the_premature_termination_mutant() {
+    // The mutant opens a real race window rather than forcing a
+    // deterministic interleaving, so give the schedule a few chances to
+    // fall into it before declaring the audit blind.
+    let mut last = Vec::new();
+    for _attempt in 0..3 {
+        let out = World::run(2, |comm| {
+            hop_workload(comm, Some(Duration::from_millis(20)))
+        });
+        if !out.audit_violations.is_empty() {
+            let relevant = out.audit_violations.iter().any(|v| {
+                matches!(
+                    v,
+                    AuditViolation::LostBatch { .. }
+                        | AuditViolation::CounterMismatch { .. }
+                        | AuditViolation::SendAfterDone { .. }
+                )
+            });
+            assert!(
+                relevant,
+                "mutant produced violations, but none of the expected kinds: {:?}",
+                out.audit_violations
+            );
+            return;
+        }
+        last = out.audit_violations;
+    }
+    panic!(
+        "audit layer failed to flag the premature-termination mutant in 3 runs \
+         (last run's violations: {last:?})"
+    );
+}

@@ -1,0 +1,212 @@
+//! Offline vendored shim for `criterion`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal wall-clock benchmark harness with the
+//! criterion API surface the `bench` crate uses: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`] /
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and
+//! [`black_box`]. No statistics, plots, or baselines — each benchmark is
+//! timed over a short fixed budget and reported as mean wall-clock time.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not differentiated).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// (iterations, total elapsed) recorded by the last timing loop.
+    result: Option<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly within the harness budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warmup to populate caches / lazy state.
+        black_box(routine());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+            if measured >= self.budget {
+                break;
+            }
+        }
+        self.result = Some((iters, measured));
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        result: None,
+        budget,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, total)) => {
+            let mean = total / iters.max(1) as u32;
+            println!("bench {label}: {mean:?}/iter over {iters} iters");
+        }
+        None => println!("bench {label}: no timing loop executed"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep CI smoke runs cheap; set CRITERION_BUDGET_MS to measure.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, self.budget, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (formatting no-op in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

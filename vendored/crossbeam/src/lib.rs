@@ -1,0 +1,240 @@
+//! Offline vendored shim for `crossbeam`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `crossbeam::channel` it uses: unbounded
+//! and bounded MPMC channels with `send` / `recv` / `try_recv`,
+//! disconnection semantics, and cloneable senders. Backed by a
+//! `Mutex<VecDeque>` + `Condvar`; per-sender FIFO ordering holds (globally
+//! FIFO here, which is stronger than crossbeam's guarantee).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cond: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] on an empty, disconnected
+    /// channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    fn poison_free<'a, T>(m: &'a Mutex<State<T>>) -> std::sync::MutexGuard<'a, State<T>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cond: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates a bounded channel. This shim never blocks senders: the
+    /// capacity is accepted for API compatibility but not enforced, which
+    /// is indistinguishable for the workspace's uses (the coordinator
+    /// sizes the bound to the exact number of sends).
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, failing if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = poison_free(&self.shared.state);
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.cond.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            poison_free(&self.shared.state).senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = poison_free(&self.shared.state);
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = poison_free(&self.shared.state);
+            loop {
+                if let Some(m) = st.queue.pop_front() {
+                    return Ok(m);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.shared.cond.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = poison_free(&self.shared.state);
+            match st.queue.pop_front() {
+                Some(m) => Ok(m),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            poison_free(&self.shared.state).queue.len()
+        }
+
+        /// Whether the channel is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            poison_free(&self.shared.state).receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            poison_free(&self.shared.state).receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_try_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_blocks_until_send() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(7u32).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(7));
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.recv(), Err(RecvError));
+
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn cloned_senders_all_count() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(3).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(3));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

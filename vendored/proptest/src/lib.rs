@@ -1,0 +1,267 @@
+//! Offline vendored shim for `proptest`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a miniature property-testing engine with the API
+//! surface its proptests use: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! `prop_oneof!` / [`Just`], integer-range strategies, tuple and `Vec<S>`
+//! strategies, [`collection::vec`] / [`collection::hash_set`], and
+//! [`option::of`].
+//!
+//! Differences from upstream, deliberate for offline minimalism:
+//! - **No shrinking.** A failing case reports its deterministic case
+//!   number; rerunning reproduces it exactly (cases are seeded from the
+//!   test path and case index, not from entropy).
+//! - No persisted failure regressions, no forking, no timeouts.
+
+use std::fmt;
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy, Union};
+
+/// Failure raised by `prop_assert*` inside a [`proptest!`] body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Number-of-cases configuration accepted by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many generated cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a proptest module conventionally imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Defines deterministic property tests over generated inputs.
+///
+/// Supported grammar (the subset of upstream `proptest!` this workspace
+/// uses): an optional `#![proptest_config(expr)]` header followed by test
+/// functions whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest property {} failed at case {case}/{}: {e}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the surrounding property when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the surrounding property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the surrounding property when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Chooses uniformly among the listed strategies (all of one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 1u64..50) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..50).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(
+            (a, b) in (0u32..10, 0u32..10),
+            v in crate::collection::vec(0u8..4, 0..12),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 12);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn flat_map_scales(n in 2usize..9, ) {
+            let nested = (2usize..9).prop_flat_map(|m| {
+                crate::collection::vec(0usize..m, m)
+            });
+            let mut rng = crate::test_runner::TestRng::for_case("nested", n as u32);
+            let v = nested.generate(&mut rng);
+            prop_assert!(v.iter().all(|&e| e < v.len()));
+        }
+
+        #[test]
+        fn oneof_and_just(q in prop_oneof![Just(1u8), Just(7u8)]) {
+            prop_assert!(q == 1u8 || q == 7u8);
+        }
+
+        #[test]
+        fn hash_sets_have_exact_len(s in crate::collection::hash_set(0u32..100, 5)) {
+            prop_assert_eq!(s.len(), 5);
+        }
+
+        #[test]
+        fn option_of_generates_both(o in crate::option::of(0u8..10)) {
+            if let Some(v) = o {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let sample = |case| {
+            let mut rng = crate::test_runner::TestRng::for_case("det", case);
+            (0u64..1_000_000).generate(&mut rng)
+        };
+        assert_eq!(sample(3), sample(3));
+        assert_ne!(
+            (0..32).map(sample).collect::<Vec<_>>(),
+            (1..33).map(sample).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
