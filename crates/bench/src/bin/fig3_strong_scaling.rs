@@ -14,9 +14,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig3_strong_scaling [--quick]`
 
-use bench::{banner, fmt_dur, load_dataset, pick_seeds, quick_mode, Table};
+use bench::{banner, fmt_dur, load_dataset, pick_seeds, quick_mode, BenchReport, Table};
 use steiner::{solve_partitioned, Phase, SolverConfig};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 use stgraph::partition::partition_graph;
 
 fn main() {
@@ -30,6 +31,7 @@ fn main() {
         (&[1, 2, 4, 8], &[100, 1000])
     };
 
+    let mut bench_report = BenchReport::new("fig3_strong_scaling");
     for dataset in Dataset::LARGE {
         let g = load_dataset(dataset);
         for &k in seed_counts {
@@ -63,6 +65,14 @@ fn main() {
                     ..SolverConfig::default()
                 };
                 let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+                bench_report.add_solve(
+                    format!("{}_s{}_p{}", dataset.name(), seeds.len(), p),
+                    Json::obj()
+                        .with("graph", dataset.name())
+                        .with("num_seeds", seeds.len())
+                        .with("ranks", p),
+                    &report,
+                );
                 let t = report.phase_times;
                 let speedup = report.simulated_speedup();
                 table.row([
@@ -86,4 +96,5 @@ fn main() {
     println!("(up to 90% efficiency on CLW/WDC); speedup grows as ranks double.");
     println!("Note: sim-speedup is work-based (see header); wall-clock on this host");
     println!("reflects single-machine thread multiplexing, not cluster scaling.");
+    bench_report.finish();
 }

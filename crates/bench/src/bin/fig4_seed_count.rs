@@ -13,9 +13,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig4_seed_count [--quick] [--table4]`
 
-use bench::{banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, Table};
+use bench::{banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, BenchReport, Table};
 use steiner::{solve_partitioned, Phase, SolverConfig};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 use stgraph::partition::partition_graph;
 
 fn main() {
@@ -41,6 +42,7 @@ fn main() {
     // Table IV rows are gathered while running Fig 4, plus the two small
     // graphs that Fig 4 omits.
     let mut edge_counts: Vec<(String, Vec<String>)> = Vec::new();
+    let mut bench_report = BenchReport::new("fig4_seed_count");
 
     for dataset in datasets {
         let g = load_dataset(dataset);
@@ -71,6 +73,14 @@ fn main() {
         for &k in seed_counts {
             let seeds = pick_seeds(&g, k);
             let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+            bench_report.add_solve(
+                format!("{}_s{}", dataset.name(), seeds.len()),
+                Json::obj()
+                    .with("graph", dataset.name())
+                    .with("num_seeds", seeds.len())
+                    .with("ranks", ranks),
+                &report,
+            );
             let t = report.phase_times;
             table.row([
                 seeds.len().to_string(),
@@ -107,6 +117,14 @@ fn main() {
             }
             let seeds = pick_seeds(&g, k);
             let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+            bench_report.add_solve(
+                format!("{}_s{}", dataset.name(), seeds.len()),
+                Json::obj()
+                    .with("graph", dataset.name())
+                    .with("num_seeds", seeds.len())
+                    .with("ranks", ranks.min(2)),
+                &report,
+            );
             sizes.push(fmt_count(report.tree.num_edges() as u64));
         }
         edge_counts.push((dataset.name().to_string(), sizes));
@@ -128,4 +146,5 @@ fn main() {
     println!("105 -> 1,108 -> 7,193 -> 50,530); Voronoi time can *decrease* at the");
     println!("largest |S| (faster convergence with many sources) while the");
     println!("distance-graph phases grow.");
+    bench_report.finish();
 }

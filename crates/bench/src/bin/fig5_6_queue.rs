@@ -11,9 +11,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig5_6_queue [--quick]`
 
-use bench::{banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, Table};
+use bench::{banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, BenchReport, Table};
 use steiner::{solve_partitioned, Phase, QueueKind, SolverConfig};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 use stgraph::partition::partition_graph;
 
 fn main() {
@@ -41,6 +42,7 @@ fn main() {
         "improvement",
     ]);
 
+    let mut bench_report = BenchReport::new("fig5_6_queue");
     for dataset in [Dataset::Lvj, Dataset::Frs, Dataset::Ukw] {
         let g = load_dataset(dataset);
         let pg = partition_graph(&g, ranks, None);
@@ -54,6 +56,15 @@ fn main() {
                 ..SolverConfig::default()
             };
             let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+            bench_report.add_solve(
+                format!("{}_{}", dataset.name(), queue.name()),
+                Json::obj()
+                    .with("graph", dataset.name())
+                    .with("queue", queue.name())
+                    .with("num_seeds", seeds.len())
+                    .with("ranks", ranks),
+                &report,
+            );
             let t = report.phase_times;
             let other = report.time_to_solution() - t[Phase::Voronoi] - t[Phase::LocalMinEdge];
             let total = report.time_to_solution().as_secs_f64();
@@ -106,4 +117,5 @@ fn main() {
     println!("Paper shape: priority queue cuts Voronoi messages by 4.9x (FRS) to");
     println!("22.1x (LVJ) and runtime by 3.5x to 13x; local_min and tree_edge");
     println!("traffic are queue-independent and small.");
+    bench_report.finish();
 }

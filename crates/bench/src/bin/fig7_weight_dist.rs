@@ -11,12 +11,14 @@
 //! Run: `cargo run -p bench --release --bin fig7_weight_dist [--quick]`
 
 use bench::{
-    banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, Table, EXPERIMENT_SEED,
+    banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, BenchReport, Table,
+    EXPERIMENT_SEED,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use steiner::{solve_partitioned, QueueKind, SolverConfig};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 use stgraph::partition::partition_graph;
 use stgraph::weights::{reweight, reweight_with, WeightDistribution, WeightRange};
 
@@ -39,6 +41,7 @@ fn main() {
         "priority msgs",
         "speedup",
     ]);
+    let mut bench_report = BenchReport::new("fig7_weight_dist");
     let mut fifo_times = Vec::new();
     let mut prio_times = Vec::new();
     for &(lo, hi) in ranges {
@@ -57,6 +60,16 @@ fn main() {
                 ..SolverConfig::default()
             };
             let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+            bench_report.add_solve(
+                format!("range_{lo}_{hi}_{}", queue.name()),
+                Json::obj()
+                    .with("weight_lo", lo)
+                    .with("weight_hi", hi)
+                    .with("queue", queue.name())
+                    .with("num_seeds", seeds.len())
+                    .with("ranks", ranks),
+                &report,
+            );
             times[i] = report.time_to_solution().as_secs_f64();
             row.push(fmt_dur(report.time_to_solution()));
             row.push(fmt_count(
@@ -121,6 +134,15 @@ fn main() {
                 ..SolverConfig::default()
             };
             let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+            bench_report.add_solve(
+                format!("dist_{}_{}", dist.name(), queue.name()),
+                Json::obj()
+                    .with("distribution", dist.name())
+                    .with("queue", queue.name())
+                    .with("num_seeds", seeds.len())
+                    .with("ranks", ranks),
+                &report,
+            );
             row.push(fmt_dur(report.time_to_solution()));
             row.push(fmt_count(
                 report
@@ -137,4 +159,5 @@ fn main() {
     println!("(log-uniform behaves like a narrow range — most edges are cheap —");
     println!("while bimodal stresses FIFO hardest: cheap detours around weak ties");
     println!("keep correcting earlier relaxations)");
+    bench_report.finish();
 }

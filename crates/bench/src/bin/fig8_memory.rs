@@ -11,9 +11,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig8_memory [--quick]`
 
-use bench::{banner, fmt_bytes, fmt_dur, load_dataset, pick_seeds, quick_mode, Table};
+use bench::{banner, fmt_bytes, fmt_dur, load_dataset, pick_seeds, quick_mode, BenchReport, Table};
 use steiner::{solve_partitioned, ReduceModeConfig, SolverConfig};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 use stgraph::partition::partition_graph;
 
 fn main() {
@@ -36,6 +37,7 @@ fn main() {
         "total",
         "time",
     ]);
+    let mut bench_report = BenchReport::new("fig8_memory");
     for dataset in [Dataset::Lvj, Dataset::Clw, Dataset::Wdc] {
         let g = load_dataset(dataset);
         let pg = partition_graph(&g, ranks, None);
@@ -57,6 +59,15 @@ fn main() {
                     ..SolverConfig::default()
                 };
                 let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+                bench_report.add_solve(
+                    format!("{}_s{}_{}", dataset.name(), seeds.len(), label),
+                    Json::obj()
+                        .with("graph", dataset.name())
+                        .with("num_seeds", seeds.len())
+                        .with("reduction", label)
+                        .with("ranks", ranks),
+                    &report,
+                );
                 table.row([
                     dataset.name().to_string(),
                     seeds.len().to_string(),
@@ -74,4 +85,5 @@ fn main() {
     println!("Paper shape: small graphs are dominated by state memory (LVJ 10K");
     println!("seeds used 35.9x the memory of 1K); the dense distance-graph buffer");
     println!("drives the blowup; chunked collectives trade runtime for memory.");
+    bench_report.finish();
 }

@@ -8,9 +8,10 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig9_tree_export [--quick]`
 
-use bench::{banner, fmt_count, load_dataset, pick_seeds, Table};
+use bench::{banner, fmt_count, load_dataset, pick_seeds, BenchReport, Table};
 use steiner::{solve, SolverConfig};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 
 fn main() {
     banner(
@@ -31,6 +32,7 @@ fn main() {
         "diameter",
         "file",
     ]);
+    let mut bench_report = BenchReport::new("fig9_tree_export");
     for k in [4usize, 16, 64] {
         let seeds = pick_seeds(&g, k);
         let cfg = SolverConfig {
@@ -38,6 +40,14 @@ fn main() {
             ..SolverConfig::default()
         };
         let report = solve(&g, &seeds, &cfg).expect("seeds connected");
+        bench_report.add_solve(
+            format!("mco_s{}", seeds.len()),
+            Json::obj()
+                .with("graph", Dataset::Mco.name())
+                .with("num_seeds", seeds.len())
+                .with("ranks", 2u64),
+            &report,
+        );
         let path = out_dir.join(format!("steiner_s{}.dot", seeds.len()));
         std::fs::write(&path, report.tree.to_dot()).expect("write DOT");
         let m = report.tree.metrics();
@@ -56,4 +66,5 @@ fn main() {
     println!();
     println!("Paper shape: trees stay sparse relative to the graph; most internal");
     println!("vertices are Steiner (blue) vertices stitched between the red seeds.");
+    bench_report.finish();
 }

@@ -11,8 +11,11 @@
 
 use baselines::apsp::SeedApsp;
 use baselines::shortest_path::voronoi_cells;
-use bench::{banner, fmt_dur, load_dataset, median_time, pick_seeds, quick_mode, Table};
+use bench::{
+    banner, fmt_dur, load_dataset, median_time, pick_seeds, quick_mode, BenchReport, Table,
+};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 
 fn main() {
     banner(
@@ -26,6 +29,7 @@ fn main() {
     };
     let reps = if quick_mode() { 1 } else { 3 };
 
+    let mut report = BenchReport::new("table1_apsp_vs_vc");
     let mut table = Table::new(["graph", "|S|", "APSP", "VC", "APSP/VC"]);
     for dataset in [Dataset::Lvj, Dataset::Ptn] {
         let g = load_dataset(dataset);
@@ -44,6 +48,16 @@ fn main() {
                 fmt_dur(vc),
                 format!("{:.1}x", apsp.as_secs_f64() / vc.as_secs_f64().max(1e-9)),
             ]);
+            report.add_metrics(
+                format!("{}_s{}", dataset.name(), seeds.len()),
+                Json::obj()
+                    .with("graph", dataset.name())
+                    .with("num_seeds", seeds.len()),
+                Json::obj()
+                    .with("apsp_us", apsp.as_micros() as u64)
+                    .with("vc_us", vc.as_micros() as u64)
+                    .with("ratio", apsp.as_secs_f64() / vc.as_secs_f64().max(1e-9)),
+            );
         }
     }
     table.print();
@@ -51,4 +65,5 @@ fn main() {
     println!("Paper reference (absolute values differ; the growing APSP/VC gap is the shape):");
     println!("  LVJ: 49.7s/30.0s, 539.2s/35.1s, 5813.3s/104.5s (1.7x -> 15.4x -> 55.6x)");
     println!("  PTN: 26.7s/12.9s, 270.3s/26.6s, 2767.4s/85.5s (2.1x -> 10.2x -> 32.4x)");
+    report.finish();
 }

@@ -7,10 +7,13 @@
 //!
 //! Run: `cargo run -p bench --release --bin table5_seed_selection [--quick]`
 
-use bench::{banner, fmt_count, fmt_dur, load_dataset, quick_mode, Table, EXPERIMENT_SEED};
+use bench::{
+    banner, fmt_count, fmt_dur, load_dataset, quick_mode, BenchReport, Table, EXPERIMENT_SEED,
+};
 use seeds::Strategy;
 use steiner::{solve_partitioned, SolverConfig};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 use stgraph::partition::partition_graph;
 
 fn main() {
@@ -34,6 +37,7 @@ fn main() {
     let cc = stgraph::traversal::connected_components(&g);
     let cap = cc.sizes[cc.largest() as usize] / 2;
 
+    let mut bench_report = BenchReport::new("table5_seed_selection");
     let mut table = Table::new(["strategy", "|S|", "time", "D(G_S)", "|E_S|", "mean hops"]);
     for strategy in Strategy::ALL {
         for &k in seed_counts {
@@ -41,6 +45,15 @@ fn main() {
             let s = seeds::select(&g, k, strategy, EXPERIMENT_SEED);
             let spread = seeds::mean_pairwise_hops(&g, &s);
             let report = solve_partitioned(&pg, &s, &cfg).expect("seeds connected");
+            bench_report.add_solve(
+                format!("{}_s{}", strategy.name(), s.len()),
+                Json::obj()
+                    .with("strategy", strategy.name())
+                    .with("num_seeds", s.len())
+                    .with("mean_pairwise_hops", spread)
+                    .with("ranks", ranks),
+                &report,
+            );
             table.row([
                 strategy.name().to_string(),
                 s.len().to_string(),
@@ -57,4 +70,5 @@ fn main() {
     println!("proximate produces significantly smaller trees (LVJ |S|=1K:");
     println!("101.0K distance / 1,699 edges vs 2,840.9K / 7,193 for BFS-level);");
     println!("eccentric produces the largest total distances.");
+    bench_report.finish();
 }

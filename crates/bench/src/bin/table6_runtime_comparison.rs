@@ -15,9 +15,12 @@
 //! Run: `cargo run -p bench --release --bin table6_runtime_comparison [--quick]`
 
 use baselines::{dreyfus_wagner, mehlhorn, takahashi, www};
-use bench::{banner, fmt_dur, load_dataset, median_time, pick_seeds, quick_mode, Table};
+use bench::{
+    banner, fmt_dur, load_dataset, median_time, pick_seeds, quick_mode, BenchReport, Table,
+};
 use steiner::{solve_partitioned, SolverConfig};
 use stgraph::datasets::Dataset;
+use stgraph::json::Json;
 use stgraph::partition::partition_graph;
 
 fn main() {
@@ -41,6 +44,7 @@ fn main() {
         "Mehlhorn",
         "distributed",
     ]);
+    let mut bench_report = BenchReport::new("table6_runtime_comparison");
     for dataset in Dataset::SMALL {
         let g = load_dataset(dataset);
         let pg = partition_graph(&g, ranks, None);
@@ -51,10 +55,12 @@ fn main() {
         for &k in seed_counts {
             let seeds = pick_seeds(&g, k);
             // Exact DP is exponential in |S|; only run it where feasible.
+            let mut exact_us: Option<u64> = None;
             let exact = if seeds.len() <= 10 {
                 let d = median_time(reps, || {
                     std::hint::black_box(dreyfus_wagner(&g, &seeds).expect("connected"));
                 });
+                exact_us = Some(d.as_micros() as u64);
                 fmt_dur(d)
             } else {
                 "(infeasible)".to_string()
@@ -71,6 +77,19 @@ fn main() {
             let t_dist = median_time(reps, || {
                 std::hint::black_box(solve_partitioned(&pg, &seeds, &cfg).expect("connected"));
             });
+            bench_report.add_metrics(
+                format!("{}_s{}", dataset.name(), seeds.len()),
+                Json::obj()
+                    .with("graph", dataset.name())
+                    .with("num_seeds", seeds.len())
+                    .with("ranks", ranks),
+                Json::obj()
+                    .with("exact_us", exact_us)
+                    .with("tm_us", t_tm.as_micros() as u64)
+                    .with("www_us", t_www.as_micros() as u64)
+                    .with("mehlhorn_us", t_meh.as_micros() as u64)
+                    .with("distributed_us", t_dist.as_micros() as u64),
+            );
             table.row([
                 dataset.name().to_string(),
                 seeds.len().to_string(),
@@ -90,4 +109,5 @@ fn main() {
     println!("Note: on this single-core host the simulated ranks add overhead");
     println!("rather than parallel speedup, so 'distributed' is handicapped;");
     println!("see Fig 3's work-based scaling for the parallel-efficiency shape.");
+    bench_report.finish();
 }

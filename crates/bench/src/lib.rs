@@ -7,6 +7,10 @@
 //! pieces: dataset/seed preparation, repeated-run timing, and plain-text
 //! table rendering so every harness prints rows in the paper's shape.
 
+pub mod report;
+
+pub use report::BenchReport;
+
 use std::time::{Duration, Instant};
 use stgraph::csr::{CsrGraph, Vertex};
 

@@ -1,0 +1,289 @@
+//! Machine-readable twins of the experiment harnesses' text output.
+//!
+//! Every binary in `src/bin/` prints a human-readable table *and* builds a
+//! [`BenchReport`], which [`BenchReport::finish`] writes as
+//! `BENCH_<name>.json` next to the `.txt` output (`bench_results/` by
+//! default, `$BENCH_OUT_DIR` to override). The JSON layout:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "bench": "<name>",
+//!   "quick": <bool>,
+//!   "entries": [
+//!     { "label": "...", "params": {...}, "kind": "solve",   "run": <RunReport> },
+//!     { "label": "...", "params": {...}, "kind": "metrics", "metrics": {...} }
+//!   ]
+//! }
+//! ```
+//!
+//! A `"solve"` entry embeds one [`steiner::RunReport`] (see
+//! `steiner::report` for its schema contract); a `"metrics"` entry carries
+//! harness-specific numbers (e.g. baseline runtimes or quality ratios)
+//! that don't come from a distributed solve. [`validate`] checks this
+//! shape and is what `cargo run -p xtask -- check-reports` applies to
+//! every `BENCH_*.json` in CI.
+
+use std::path::PathBuf;
+use steiner::SolveReport;
+use stgraph::json::Json;
+
+/// Version of the bench-report envelope; bumped on breaking layout
+/// changes, in step with the rules in `steiner::report`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Accumulates one harness run's machine-readable entries.
+pub struct BenchReport {
+    name: String,
+    quick: bool,
+    entries: Vec<Json>,
+}
+
+impl BenchReport {
+    /// Starts a report for the harness `name` (the binary's own name);
+    /// quick mode is read from the command line like the rest of the
+    /// harness infrastructure.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            quick: crate::quick_mode(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one distributed solve: `label` identifies the data point
+    /// (e.g. `"lvj_s100_p4"`), `params` carries the sweep coordinates the
+    /// label encodes, and the full [`steiner::RunReport`] is embedded.
+    pub fn add_solve(&mut self, label: impl Into<String>, params: Json, report: &SolveReport) {
+        self.entries.push(
+            Json::obj()
+                .with("label", label.into())
+                .with("params", params)
+                .with("kind", "solve")
+                .with("run", report.run_report().to_json()),
+        );
+    }
+
+    /// Records a data point that is not a distributed solve (baseline
+    /// timings, quality ratios, export metadata, ...).
+    pub fn add_metrics(&mut self, label: impl Into<String>, params: Json, metrics: Json) {
+        self.entries.push(
+            Json::obj()
+                .with("label", label.into())
+                .with("params", params)
+                .with("kind", "metrics")
+                .with("metrics", metrics),
+        );
+    }
+
+    /// Renders the full report document.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("bench", self.name.as_str())
+            .with("quick", self.quick)
+            .with("entries", Json::Arr(self.entries.clone()))
+    }
+
+    /// Writes `BENCH_<name>.json` into `$BENCH_OUT_DIR` (default
+    /// `bench_results/`), creating the directory if needed, and prints the
+    /// path so it shows up in the harness's text log.
+    pub fn finish(&self) {
+        let dir = std::env::var_os("BENCH_OUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("bench_results"));
+        std::fs::create_dir_all(&dir).expect("create report dir");
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json().to_pretty()).expect("write report");
+        println!();
+        println!("machine-readable report: {}", path.display());
+    }
+}
+
+/// Validates a parsed report document against the envelope schema above
+/// (including each embedded `RunReport`'s required keys). Returns the
+/// entry count on success, a path-qualified description of the first
+/// violation otherwise.
+pub fn validate(doc: &Json) -> Result<usize, String> {
+    if doc.get("schema_version").and_then(|v| v.as_u64()) != Some(SCHEMA_VERSION) {
+        return Err(format!("schema_version must be {SCHEMA_VERSION}"));
+    }
+    doc.get("bench")
+        .and_then(|v| v.as_str())
+        .filter(|s| !s.is_empty())
+        .ok_or("bench must be a non-empty string")?;
+    doc.get("quick")
+        .and_then(|v| v.as_bool())
+        .ok_or("quick must be a bool")?;
+    let entries = doc
+        .get("entries")
+        .and_then(|v| v.as_arr())
+        .ok_or("entries must be an array")?;
+    for (i, entry) in entries.iter().enumerate() {
+        validate_entry(entry).map_err(|e| format!("entries[{i}]: {e}"))?;
+    }
+    Ok(entries.len())
+}
+
+fn validate_entry(entry: &Json) -> Result<(), String> {
+    entry
+        .get("label")
+        .and_then(|v| v.as_str())
+        .filter(|s| !s.is_empty())
+        .ok_or("label must be a non-empty string")?;
+    entry
+        .get("params")
+        .and_then(|v| v.as_obj())
+        .ok_or("params must be an object")?;
+    match entry.get("kind").and_then(|v| v.as_str()) {
+        Some("solve") => {
+            let run = entry.get("run").ok_or("solve entry missing run")?;
+            validate_run(run).map_err(|e| format!("run: {e}"))
+        }
+        Some("metrics") => entry
+            .get("metrics")
+            .and_then(|v| v.as_obj())
+            .map(|_| ())
+            .ok_or_else(|| "metrics entry missing metrics object".to_string()),
+        _ => Err("kind must be \"solve\" or \"metrics\"".to_string()),
+    }
+}
+
+fn validate_run(run: &Json) -> Result<(), String> {
+    if run.get("schema_version").and_then(|v| v.as_u64()) != Some(steiner::report::SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version must be {}",
+            steiner::report::SCHEMA_VERSION
+        ));
+    }
+    let config = run.get("config").ok_or("missing config")?;
+    config
+        .get("num_ranks")
+        .and_then(|v| v.as_u64())
+        .filter(|&p| p >= 1)
+        .ok_or("config.num_ranks must be a positive integer")?;
+    config
+        .get("queue")
+        .and_then(|v| v.as_str())
+        .ok_or("config.queue must be a string")?;
+    let phases = run.get("phase_times_us").ok_or("missing phase_times_us")?;
+    for p in steiner::Phase::ALL {
+        phases
+            .get(p.name())
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("phase_times_us.{} must be integer microseconds", p.name()))?;
+    }
+    run.get("total_time_us")
+        .and_then(|v| v.as_u64())
+        .ok_or("total_time_us must be integer microseconds")?;
+    run.get("message_counts")
+        .and_then(|v| v.as_obj())
+        .ok_or("message_counts must be an object")?;
+    for key in ["graph_bytes", "state_peak_bytes", "distance_graph_edges"] {
+        run.get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("{key} must be an integer"))?;
+    }
+    let work = run
+        .get("rank_work")
+        .and_then(|v| v.as_arr())
+        .ok_or("rank_work must be an array")?;
+    if work.iter().any(|w| w.as_u64().is_none()) {
+        return Err("rank_work elements must be integers".to_string());
+    }
+    run.get("simulated_speedup")
+        .and_then(|v| v.as_f64())
+        .ok_or("simulated_speedup must be a number")?;
+    let tree = run.get("tree").ok_or("missing tree")?;
+    for key in ["num_seeds", "num_edges", "total_distance"] {
+        tree.get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("tree.{key} must be an integer"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steiner::{solve, SolverConfig};
+    use stgraph::builder::GraphBuilder;
+
+    fn sample_solve() -> SolveReport {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5u32 {
+            b.add_edge(i, i + 1, 3);
+        }
+        let g = b.build();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            ..SolverConfig::default()
+        };
+        solve(&g, &[0, 5], &cfg).unwrap()
+    }
+
+    #[test]
+    fn report_with_both_entry_kinds_validates() {
+        let mut r = BenchReport::new("unit_test");
+        r.add_solve(
+            "line_s2_p2",
+            Json::obj().with("graph", "line").with("num_seeds", 2u64),
+            &sample_solve(),
+        );
+        r.add_metrics(
+            "baseline",
+            Json::obj().with("graph", "line"),
+            Json::obj().with("apsp_us", 12u64).with("vc_us", 7u64),
+        );
+        let doc = r.to_json();
+        assert_eq!(validate(&doc), Ok(2));
+        // Round-trips through the parser and still validates.
+        let reparsed = stgraph::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(validate(&reparsed), Ok(2));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate(&Json::obj()).is_err());
+
+        let mut r = BenchReport::new("unit_test");
+        r.add_metrics("m", Json::obj(), Json::obj());
+        let mut doc = r.to_json();
+        assert_eq!(validate(&doc), Ok(1));
+
+        // Corrupt the entry kind.
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "entries" {
+                    if let Json::Arr(entries) = v {
+                        if let Json::Obj(e) = &mut entries[0] {
+                            for (ek, ev) in e.iter_mut() {
+                                if ek == "kind" {
+                                    *ev = Json::from("bogus");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("entries[0]"), "{err}");
+    }
+
+    #[test]
+    fn solve_entry_embeds_schema_compliant_run_report() {
+        let mut r = BenchReport::new("unit_test");
+        r.add_solve("x", Json::obj(), &sample_solve());
+        let doc = r.to_json();
+        let entries = doc.get("entries").and_then(|v| v.as_arr()).unwrap();
+        let run = entries[0].get("run").unwrap();
+        assert!(validate_run(run).is_ok());
+        assert_eq!(
+            run.get("tree")
+                .and_then(|t| t.get("num_edges"))
+                .and_then(|v| v.as_u64()),
+            Some(5)
+        );
+    }
+}

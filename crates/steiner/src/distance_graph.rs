@@ -162,6 +162,15 @@ pub fn global_min_edges(
     num_seeds: usize,
     mode: ReduceMode,
 ) -> Vec<(PairKey, MinEdge)> {
+    // Fewer than two seeds means no cell pairs, hence an empty distance
+    // graph. `num_seeds` is replicated on every rank, so all ranks take
+    // this branch together and collective lockstep is preserved. (The
+    // dense size below would underflow for `num_seeds == 0` otherwise —
+    // solver entry points reject such seed sets, but this keeps the
+    // collective layer total on its own.)
+    if num_seeds < 2 {
+        return Vec::new();
+    }
     match mode {
         ReduceMode::Dense { chunk } => {
             let len = num_seeds * (num_seeds - 1) / 2;
@@ -241,6 +250,27 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn global_min_edges_handles_degenerate_seed_counts() {
+        // Regression: the dense size `k * (k - 1) / 2` underflowed (and
+        // panicked) for k == 0. Both degenerate counts must return an
+        // empty distance graph in every reduce mode.
+        for num_seeds in [0usize, 1] {
+            for mode in [
+                ReduceMode::Dense { chunk: None },
+                ReduceMode::Dense { chunk: Some(4) },
+                ReduceMode::Sparse,
+            ] {
+                let out = struntime::World::run(2, move |comm| {
+                    global_min_edges(comm, BTreeMap::new(), num_seeds, mode)
+                });
+                for edges in &out.results {
+                    assert!(edges.is_empty(), "k={num_seeds}, mode={mode:?}");
+                }
+            }
+        }
     }
 
     #[test]

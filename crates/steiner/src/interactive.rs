@@ -207,7 +207,9 @@ impl<'g> InteractiveSession<'g> {
             return Err(SteinerError::NoSeeds);
         }
         if seeds.len() == 1 {
-            return Ok(SteinerTree::new(seeds, []));
+            // Match the batch solver: a single terminal has no tree to
+            // build; callers get a structured error on every path.
+            return Err(SteinerError::TooFewSeeds { got: 1 });
         }
         // Cheapest bridge per cell pair.
         let index: HashMap<Vertex, u32> = seeds
@@ -445,6 +447,16 @@ mod tests {
         let g = line(3);
         let session = InteractiveSession::new(&g, &[]).unwrap();
         assert!(matches!(session.tree(), Err(SteinerError::NoSeeds)));
+        // A single seed is also too few — same contract as the batch
+        // solver's entry points.
+        let single = InteractiveSession::new(&g, &[1]).unwrap();
+        assert!(matches!(
+            single.tree(),
+            Err(SteinerError::TooFewSeeds { got: 1 })
+        ));
+        // Two seeds is the smallest instance with a tree.
+        let pair = InteractiveSession::new(&g, &[0, 2]).unwrap();
+        assert_eq!(pair.tree().unwrap().num_edges(), 2);
     }
 }
 
@@ -487,10 +499,13 @@ mod proptests {
                 prop_assert!(session.validate_against_fresh().is_ok(),
                     "{:?}", session.validate_against_fresh());
             }
-            // Whenever seeds exist, the tree must validate.
-            if !session.seeds().is_empty() {
+            // Whenever a nontrivial seed set exists, the tree must
+            // validate (0 or 1 seeds is a structured error by contract).
+            if session.seeds().len() >= 2 {
                 let tree = session.tree().unwrap();
                 prop_assert!(tree.validate(&g).is_ok(), "{:?}", tree.validate(&g));
+            } else {
+                prop_assert!(session.tree().is_err());
             }
         }
     }

@@ -41,13 +41,15 @@ pub mod messages;
 pub mod mst;
 pub mod phases;
 pub mod refine;
+pub mod report;
 pub mod state;
 pub mod tree_edges;
 pub mod voronoi;
 pub mod voronoi_bsp;
 
 pub use phases::{Phase, PhaseTimes};
-pub use struntime::QueueKind;
+pub use report::{ConfigFingerprint, RunReport};
+pub use struntime::{QueueKind, TraceConfig, TraceDump};
 
 use distance_graph::ReduceMode;
 use state::VertexStates;
@@ -58,7 +60,7 @@ use stgraph::csr::{CsrGraph, Vertex, Weight};
 use stgraph::error::SteinerError;
 use stgraph::partition::{partition_graph, PartitionedGraph};
 use stgraph::steiner_tree::SteinerTree;
-use struntime::{Comm, PersistentWorld, PhaseSnapshot, RunOutput, World};
+use struntime::{Comm, PersistentWorld, PhaseSnapshot, RunOutput, World, WorldConfig};
 
 /// How the distance-graph reduction buffer is organized.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +112,11 @@ pub struct SolverConfig {
     /// Visitors per aggregated network batch in the asynchronous phases
     /// (HavoqGT-style message aggregation; `1` disables it).
     pub batch_size: usize,
+    /// Event-trace recording for the solve's world (off by default; see
+    /// [`struntime::trace`]). When enabled, [`SolveReport::trace`] holds
+    /// the per-rank event dump, renderable with
+    /// [`TraceDump::to_chrome_trace`].
+    pub trace: TraceConfig,
 }
 
 impl Default for SolverConfig {
@@ -121,6 +128,7 @@ impl Default for SolverConfig {
             reduce_mode: ReduceModeConfig::Auto,
             refine: false,
             batch_size: struntime::traversal::DEFAULT_BATCH_SIZE,
+            trace: TraceConfig::Off,
         }
     }
 }
@@ -146,6 +154,12 @@ pub struct SolveReport {
     /// Visitors processed per rank, summed over the asynchronous phases —
     /// the simulation's work metric.
     pub rank_work: Vec<u64>,
+    /// The configuration the solve ran with (the [`RunReport`]'s config
+    /// fingerprint is derived from it).
+    pub config: SolverConfig,
+    /// Per-rank event traces (empty unless [`SolverConfig::trace`] was
+    /// enabled). Render with [`TraceDump::to_chrome_trace`].
+    pub trace: TraceDump,
 }
 
 impl SolveReport {
@@ -179,6 +193,10 @@ fn check_seeds(g: &CsrGraph, seeds: &[Vertex]) -> Result<Vec<Vertex>, SteinerErr
 /// Validates and deduplicates a seed set against a vertex count. Duplicate
 /// seeds would otherwise corrupt the seed-index map (spurious
 /// `SeedsDisconnected`), so every solve entry point funnels through here.
+/// A Steiner tree needs a nontrivial terminal set, so fewer than two
+/// distinct seeds is a structured error — previously a single seed took a
+/// silent trivial path and zero seeds could reach an arithmetic underflow
+/// panic in the dense reduction.
 fn check_seeds_against(num_vertices: usize, seeds: &[Vertex]) -> Result<Vec<Vertex>, SteinerError> {
     if seeds.is_empty() {
         return Err(SteinerError::NoSeeds);
@@ -191,6 +209,9 @@ fn check_seeds_against(num_vertices: usize, seeds: &[Vertex]) -> Result<Vec<Vert
     let mut out = seeds.to_vec();
     out.sort_unstable();
     out.dedup();
+    if out.len() < 2 {
+        return Err(SteinerError::TooFewSeeds { got: out.len() });
+    }
     Ok(out)
 }
 
@@ -225,9 +246,6 @@ pub fn solve_partitioned(
     let seeds = check_seeds_against(pg.partition.num_vertices(), seeds)?;
     let p = pg.ranks.len();
     assert_eq!(p, config.num_ranks, "partition/config rank mismatch");
-    if seeds.len() == 1 {
-        return Ok(trivial_report(pg, seeds));
-    }
     let reduce_mode = config.reduce_mode.resolve(seeds.len());
     let seed_index: BTreeMap<Vertex, u32> = seeds
         .iter()
@@ -235,7 +253,11 @@ pub fn solve_partitioned(
         .map(|(i, &s)| (s, i as u32))
         .collect();
 
-    let out = World::run(p, |comm: &mut Comm| {
+    let world_config = WorldConfig {
+        trace: config.trace,
+        ..WorldConfig::default()
+    };
+    let out = World::run_config(p, world_config, |comm: &mut Comm| {
         rank_main(
             comm,
             pg,
@@ -253,6 +275,12 @@ pub fn solve_partitioned(
 /// right entry point for interactive workloads that issue many solves
 /// against one loaded graph. `world.num_ranks()` must equal
 /// `config.num_ranks`.
+///
+/// Event tracing on a persistent world is configured when the world is
+/// built ([`struntime::WorldConfig::trace`]) and accumulates across
+/// jobs; drain it with [`PersistentWorld::finish_trace`]. The returned
+/// report's [`SolveReport::trace`] is therefore always empty here, and
+/// [`SolverConfig::trace`] is ignored.
 pub fn solve_on(
     world: &PersistentWorld,
     pg: &Arc<PartitionedGraph>,
@@ -263,9 +291,6 @@ pub fn solve_on(
     assert_eq!(p, config.num_ranks, "partition/config rank mismatch");
     assert_eq!(p, world.num_ranks(), "world/config rank mismatch");
     let seeds = check_seeds_against(pg.partition.num_vertices(), seeds)?;
-    if seeds.len() == 1 {
-        return Ok(trivial_report(pg, seeds));
-    }
     let reduce_mode = config.reduce_mode.resolve(seeds.len());
     let seed_index: Arc<BTreeMap<Vertex, u32>> = Arc::new(
         seeds
@@ -321,29 +346,20 @@ fn assemble_report(
     if config.refine {
         tree = refine::refine(&tree);
     }
+    let message_counts = out.merged_counters();
+    let state_peak_bytes = out.total_peak_memory();
     Ok(SolveReport {
         tree,
         phase_times,
         rank_phase_times,
-        message_counts: out.merged_counters(),
+        message_counts,
         graph_bytes: pg.ranks.iter().map(|r| r.memory_bytes()).sum(),
-        state_peak_bytes: out.total_peak_memory(),
+        state_peak_bytes,
         distance_graph_edges: dg_edges,
         rank_work,
+        config: *config,
+        trace: out.trace,
     })
-}
-
-fn trivial_report(pg: &PartitionedGraph, seeds: Vec<Vertex>) -> SolveReport {
-    SolveReport {
-        tree: SteinerTree::new(seeds, []),
-        phase_times: PhaseTimes::default(),
-        rank_phase_times: vec![PhaseTimes::default(); pg.ranks.len()],
-        message_counts: BTreeMap::new(),
-        graph_bytes: pg.ranks.iter().map(|r| r.memory_bytes()).sum(),
-        state_peak_bytes: 0,
-        distance_graph_edges: 0,
-        rank_work: vec![0; pg.ranks.len()],
-    }
 }
 
 fn first_disconnected_pair_of(_pg: &PartitionedGraph, seeds: &[Vertex]) -> SteinerError {
@@ -379,6 +395,7 @@ fn rank_main(
 
     // Step 1: Voronoi cells (Alg 4).
     let t = Instant::now();
+    let span = comm.trace_span(Phase::Voronoi.name());
     let voronoi_stats = voronoi::run(
         comm,
         &chan_voronoi,
@@ -388,23 +405,30 @@ fn rank_main(
         seeds,
         struntime::traversal::TraversalOptions { queue, batch_size },
     );
+    drop(span);
     times[Phase::Voronoi] = t.elapsed();
 
     // Step 2: local min-distance cross-cell edges (Alg 5, async part).
     let t = Instant::now();
+    let span = comm.trace_span(Phase::LocalMinEdge.name());
     let (local, probe_stats) =
         distance_graph::local_min_edges(comm, &chan_probe, rg, partition, &states, seed_index);
+    drop(span);
     times[Phase::LocalMinEdge] = t.elapsed();
 
     // Step 3: global reduction (Alg 5, collective part).
     let t = Instant::now();
+    let span = comm.trace_span(Phase::GlobalMinEdge.name());
     let dg = distance_graph::global_min_edges(comm, local, seeds.len(), reduce_mode);
+    drop(span);
     times[Phase::GlobalMinEdge] = t.elapsed();
 
     // Step 4: sequential MST of G_1', replicated per rank.
     let t = Instant::now();
+    let span = comm.trace_span(Phase::Mst.name());
     let chosen = mst::mst_of_distance_graph(seeds.len(), &dg);
     comm.barrier();
+    drop(span);
     times[Phase::Mst] = t.elapsed();
 
     if !mst::spans_all_seeds(seeds.len(), &chosen) {
@@ -419,13 +443,17 @@ fn rank_main(
 
     // Step 5: global edge pruning — keep only MST bridges.
     let t = Instant::now();
+    let span = comm.trace_span(Phase::EdgePruning.name());
     let bridges = tree_edges::active_bridges(&dg, &chosen);
     comm.barrier();
+    drop(span);
     times[Phase::EdgePruning] = t.elapsed();
 
     // Step 6: Steiner tree edges by predecessor tracing (Alg 6).
     let t = Instant::now();
+    let span = comm.trace_span(Phase::TreeEdge.name());
     let (edges, trace_stats) = tree_edges::run(comm, &chan_trace, partition, &mut states, &bridges);
+    drop(span);
     times[Phase::TreeEdge] = t.elapsed();
 
     RankOutcome {
@@ -469,10 +497,34 @@ mod tests {
     }
 
     #[test]
-    fn single_seed_trivial() {
+    fn single_seed_is_error() {
+        // Regression: a single seed used to take a silent trivial path;
+        // it is now a structured error on every entry point.
         let g = path_graph(5);
-        let report = solve(&g, &[2], &config(2)).unwrap();
-        assert_eq!(report.tree.num_edges(), 0);
+        assert_eq!(
+            solve(&g, &[2], &config(2)).unwrap_err(),
+            SteinerError::TooFewSeeds { got: 1 }
+        );
+    }
+
+    #[test]
+    fn duplicate_single_seed_is_error() {
+        // Duplicates collapse during dedup, so [2, 2, 2] is one seed.
+        let g = path_graph(5);
+        assert_eq!(
+            solve(&g, &[2, 2, 2], &config(2)).unwrap_err(),
+            SteinerError::TooFewSeeds { got: 1 }
+        );
+    }
+
+    #[test]
+    fn two_seeds_smallest_nontrivial_instance() {
+        // Regression companion: |S| = 2 is the smallest valid input and
+        // must produce the shortest path, not an error.
+        let g = path_graph(3);
+        let report = solve(&g, &[0, 2], &config(2)).unwrap();
+        assert_eq!(report.tree.num_edges(), 2);
+        assert!(report.tree.validate(&g).is_ok());
     }
 
     #[test]

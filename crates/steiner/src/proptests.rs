@@ -88,6 +88,33 @@ proptest! {
         }
     }
 
+    /// Satellite of the adversarial-queue seed fix: every queue discipline
+    /// — including adversarial reordering with an arbitrary seed — yields
+    /// the same Steiner tree at every rank count. Before the seed-mixing
+    /// fix, adjacent adversarial seeds collapsed to near-identical
+    /// schedules, so this family of schedules was barely explored.
+    #[test]
+    fn queue_disciplines_agree_across_rank_counts(
+        (g, seeds) in arb_connected_instance(14, 16, 5),
+        chaos_seed in 0..u64::MAX,
+    ) {
+        let reference = solve(&g, &seeds, &SolverConfig {
+            num_ranks: 1, ..SolverConfig::default()
+        }).unwrap();
+        for p in [1usize, 2, 4] {
+            for queue in [
+                QueueKind::Fifo,
+                QueueKind::Priority,
+                QueueKind::Adversarial { seed: chaos_seed },
+            ] {
+                let cfg = SolverConfig { num_ranks: p, queue, ..SolverConfig::default() };
+                let r = solve(&g, &seeds, &cfg).unwrap();
+                prop_assert_eq!(&r.tree, &reference.tree,
+                    "differs at p={} queue={:?}", p, queue);
+            }
+        }
+    }
+
     /// With refinement on, the distributed tree's distance matches the
     /// sequential Mehlhorn implementation (both are MST-of-G_1' expansions
     /// with the same finalization and tie-breaking data).

@@ -1,0 +1,292 @@
+//! Machine-readable run reports with a stable JSON schema.
+//!
+//! A [`RunReport`] condenses one [`crate::SolveReport`] into the numbers
+//! the paper's evaluation plots (Figs 3–8): per-phase wall-clock,
+//! per-phase message counters, memory peaks, the simulated-speedup work
+//! metric, tree quality, and a fingerprint of the configuration that
+//! produced it. [`RunReport::to_json`] renders it with
+//! [`stgraph::json`]; every bench binary writes one report file
+//! (`BENCH_<name>.json`) per run so the perf trajectory is diffable
+//! across commits.
+//!
+//! ## Schema stability
+//!
+//! The JSON layout is a compatibility contract, validated by
+//! `cargo run -p xtask -- check-reports` in CI:
+//!
+//! - [`SCHEMA_VERSION`] is bumped on any breaking change (key removal or
+//!   meaning change); adding keys is non-breaking.
+//! - Keys are emitted in a fixed order (insertion-ordered objects), so
+//!   byte-level diffs of two reports line up.
+//! - Durations are integer microseconds (`*_us`), sizes integer bytes.
+
+use crate::phases::Phase;
+use crate::{ReduceModeConfig, SolveReport, SolverConfig};
+use stgraph::json::Json;
+use struntime::QueueKind;
+
+/// Version of the report JSON layout; see the module docs for the
+/// stability rules.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The configuration a solve ran with, reduced to plain strings and
+/// numbers for the report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigFingerprint {
+    /// Simulated rank count.
+    pub num_ranks: usize,
+    /// Queue discipline (`"fifo"`, `"priority"`, `"adversarial:SEED"`).
+    pub queue: String,
+    /// Delegate degree threshold, if delegation was on.
+    pub delegate_threshold: Option<usize>,
+    /// Reduction layout (`"auto"`, `"dense"`, `"dense(chunk=N)"`,
+    /// `"sparse"`).
+    pub reduce_mode: String,
+    /// Whether KMB steps 4–5 refinement ran.
+    pub refine: bool,
+    /// Visitors per aggregated network batch.
+    pub batch_size: usize,
+}
+
+impl ConfigFingerprint {
+    /// Derives the fingerprint from a solver configuration.
+    pub fn of(config: &SolverConfig) -> ConfigFingerprint {
+        let queue = match config.queue {
+            QueueKind::Fifo => "fifo".to_string(),
+            QueueKind::Priority => "priority".to_string(),
+            QueueKind::Adversarial { seed } => format!("adversarial:{seed}"),
+        };
+        let reduce_mode = match config.reduce_mode {
+            ReduceModeConfig::Auto => "auto".to_string(),
+            ReduceModeConfig::Dense { chunk: None } => "dense".to_string(),
+            ReduceModeConfig::Dense { chunk: Some(c) } => format!("dense(chunk={c})"),
+            ReduceModeConfig::Sparse => "sparse".to_string(),
+        };
+        ConfigFingerprint {
+            num_ranks: config.num_ranks,
+            queue,
+            delegate_threshold: config.delegate_threshold,
+            reduce_mode,
+            refine: config.refine,
+            batch_size: config.batch_size,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("num_ranks", self.num_ranks)
+            .with("queue", self.queue.as_str())
+            .with("delegate_threshold", self.delegate_threshold)
+            .with("reduce_mode", self.reduce_mode.as_str())
+            .with("refine", self.refine)
+            .with("batch_size", self.batch_size)
+    }
+}
+
+/// One phase's counters in the report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Messages that crossed a (simulated) network hop.
+    pub remote_msgs: u64,
+    /// Messages delivered within their own rank.
+    pub local_msgs: u64,
+    /// Bytes that crossed the network.
+    pub remote_bytes: u64,
+    /// Aggregated network batches shipped.
+    pub remote_batches: u64,
+}
+
+/// The unified machine-readable summary of one solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Fingerprint of the configuration the solve ran with.
+    pub config: ConfigFingerprint,
+    /// `(phase name, microseconds)` in execution order — barrier-bound
+    /// max across ranks, like [`SolveReport::phase_times`].
+    pub phase_times_us: Vec<(&'static str, u64)>,
+    /// Sum of phase maxima, microseconds (the time-to-solution metric).
+    pub total_time_us: u64,
+    /// Cluster-wide per-phase message counters, keyed by phase label.
+    pub message_counts: Vec<(&'static str, PhaseCounters)>,
+    /// Bytes of the partitioned graph across all ranks (Fig 8 "graph").
+    pub graph_bytes: usize,
+    /// Peak algorithm-state bytes across all ranks (Fig 8 "states").
+    pub state_peak_bytes: usize,
+    /// Edges in the reduced distance graph `G_1'`.
+    pub distance_graph_edges: usize,
+    /// Visitors processed per rank (the work metric behind speedup).
+    pub rank_work: Vec<u64>,
+    /// Work-based simulated speedup (Fig 3's scaling metric).
+    pub simulated_speedup: f64,
+    /// Number of seed (terminal) vertices in the tree.
+    pub tree_num_seeds: usize,
+    /// Number of edges in the tree.
+    pub tree_num_edges: usize,
+    /// Total tree weight `D(G_S)`.
+    pub tree_total_distance: u64,
+}
+
+impl RunReport {
+    /// Renders the report to JSON (see the module docs for the schema
+    /// stability rules). Top-level keys: `schema_version`, `config`,
+    /// `phase_times_us`, `total_time_us`, `message_counts`,
+    /// `graph_bytes`, `state_peak_bytes`, `distance_graph_edges`,
+    /// `rank_work`, `simulated_speedup`, `tree`.
+    pub fn to_json(&self) -> Json {
+        let mut phase_times = Json::obj();
+        for &(name, us) in &self.phase_times_us {
+            phase_times.insert(name, us);
+        }
+        let mut counts = Json::obj();
+        for &(name, c) in &self.message_counts {
+            counts.insert(
+                name,
+                Json::obj()
+                    .with("remote_msgs", c.remote_msgs)
+                    .with("local_msgs", c.local_msgs)
+                    .with("remote_bytes", c.remote_bytes)
+                    .with("remote_batches", c.remote_batches),
+            );
+        }
+        Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("config", self.config.to_json())
+            .with("phase_times_us", phase_times)
+            .with("total_time_us", self.total_time_us)
+            .with("message_counts", counts)
+            .with("graph_bytes", self.graph_bytes)
+            .with("state_peak_bytes", self.state_peak_bytes)
+            .with("distance_graph_edges", self.distance_graph_edges)
+            .with(
+                "rank_work",
+                Json::Arr(self.rank_work.iter().map(|&w| Json::from(w)).collect()),
+            )
+            .with("simulated_speedup", self.simulated_speedup)
+            .with(
+                "tree",
+                Json::obj()
+                    .with("num_seeds", self.tree_num_seeds)
+                    .with("num_edges", self.tree_num_edges)
+                    .with("total_distance", self.tree_total_distance),
+            )
+    }
+}
+
+impl SolveReport {
+    /// Condenses this solve into its machine-readable [`RunReport`].
+    pub fn run_report(&self) -> RunReport {
+        let phase_times_us: Vec<(&'static str, u64)> = Phase::ALL
+            .iter()
+            .map(|&p| (p.name(), self.phase_times[p].as_micros() as u64))
+            .collect();
+        let message_counts: Vec<(&'static str, PhaseCounters)> = self
+            .message_counts
+            .iter()
+            .map(|(&name, snap)| {
+                (
+                    name,
+                    PhaseCounters {
+                        remote_msgs: snap.remote_msgs,
+                        local_msgs: snap.local_msgs,
+                        remote_bytes: snap.remote_bytes,
+                        remote_batches: snap.remote_batches,
+                    },
+                )
+            })
+            .collect();
+        RunReport {
+            config: ConfigFingerprint::of(&self.config),
+            phase_times_us,
+            total_time_us: self.time_to_solution().as_micros() as u64,
+            message_counts,
+            graph_bytes: self.graph_bytes,
+            state_peak_bytes: self.state_peak_bytes,
+            distance_graph_edges: self.distance_graph_edges,
+            rank_work: self.rank_work.clone(),
+            simulated_speedup: self.simulated_speedup(),
+            tree_num_seeds: self.tree.seeds.len(),
+            tree_num_edges: self.tree.num_edges(),
+            tree_total_distance: self.tree.total_distance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, QueueKind};
+    use stgraph::builder::GraphBuilder;
+    use stgraph::csr::Vertex;
+
+    fn sample_report() -> SolveReport {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, 2);
+        }
+        let g = b.build();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            queue: QueueKind::Adversarial { seed: 99 },
+            reduce_mode: ReduceModeConfig::Dense { chunk: Some(16) },
+            ..SolverConfig::default()
+        };
+        solve(&g, &[0, 7], &cfg).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_encodes_config() {
+        let fp = sample_report().run_report().config;
+        assert_eq!(fp.num_ranks, 2);
+        assert_eq!(fp.queue, "adversarial:99");
+        assert_eq!(fp.reduce_mode, "dense(chunk=16)");
+        assert!(!fp.refine);
+    }
+
+    #[test]
+    fn run_report_json_has_stable_shape() {
+        let doc = sample_report().run_report().to_json();
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_u64()),
+            Some(SCHEMA_VERSION)
+        );
+        let phases = doc.get("phase_times_us").expect("phase times");
+        for p in Phase::ALL {
+            assert!(
+                phases.get(p.name()).and_then(|v| v.as_u64()).is_some(),
+                "missing phase {}",
+                p.name()
+            );
+        }
+        let tree = doc.get("tree").expect("tree object");
+        assert_eq!(tree.get("num_seeds").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(tree.get("num_edges").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(
+            tree.get("total_distance").and_then(|v| v.as_u64()),
+            Some(14)
+        );
+        assert_eq!(
+            doc.get("rank_work")
+                .and_then(|v| v.as_arr())
+                .map(|a| a.len()),
+            Some(2)
+        );
+        assert!(doc
+            .get("simulated_speedup")
+            .and_then(|v| v.as_f64())
+            .is_some());
+        // Round-trips through the parser.
+        let text = doc.to_pretty();
+        assert_eq!(stgraph::json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn message_counts_carry_voronoi_traffic() {
+        let report = sample_report().run_report();
+        let voronoi = report
+            .message_counts
+            .iter()
+            .find(|(n, _)| *n == "voronoi")
+            .expect("voronoi phase counted");
+        assert!(voronoi.1.remote_msgs + voronoi.1.local_msgs > 0);
+    }
+}

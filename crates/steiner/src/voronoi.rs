@@ -77,6 +77,7 @@ fn visit(
                 if rg.is_delegate(target) {
                     // Local replica improved: sync the other replicas,
                     // then relax this rank's slice of the hub's adjacency.
+                    pusher.trace_instant("delegate_broadcast", target as u64);
                     for dest in 0..partition.num_ranks() {
                         if dest != pusher.rank() {
                             pusher.push(

@@ -7,6 +7,12 @@ use crate::csr::Vertex;
 pub enum SteinerError {
     /// Fewer than one seed was supplied.
     NoSeeds,
+    /// Fewer than two distinct seeds were supplied to a solver that
+    /// needs a nontrivial terminal set.
+    TooFewSeeds {
+        /// Number of distinct seeds after deduplication.
+        got: usize,
+    },
     /// Two seeds are in different connected components.
     SeedsDisconnected(Vertex, Vertex),
     /// A seed id is outside the graph's vertex range.
@@ -22,6 +28,9 @@ impl std::fmt::Display for SteinerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SteinerError::NoSeeds => write!(f, "no seed vertices supplied"),
+            SteinerError::TooFewSeeds { got } => {
+                write!(f, "need at least 2 distinct seed vertices, got {got}")
+            }
             SteinerError::SeedsDisconnected(s, t) => {
                 write!(f, "seeds {s} and {t} are not connected in the graph")
             }

@@ -29,6 +29,7 @@ pub mod dsu;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod json;
 pub mod mst;
 pub mod partition;
 pub mod stats;

@@ -48,12 +48,18 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(&mut T, &T),
     {
+        let _span = self.trace_span("allreduce");
         let type_name = std::any::type_name::<T>();
         self.memory()
             .record("collective_buffer", std::mem::size_of_val(data));
         self.barrier();
         if self.rank() == 0 {
             self.pause(SyncPoint::CollectiveSlot);
+            // The shared slot holds a full clone of the reduction buffer
+            // for the duration of the exchange; charge it to rank 0 (its
+            // thread allocates it) so Fig 8 accounting sees the copy.
+            self.memory()
+                .record("collective_slot", std::mem::size_of_val(data));
             *self.shared().collective_slot.lock() = Some(CollectiveSlot {
                 value: Box::new(data.to_vec()),
                 type_name,
@@ -98,6 +104,8 @@ impl Comm {
         self.barrier();
         if self.rank() == 0 {
             *self.shared().collective_slot.lock() = None;
+            self.memory()
+                .release("collective_slot", std::mem::size_of_val(data));
         }
         self.memory()
             .release("collective_buffer", std::mem::size_of_val(data));
@@ -149,6 +157,7 @@ impl Comm {
     {
         assert!(root < self.num_ranks());
         debug_assert_eq!(self.rank() == root, value.is_some());
+        let _span = self.trace_span("broadcast");
         let type_name = std::any::type_name::<T>();
         self.barrier();
         if self.rank() == root {
@@ -157,6 +166,11 @@ impl Comm {
                 None => panic!("broadcast root {root} passed None; the root must supply the value"),
             };
             self.pause(SyncPoint::CollectiveSlot);
+            // The slot owns the root's value until teardown; charge the
+            // root for it (shallow size — the generic layer cannot see
+            // heap payloads behind `T`).
+            self.memory()
+                .record("collective_slot", std::mem::size_of::<T>());
             *self.shared().collective_slot.lock() = Some(CollectiveSlot {
                 value: Box::new(value),
                 type_name,
@@ -179,6 +193,8 @@ impl Comm {
         self.barrier();
         if self.rank() == root {
             *self.shared().collective_slot.lock() = None;
+            self.memory()
+                .release("collective_slot", std::mem::size_of::<T>());
         }
         out
     }

@@ -43,6 +43,7 @@ pub mod persistent;
 pub mod perturb;
 pub mod queue;
 pub mod shared;
+pub mod trace;
 pub mod traversal;
 
 pub use audit::AuditViolation;
@@ -51,6 +52,7 @@ pub use counters::{merge_snapshots, PhaseSnapshot};
 pub use persistent::PersistentWorld;
 pub use perturb::{stress_schedules, PerturbAction, SchedulePerturber, SyncPoint, TraceEntry};
 pub use queue::QueueKind;
+pub use trace::{TraceConfig, TraceDump, TraceEvent, TraceEventKind, TraceSpan};
 #[cfg(feature = "check")]
 pub use traversal::run_traversal_mutant_premature;
 pub use traversal::{
@@ -63,6 +65,7 @@ use memory::MemoryTracker;
 use shared::{ChannelSlot, Shared};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use trace::TraceBuffer;
 
 /// A rank's handle to the world: identity, channels, collectives, counters.
 pub struct Comm {
@@ -72,6 +75,7 @@ pub struct Comm {
     memory: Arc<MemoryTracker>,
     tag_counter: u64,
     perturb: Option<Arc<SchedulePerturber>>,
+    trace: Option<Arc<TraceBuffer>>,
 }
 
 impl Comm {
@@ -79,6 +83,7 @@ impl Comm {
         rank: usize,
         shared: Arc<Shared>,
         perturb: Option<Arc<SchedulePerturber>>,
+        trace: Option<Arc<TraceBuffer>>,
     ) -> Comm {
         Comm {
             rank,
@@ -87,6 +92,7 @@ impl Comm {
             memory: Arc::new(MemoryTracker::default()),
             tag_counter: 0,
             perturb,
+            trace,
         }
     }
 
@@ -141,6 +147,30 @@ impl Comm {
     /// This rank's memory ledger.
     pub fn memory(&self) -> &MemoryTracker {
         &self.memory
+    }
+
+    /// Opens a trace span named `name`; the span ends when the returned
+    /// guard drops. A no-op guard when the world runs with
+    /// [`TraceConfig::Off`] — the guard owns its buffer handle, so it can
+    /// be held across calls that borrow this `Comm`.
+    pub fn trace_span(&self, name: &'static str) -> TraceSpan {
+        TraceSpan::begin(self.trace.as_ref(), name)
+    }
+
+    /// Records an instant event with a numeric payload (queue depth,
+    /// batch size, …). A null check when tracing is off.
+    pub fn trace_instant(&self, name: &'static str, arg: u64) {
+        if let Some(buf) = &self.trace {
+            buf.record(TraceEventKind::Instant, name, arg);
+        }
+    }
+
+    /// Records a raw event without constructing a guard (hot-path hooks
+    /// like idle-transition edges in the traversal loop).
+    pub(crate) fn trace_event(&self, kind: TraceEventKind, name: &'static str, arg: u64) {
+        if let Some(buf) = &self.trace {
+            buf.record(kind, name, arg);
+        }
     }
 
     /// Collectively opens a typed all-to-all channel group. Every rank must
@@ -254,9 +284,18 @@ pub struct RunOutput<T> {
     /// Per-rank perturbation traces (first [`perturb::TRACE_CAP`]
     /// decisions); empty vectors when the world ran unperturbed.
     pub perturb_traces: Vec<Vec<TraceEntry>>,
+    /// Event traces drained from every rank at teardown. Empty unless the
+    /// world ran with [`TraceConfig::Ring`].
+    pub trace: TraceDump,
 }
 
 impl<T> RunOutput<T> {
+    /// The drained event trace, ready for
+    /// [`TraceDump::to_chrome_trace`]. (The `World` handle itself is
+    /// consumed by `run`, so the trace travels with the output.)
+    pub fn finish_trace(&self) -> TraceDump {
+        self.trace.clone()
+    }
     /// Cluster-wide per-phase message counts (sum over ranks).
     pub fn merged_counters(&self) -> BTreeMap<&'static str, PhaseSnapshot> {
         let snaps: Vec<_> = self.reports.iter().map(|r| r.counters.clone()).collect();
@@ -279,6 +318,8 @@ pub struct WorldConfig {
     /// schedule space. Same seed ⇒ same decision streams (see
     /// [`perturb`]).
     pub perturb_seed: Option<u64>,
+    /// Event-trace recording (off by default; see [`trace`]).
+    pub trace: TraceConfig,
 }
 
 /// The simulated cluster.
@@ -313,6 +354,7 @@ impl World {
                     .map(|seed| Arc::new(SchedulePerturber::new(seed, rank)))
             })
             .collect();
+        let trace_buffers = trace::make_buffers(p, config.trace);
 
         let results: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
@@ -324,6 +366,7 @@ impl World {
                         memory: Arc::clone(&memory[rank]),
                         tag_counter: 0,
                         perturb: perturbers[rank].clone(),
+                        trace: trace_buffers.as_ref().map(|b| Arc::clone(&b[rank])),
                     };
                     let f = &f;
                     scope.spawn(move || f(&mut comm))
@@ -353,6 +396,7 @@ impl World {
                 .iter()
                 .map(|p| p.as_ref().map(|p| p.trace()).unwrap_or_default())
                 .collect(),
+            trace: trace::drain_buffers(&trace_buffers),
         }
     }
 }
@@ -622,6 +666,157 @@ mod tests {
             order
         });
         assert_eq!(out.results[0], vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn tracing_off_by_default_yields_empty_dump() {
+        let out = World::run(3, |comm| {
+            let _span = comm.trace_span("phase");
+            comm.trace_instant("sample", 7);
+            comm.rank()
+        });
+        assert!(out.trace.is_empty());
+        assert!(out.finish_trace().ranks.is_empty());
+    }
+
+    #[test]
+    fn world_trace_captures_per_rank_events() {
+        let config = WorldConfig {
+            trace: trace::TraceConfig::ring(),
+            ..WorldConfig::default()
+        };
+        let out = World::run_config(4, config, |comm| {
+            let _span = comm.trace_span("work");
+            comm.trace_instant("sample", comm.rank() as u64);
+        });
+        assert_eq!(out.trace.ranks.len(), 4);
+        for (rank, rt) in out.trace.ranks.iter().enumerate() {
+            assert_eq!(rt.rank, rank);
+            assert_eq!(rt.dropped, 0);
+            let kinds: Vec<_> = rt.events.iter().map(|e| (e.kind, e.name)).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    (TraceEventKind::SpanBegin, "work"),
+                    (TraceEventKind::Instant, "sample"),
+                    (TraceEventKind::SpanEnd, "work"),
+                ]
+            );
+            assert_eq!(rt.events[1].arg, rank as u64);
+        }
+        let text = out.finish_trace().to_chrome_trace();
+        assert!(text.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn traversal_trace_has_paired_idle_spans() {
+        let config = WorldConfig {
+            trace: trace::TraceConfig::ring(),
+            ..WorldConfig::default()
+        };
+        let p = 3;
+        let out = World::run_config(p, config, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("ring");
+            let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Fifo,
+                |_| 0,
+                init,
+                |hops, pusher| {
+                    if (hops as usize) < 2 * p {
+                        pusher.push((pusher.rank() + 1) % p, hops + 1);
+                    }
+                },
+            );
+        });
+        for rt in &out.trace.ranks {
+            let mut depth: i64 = 0;
+            let mut idle_depth: i64 = 0;
+            for ev in &rt.events {
+                let d = match ev.kind {
+                    TraceEventKind::SpanBegin => 1,
+                    TraceEventKind::SpanEnd => -1,
+                    TraceEventKind::Instant => 0,
+                };
+                depth += d;
+                if ev.name == "idle" {
+                    idle_depth += d;
+                    assert!((0..=1).contains(&idle_depth), "idle spans must not nest");
+                }
+                assert!(depth >= 0, "span end without begin");
+            }
+            assert_eq!(depth, 0, "rank {}: unbalanced spans", rt.rank);
+            assert_eq!(idle_depth, 0, "rank {}: idle span left open", rt.rank);
+            assert!(
+                rt.events.iter().any(|e| e.name == "traversal"),
+                "rank {}: traversal span missing",
+                rt.rank
+            );
+        }
+        // Some rank shipped a batch, so the flush instant must appear.
+        assert!(out
+            .trace
+            .ranks
+            .iter()
+            .any(|rt| rt.events.iter().any(|e| e.name == "batch_flush")));
+    }
+
+    #[test]
+    fn allreduce_slot_clone_is_charged_to_rank_0() {
+        let out = World::run(3, |comm| {
+            let mut data = vec![comm.rank() as u64; 1000];
+            comm.allreduce_min(&mut data);
+        });
+        // Rank 0 temporarily holds the shared-slot clone of the whole
+        // buffer: 1000 u64s = 8000 bytes. Other ranks never allocate it.
+        assert_eq!(out.reports[0].peak_memory_by_label["collective_slot"], 8000);
+        assert!(!out.reports[1]
+            .peak_memory_by_label
+            .contains_key("collective_slot"));
+        assert!(!out.reports[2]
+            .peak_memory_by_label
+            .contains_key("collective_slot"));
+        // Every rank still records its own reduction buffer.
+        assert_eq!(
+            out.reports[1].peak_memory_by_label["collective_buffer"],
+            8000
+        );
+    }
+
+    #[test]
+    fn chunked_allreduce_slot_peak_is_one_chunk() {
+        let out = World::run(2, |comm| {
+            let mut data = vec![comm.rank() as u64; 1000];
+            comm.allreduce_chunked(&mut data, 100, |a, b| {
+                if *b < *a {
+                    *a = *b;
+                }
+            });
+        });
+        // The slot holds at most one chunk at a time — this is the §V-F
+        // memory optimization the tracker must reflect.
+        assert_eq!(
+            out.reports[0].peak_memory_by_label["collective_slot"],
+            100 * 8
+        );
+    }
+
+    #[test]
+    fn broadcast_slot_is_charged_to_root() {
+        let out = World::run(3, |comm| {
+            let v = if comm.rank() == 1 {
+                Some([0u8; 256])
+            } else {
+                None
+            };
+            comm.broadcast(1, v);
+        });
+        assert_eq!(out.reports[1].peak_memory_by_label["collective_slot"], 256);
+        assert!(!out.reports[0]
+            .peak_memory_by_label
+            .contains_key("collective_slot"));
     }
 
     #[test]

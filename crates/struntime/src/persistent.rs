@@ -12,6 +12,7 @@ use crate::counters::RankCounters;
 use crate::memory::MemoryTracker;
 use crate::perturb::SchedulePerturber;
 use crate::shared::Shared;
+use crate::trace::{self, TraceDump};
 use crate::{Comm, RankReport, RunOutput, WorldConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::any::Any;
@@ -31,6 +32,7 @@ pub struct PersistentWorld {
     num_ranks: usize,
     shared: Arc<Shared>,
     perturbers: Vec<Option<Arc<SchedulePerturber>>>,
+    trace_buffers: Option<Vec<Arc<crate::trace::TraceBuffer>>>,
     job_senders: Vec<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -55,6 +57,7 @@ impl PersistentWorld {
                     .map(|seed| Arc::new(SchedulePerturber::new(seed, rank)))
             })
             .collect();
+        let trace_buffers = trace::make_buffers(p, config.trace);
         let mut job_senders = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
         for (rank, perturb) in perturbers.iter().enumerate() {
@@ -62,8 +65,9 @@ impl PersistentWorld {
             job_senders.push(tx);
             let shared = Arc::clone(&shared);
             let perturb = perturb.clone();
+            let trace = trace_buffers.as_ref().map(|b| Arc::clone(&b[rank]));
             handles.push(std::thread::spawn(move || {
-                let mut comm = Comm::new_for_persistent(rank, shared, perturb);
+                let mut comm = Comm::new_for_persistent(rank, shared, perturb, trace);
                 while let Ok(job) = rx.recv() {
                     comm.install_observers(Arc::clone(&job.counters), Arc::clone(&job.memory));
                     let out = (job.f)(&mut comm);
@@ -77,6 +81,7 @@ impl PersistentWorld {
             num_ranks: p,
             shared,
             perturbers,
+            trace_buffers,
             job_senders,
             handles,
         }
@@ -85,6 +90,20 @@ impl PersistentWorld {
     /// Number of resident ranks.
     pub fn num_ranks(&self) -> usize {
         self.num_ranks
+    }
+
+    /// Drains every rank's event trace accumulated since the last drain
+    /// (or since construction). Unlike [`crate::World::run_config`], a
+    /// persistent world's traces span jobs; call this between jobs to
+    /// slice them. Empty unless the world was built with
+    /// [`crate::trace::TraceConfig::Ring`].
+    ///
+    /// Safe to call between `execute`s: rank threads are parked in their
+    /// job-channel `recv` then, and the results-channel handshake of the
+    /// previous job established the happens-before edge to their buffer
+    /// writes.
+    pub fn finish_trace(&self) -> TraceDump {
+        trace::drain_buffers(&self.trace_buffers)
     }
 
     /// Runs `f` on every rank concurrently and returns the per-rank
@@ -154,6 +173,9 @@ impl PersistentWorld {
                 .iter()
                 .map(|p| p.as_ref().map(|p| p.trace()).unwrap_or_default())
                 .collect(),
+            // Event traces accumulate across jobs on a persistent world;
+            // drain them explicitly with [`PersistentWorld::finish_trace`].
+            trace: TraceDump::default(),
         }
     }
 }
@@ -245,6 +267,25 @@ mod tests {
             });
             assert_eq!(out.results, vec![6, 6, 6]);
         }
+    }
+
+    #[test]
+    fn traces_accumulate_until_drained() {
+        let config = WorldConfig {
+            trace: crate::trace::TraceConfig::ring(),
+            ..WorldConfig::default()
+        };
+        let world = PersistentWorld::new_with_config(2, config);
+        world.execute(|comm| comm.trace_instant("job", 1));
+        world.execute(|comm| comm.trace_instant("job", 2));
+        let dump = world.finish_trace();
+        assert_eq!(dump.ranks.len(), 2);
+        for rt in &dump.ranks {
+            let args: Vec<_> = rt.events.iter().map(|e| e.arg).collect();
+            assert_eq!(args, vec![1, 2], "both jobs' events in one trace");
+        }
+        // Drained: the next slice starts empty.
+        assert!(world.finish_trace().is_empty());
     }
 
     #[test]

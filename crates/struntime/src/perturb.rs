@@ -203,6 +203,7 @@ where
         .map(|seed| {
             let config = WorldConfig {
                 perturb_seed: Some(seed),
+                ..WorldConfig::default()
             };
             (seed, World::run_config(p, config, &f))
         })

@@ -73,12 +73,31 @@ pub struct VisitorQueue<V> {
     seq: u64,
 }
 
+/// SplitMix64 finalizer: a bijective avalanche mix, so every distinct
+/// seed yields a distinct (and well-scrambled) xorshift starting state.
+/// Exactly one seed maps to 0 (the mix is a bijection), which xorshift
+/// cannot use as state; that seed gets a fixed non-zero constant.
+fn mix_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        z
+    }
+}
+
 impl<V> VisitorQueue<V> {
     /// An empty queue of the given discipline.
     pub fn new(kind: QueueKind) -> Self {
         let rng_state = match kind {
-            // Xorshift state must be non-zero.
-            QueueKind::Adversarial { seed } => seed | 1,
+            // Xorshift state must be non-zero; mix the seed so adjacent
+            // seeds produce unrelated streams. (A plain `seed | 1` here
+            // collapsed seeds 2k and 2k+1 onto the same stream, halving
+            // the seed space the chaos tests explore.)
+            QueueKind::Adversarial { seed } => mix_seed(seed),
             _ => 1,
         };
         VisitorQueue {
@@ -239,6 +258,33 @@ mod adversarial_tests {
         };
         assert_eq!(drain(3), drain(3));
         assert_ne!(drain(3), drain(4));
+    }
+
+    #[test]
+    fn adjacent_seeds_give_distinct_streams() {
+        // Regression: `seed | 1` collapsed seeds 2k and 2k+1 onto one
+        // xorshift stream, so seeds 2 and 3 drained identically.
+        let drain = |seed| {
+            let mut q = VisitorQueue::new(QueueKind::Adversarial { seed });
+            for i in 0..50u32 {
+                q.push(0, i);
+            }
+            std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()
+        };
+        assert_ne!(drain(2), drain(3));
+        for k in 0..32u64 {
+            assert_ne!(drain(2 * k), drain(2 * k + 1), "seed pair {k}");
+        }
+    }
+
+    #[test]
+    fn seed_zero_still_reorders() {
+        let mut q = VisitorQueue::new(QueueKind::Adversarial { seed: 0 });
+        for i in 0..50u32 {
+            q.push(0, i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_ne!(got, (0..50).collect::<Vec<_>>());
     }
 
     #[test]

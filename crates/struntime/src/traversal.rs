@@ -50,6 +50,7 @@ use crate::audit::{self, AuditViolation};
 use crate::channels::ChannelGroup;
 use crate::perturb::SyncPoint;
 use crate::queue::{QueueKind, VisitorQueue};
+use crate::trace::TraceEventKind;
 use crate::Comm;
 use std::sync::atomic::Ordering::SeqCst;
 use std::time::Duration;
@@ -105,6 +106,12 @@ impl<'a, V: Send + 'static> Pusher<'a, V> {
     pub fn rank(&self) -> usize {
         self.rank
     }
+
+    /// Records an instant trace event from inside a visit callback
+    /// (e.g. a delegate broadcast). No-op when tracing is off.
+    pub fn trace_instant(&self, name: &'static str, arg: u64) {
+        self.comm.trace_instant(name, arg);
+    }
 }
 
 fn flush_one<V: Send + 'static>(
@@ -129,6 +136,7 @@ fn flush_one<V: Send + 'static>(
     // Count the in-flight batch before it enters the channel so the
     // quiescence detector can never observe sent < actual.
     q.sent.fetch_add(1, SeqCst);
+    comm.trace_instant("batch_flush", buffer.len() as u64);
     chan.send_batch(dest, std::mem::take(buffer));
 }
 
@@ -258,6 +266,7 @@ where
     let mut local_buf: Vec<V> = Vec::new();
     let mut outgoing: Vec<Vec<V>> = (0..p).map(|_| Vec::new()).collect();
     let mut idle = false;
+    let traversal_span = comm.trace_span("traversal");
 
     loop {
         // Drain the inbound channel into the local queue. Leave the idle
@@ -276,12 +285,14 @@ where
                     comm.pause(SyncPoint::IdleExit);
                     q.idle.fetch_sub(1, SeqCst);
                     idle = false;
+                    comm.trace_event(TraceEventKind::SpanEnd, "idle", 0);
                 }
             } else {
                 if idle {
                     comm.pause(SyncPoint::IdleExit);
                     q.idle.fetch_sub(1, SeqCst);
                     idle = false;
+                    comm.trace_event(TraceEventKind::SpanEnd, "idle", 0);
                 }
                 q.received.fetch_add(1, SeqCst);
             }
@@ -303,6 +314,12 @@ where
             };
             visit(v, &mut pusher);
             stats.processed += 1;
+            // Sample queue depth sparsely (every 256 visitors, starting
+            // at the first) so the trace stays light on big runs but
+            // tiny test graphs still get at least one sample.
+            if stats.processed & 0xff == 1 {
+                comm.trace_instant("queue_depth", queue.len() as u64);
+            }
             for nv in local_buf.drain(..) {
                 let pr = priority(&nv);
                 queue.push(pr, nv);
@@ -330,6 +347,7 @@ where
             comm.pause(SyncPoint::IdleEnter);
             q.idle.fetch_add(1, SeqCst);
             idle = true;
+            comm.trace_event(TraceEventKind::SpanBegin, "idle", 0);
         }
         if q.done.load(SeqCst) {
             break;
@@ -349,6 +367,12 @@ where
         }
         std::thread::yield_now();
     }
+
+    if idle {
+        // Close the open idle span so begin/end events stay paired.
+        comm.trace_event(TraceEventKind::SpanEnd, "idle", 0);
+    }
+    drop(traversal_span);
 
     if audit::is_active() && !queue.is_empty() {
         // A correct exit always drains the local queue first.

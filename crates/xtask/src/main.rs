@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint [root]
+//! cargo run -p xtask -- check-reports [dir]
 //! ```
 //!
 //! `lint` runs the custom static checks in [`lint`] over every
 //! non-vendored `.rs` file (default root: the workspace directory, found
 //! relative to this crate's manifest). Exit code 0 means clean; 1 means
 //! findings were printed; 2 means usage or I/O error.
+//!
+//! `check-reports` parses every `BENCH_*.json` in the given directory
+//! (default: `bench_results/` under the workspace root) and validates it
+//! against the envelope schema in `bench::report`. Exit code 0 means all
+//! reports are schema-valid; 1 means violations (or no reports at all);
+//! 2 means usage or I/O error.
 
 mod lint;
 
@@ -65,9 +72,67 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("check-reports") => {
+            let dir = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| workspace_root().join("bench_results"));
+            check_reports(&dir)
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [root]");
+            eprintln!("usage: cargo run -p xtask -- lint [root] | check-reports [dir]");
             ExitCode::from(2)
         }
+    }
+}
+
+fn check_reports(dir: &std::path::Path) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("xtask check-reports: cannot read {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!(
+            "xtask check-reports: no BENCH_*.json under {} (run ./run_experiments.sh first)",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for path in &paths {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| stgraph::json::parse(&text).map_err(|e| e.to_string()))
+            .and_then(|doc| bench::report::validate(&doc));
+        match outcome {
+            Ok(n) => println!("  ok {} ({n} entries)", path.display()),
+            Err(e) => {
+                eprintln!("  FAIL {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "xtask check-reports: {} report(s) schema-valid",
+            paths.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask check-reports: {failures} invalid report(s)");
+        ExitCode::FAILURE
     }
 }

@@ -1,12 +1,17 @@
 #!/bin/bash
 # Regenerates every table/figure of the paper at full analogue scale.
-# Outputs land in bench_results/<name>.txt
+# Outputs land in bench_results/<name>.txt, with a machine-readable
+# BENCH_<name>.json twin next to each (see DESIGN.md).
+# Pass --quick to run every harness at CI scale.
 set -u
 cd "$(dirname "$0")"
+EXTRA="${1:-}"
+mkdir -p bench_results
 BINS="table1_apsp_vs_vc fig3_strong_scaling fig4_seed_count fig5_6_queue fig7_weight_dist table5_seed_selection fig8_memory table6_runtime_comparison table7_quality fig9_tree_export"
 for b in $BINS; do
   echo "=== running $b ==="
-  timeout 1800 cargo run -q -p bench --release --bin "$b" > "bench_results/$b.txt" 2>&1
+  # shellcheck disable=SC2086  # $EXTRA is intentionally word-split
+  timeout 1800 cargo run -q -p bench --release --bin "$b" -- $EXTRA > "bench_results/$b.txt" 2>&1
   echo "    exit $?"
 done
 echo "ALL EXPERIMENTS DONE"

@@ -6,6 +6,7 @@
 //! steiner-cli solve    --graph graph.bin (--seeds 1,2,3 | --select K[:STRATEGY])
 //!                      [--ranks P] [--queue fifo|priority] [--refine]
 //!                      [--improve ROUNDS] [--dot out.dot]
+//!                      [--trace trace.json] [--report report.json]
 //! steiner-cli compare  --graph graph.bin --select K[:STRATEGY]
 //! ```
 //!
@@ -18,7 +19,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 use steiner::interactive::InteractiveSession;
-use steiner::{solve, QueueKind, SolverConfig};
+use steiner::{solve, QueueKind, SolverConfig, TraceConfig};
 use stgraph::csr::{CsrGraph, Vertex};
 use stgraph::datasets::Dataset;
 
@@ -41,6 +42,10 @@ const USAGE: &str = "usage:
   steiner-cli solve    --graph FILE (--seeds A,B,C | --select K[:STRATEGY])
                        [--ranks P] [--queue fifo|priority] [--refine]
                        [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
+                       [--trace FILE] [--report FILE]
+
+--trace writes a Chrome-trace/Perfetto JSON timeline of the solve (one
+lane per simulated rank); --report writes the machine-readable RunReport.
   steiner-cli compare  --graph FILE --select K[:STRATEGY]
   steiner-cli repl     --graph FILE [--select K[:STRATEGY]]
 
@@ -194,6 +199,13 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
         num_ranks: rank_count(flags)?,
         queue,
         refine: flags.contains_key("refine"),
+        // Tracing costs a few bytes per event; only turn it on when the
+        // user asked for the timeline.
+        trace: if flags.contains_key("trace") {
+            TraceConfig::ring()
+        } else {
+            TraceConfig::Off
+        },
         ..SolverConfig::default()
     };
     let t = Instant::now();
@@ -219,6 +231,16 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("phase breakdown (max across {} ranks):", config.num_ranks);
     for (phase, time) in report.phase_times.iter() {
         println!("  {:<16} {time:?}", phase.name());
+    }
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, report.trace.to_chrome_trace())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} (open in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = flags.get("report") {
+        std::fs::write(path, report.run_report().to_json().to_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
     }
     if let Some(dot) = flags.get("dot") {
         std::fs::write(dot, tree.to_dot()).map_err(|e| format!("writing {dot}: {e}"))?;

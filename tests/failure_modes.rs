@@ -78,17 +78,29 @@ fn out_of_range_seed_rejected_everywhere() {
 }
 
 #[test]
-fn single_seed_is_the_empty_tree_everywhere() {
+fn single_seed_handling_is_consistent() {
     let g = two_islands();
     let cfg = SolverConfig {
         num_ranks: 2,
         ..SolverConfig::default()
     };
+    // The sequential baselines return the degenerate empty tree; the
+    // distributed solver rejects the instance up front with a structured
+    // error (a one-vertex "tree" carries no information, and rejecting
+    // avoids running the six-phase pipeline over an empty pair set).
     assert_eq!(kmb(&g, &[1]).unwrap().num_edges(), 0);
     assert_eq!(www(&g, &[1]).unwrap().num_edges(), 0);
     assert_eq!(mehlhorn(&g, &[1]).unwrap().num_edges(), 0);
     assert_eq!(dreyfus_wagner(&g, &[1]).unwrap().num_edges(), 0);
-    assert_eq!(solve(&g, &[1], &cfg).unwrap().tree.num_edges(), 0);
+    assert!(matches!(
+        solve(&g, &[1], &cfg),
+        Err(SteinerError::TooFewSeeds { got: 1 })
+    ));
+    // Duplicates of one vertex are still a single distinct seed.
+    assert!(matches!(
+        solve(&g, &[1, 1, 1], &cfg),
+        Err(SteinerError::TooFewSeeds { got: 1 })
+    ));
 }
 
 #[test]
@@ -126,6 +138,8 @@ fn error_messages_are_informative() {
         .to_string()
         .contains("3 and 9"));
     assert!(SteinerError::SeedOutOfRange(7).to_string().contains('7'));
+    let msg = SteinerError::TooFewSeeds { got: 1 }.to_string();
+    assert!(msg.contains("at least 2") && msg.contains('1'), "{msg}");
     assert!(SteinerError::ExactTooLarge { states: 1 << 40 }
         .to_string()
         .contains("DP states"));

@@ -85,6 +85,7 @@ fn two_hundred_seeds_zero_violations_identical_totals() {
 fn same_seed_runs_draw_the_same_decision_stream() {
     let config = WorldConfig {
         perturb_seed: Some(42),
+        ..WorldConfig::default()
     };
     let a = World::run_config(RANKS, config, fifo_then_priority);
     let b = World::run_config(RANKS, config, fifo_then_priority);
