@@ -150,11 +150,22 @@ fn validate_entry(entry: &Json) -> Result<(), String> {
 }
 
 fn validate_run(run: &Json) -> Result<(), String> {
-    if run.get("schema_version").and_then(|v| v.as_u64()) != Some(steiner::report::SCHEMA_VERSION) {
-        return Err(format!(
-            "schema_version must be {}",
-            steiner::report::SCHEMA_VERSION
-        ));
+    match run.get("schema_version").and_then(|v| v.as_u64()) {
+        Some(v) if v == steiner::report::SCHEMA_VERSION => {}
+        Some(1) => {
+            return Err(
+                "schema_version 1 report found; v2 adds imbalance_ratio, critical_path, \
+                 and latency_quantiles (no v1 key was removed or renamed) — regenerate \
+                 the report with current binaries to migrate"
+                    .to_string(),
+            );
+        }
+        _ => {
+            return Err(format!(
+                "schema_version must be {}",
+                steiner::report::SCHEMA_VERSION
+            ));
+        }
     }
     let config = run.get("config").ok_or("missing config")?;
     config
@@ -194,6 +205,27 @@ fn validate_run(run: &Json) -> Result<(), String> {
     run.get("simulated_speedup")
         .and_then(|v| v.as_f64())
         .ok_or("simulated_speedup must be a number")?;
+    run.get("imbalance_ratio")
+        .and_then(|v| v.as_f64())
+        .filter(|&r| r >= 1.0)
+        .ok_or("imbalance_ratio must be a number >= 1.0")?;
+    let cp = run.get("critical_path").ok_or("missing critical_path")?;
+    if !cp.is_null() {
+        for key in ["visits", "span_us", "total_visits"] {
+            cp.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("critical_path.{key} must be an integer"))?;
+        }
+        cp.get("acyclic")
+            .and_then(|v| v.as_bool())
+            .ok_or("critical_path.acyclic must be a bool")?;
+    }
+    let lq = run
+        .get("latency_quantiles")
+        .ok_or("missing latency_quantiles")?;
+    if !lq.is_null() && lq.as_obj().is_none() {
+        return Err("latency_quantiles must be null or an object".to_string());
+    }
     let tree = run.get("tree").ok_or("missing tree")?;
     for key in ["num_seeds", "num_edges", "total_distance"] {
         tree.get(key)
@@ -269,6 +301,56 @@ mod tests {
         }
         let err = validate(&doc).unwrap_err();
         assert!(err.contains("entries[0]"), "{err}");
+    }
+
+    #[test]
+    fn v1_run_report_rejected_with_migration_note() {
+        let mut r = BenchReport::new("unit_test");
+        r.add_solve("x", Json::obj(), &sample_solve());
+        let mut doc = r.to_json();
+        // Downgrade the embedded run report to v1.
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "entries" {
+                    if let Json::Arr(entries) = v {
+                        if let Json::Obj(e) = &mut entries[0] {
+                            for (ek, ev) in e.iter_mut() {
+                                if ek == "run" {
+                                    ev.insert("schema_version", 1u64);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("schema_version 1"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn traced_solve_entry_populates_and_validates_v2_fields() {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5u32 {
+            b.add_edge(i, i + 1, 3);
+        }
+        let g = b.build();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            trace: steiner::TraceConfig::ring(),
+            metrics: steiner::MetricsConfig::On,
+            ..SolverConfig::default()
+        };
+        let solved = solve(&g, &[0, 5], &cfg).unwrap();
+        let mut r = BenchReport::new("unit_test");
+        r.add_solve("traced", Json::obj(), &solved);
+        let doc = r.to_json();
+        assert_eq!(validate(&doc), Ok(1));
+        let entries = doc.get("entries").and_then(|v| v.as_arr()).unwrap();
+        let run = entries[0].get("run").unwrap();
+        assert!(!run.get("critical_path").unwrap().is_null());
+        assert!(!run.get("latency_quantiles").unwrap().is_null());
     }
 
     #[test]

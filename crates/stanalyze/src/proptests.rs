@@ -1,0 +1,91 @@
+//! Property tests for the causality analyzer: across rank counts
+//! {1, 2, 4} and all three queue disciplines, randomized forwarding
+//! workloads must always yield an acyclic lineage DAG that covers every
+//! visit (ISSUE 3 satellite).
+
+use proptest::prelude::*;
+
+use crate::{analyze, model_from_dump};
+use struntime::{run_traversal, QueueKind, TraceConfig, World, WorldConfig};
+
+/// Runs a traced world where each seed `(hops_left, salt)` forwards to a
+/// pseudo-random rank until its hop budget runs out, then analyzes the
+/// resulting lineage trace.
+fn run_and_analyze(p: usize, queue: QueueKind, seeds: &[(u8, u64)]) -> (crate::Analysis, u64) {
+    let config = WorldConfig {
+        trace: TraceConfig::ring(),
+        ..WorldConfig::default()
+    };
+    let seeds_owned: Vec<(u8, u64)> = seeds.to_vec();
+    let out = World::run_config(p, config, |comm| {
+        let chan = comm.open_channels::<Vec<(u8, u64)>>("walk");
+        let init = if comm.rank() == 0 {
+            seeds_owned.clone()
+        } else {
+            vec![]
+        };
+        run_traversal(
+            comm,
+            &chan,
+            queue,
+            |&(hops, salt)| (hops as u64) << 32 | (salt & 0xffff_ffff),
+            init,
+            |(hops, salt), pusher| {
+                if hops > 0 {
+                    // Splitmix-style scramble keeps destinations varied
+                    // without any RNG state in the closure.
+                    let next = salt
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .rotate_left(17)
+                        .wrapping_add(hops as u64);
+                    pusher.push((next % p as u64) as usize, (hops - 1, next));
+                    // Occasionally branch: a second child exercises the
+                    // DAG shape beyond pure chains.
+                    if next & 7 == 0 {
+                        pusher.push(((next >> 8) % p as u64) as usize, (hops / 2, next ^ 0x5a5a));
+                    }
+                }
+            },
+        )
+    });
+    let total: u64 = out.results.iter().map(|s| s.processed).sum();
+    (analyze(&model_from_dump(&out.trace)), total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn causality_dag_is_acyclic_and_covers_every_visit(
+        p_idx in 0usize..3,
+        queue_idx in 0usize..3,
+        seeds in proptest::collection::vec((1u8..6, 0u64..u64::MAX), 1..8),
+    ) {
+        let p = [1usize, 2, 4][p_idx];
+        let queue = [
+            QueueKind::Fifo,
+            QueueKind::Priority,
+            QueueKind::Adversarial { seed: 0xDA6 },
+        ][queue_idx];
+        let (analysis, total_visits) = run_and_analyze(p, queue, &seeds);
+
+        // Nothing dropped at this scale, so coverage is a hard check.
+        prop_assert_eq!(analysis.dropped_events, 0);
+        prop_assert!(analysis.acyclic, "lineage DAG must be acyclic");
+        prop_assert!(analysis.coverage_ok, "every visit spawned and every spawn visited");
+        prop_assert_eq!(analysis.total_visits, total_visits);
+        prop_assert_eq!(analysis.total_spawns, total_visits);
+        prop_assert_eq!(analysis.roots, seeds.len() as u64);
+        // The critical path is a chain of dependent visits: at least one
+        // visit per hop of the deepest seed, never more than everything.
+        prop_assert!(analysis.critical_path.visits <= analysis.total_visits);
+        let deepest = seeds.iter().map(|&(h, _)| h as u64).max().unwrap_or(0);
+        prop_assert!(
+            analysis.critical_path.visits > deepest,
+            "critical path {} shorter than deepest seed chain {}",
+            analysis.critical_path.visits,
+            deepest + 1
+        );
+        prop_assert!(analysis.verify().is_ok());
+    }
+}

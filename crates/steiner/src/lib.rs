@@ -49,7 +49,7 @@ pub mod voronoi_bsp;
 
 pub use phases::{Phase, PhaseTimes};
 pub use report::{ConfigFingerprint, RunReport};
-pub use struntime::{QueueKind, TraceConfig, TraceDump};
+pub use struntime::{MetricKind, MetricsConfig, MetricsDump, QueueKind, TraceConfig, TraceDump};
 
 use distance_graph::ReduceMode;
 use state::VertexStates;
@@ -117,6 +117,12 @@ pub struct SolverConfig {
     /// the per-rank event dump, renderable with
     /// [`TraceDump::to_chrome_trace`].
     pub trace: TraceConfig,
+    /// Latency-histogram recording for the solve's world (off by
+    /// default; see [`struntime::metrics`]). When enabled,
+    /// [`SolveReport::metrics`] holds per-rank × per-phase histograms of
+    /// message latency, queue residency, batch size, and visit service
+    /// time.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for SolverConfig {
@@ -129,6 +135,7 @@ impl Default for SolverConfig {
             refine: false,
             batch_size: struntime::traversal::DEFAULT_BATCH_SIZE,
             trace: TraceConfig::Off,
+            metrics: MetricsConfig::Off,
         }
     }
 }
@@ -160,6 +167,9 @@ pub struct SolveReport {
     /// Per-rank event traces (empty unless [`SolverConfig::trace`] was
     /// enabled). Render with [`TraceDump::to_chrome_trace`].
     pub trace: TraceDump,
+    /// Per-rank × per-phase latency histograms (empty unless
+    /// [`SolverConfig::metrics`] was enabled).
+    pub metrics: MetricsDump,
 }
 
 impl SolveReport {
@@ -255,6 +265,7 @@ pub fn solve_partitioned(
 
     let world_config = WorldConfig {
         trace: config.trace,
+        metrics: config.metrics,
         ..WorldConfig::default()
     };
     let out = World::run_config(p, world_config, |comm: &mut Comm| {
@@ -278,9 +289,11 @@ pub fn solve_partitioned(
 ///
 /// Event tracing on a persistent world is configured when the world is
 /// built ([`struntime::WorldConfig::trace`]) and accumulates across
-/// jobs; drain it with [`PersistentWorld::finish_trace`]. The returned
-/// report's [`SolveReport::trace`] is therefore always empty here, and
-/// [`SolverConfig::trace`] is ignored.
+/// jobs; drain it with [`PersistentWorld::finish_trace`]. The same
+/// holds for metrics ([`PersistentWorld::finish_metrics`]). The returned
+/// report's [`SolveReport::trace`] and [`SolveReport::metrics`] are
+/// therefore always empty here, and [`SolverConfig::trace`] /
+/// [`SolverConfig::metrics`] are ignored.
 pub fn solve_on(
     world: &PersistentWorld,
     pg: &Arc<PartitionedGraph>,
@@ -359,6 +372,7 @@ fn assemble_report(
         rank_work,
         config: *config,
         trace: out.trace,
+        metrics: out.metrics,
     })
 }
 

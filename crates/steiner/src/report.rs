@@ -27,7 +27,14 @@ use struntime::QueueKind;
 
 /// Version of the report JSON layout; see the module docs for the
 /// stability rules.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// **v1 → v2**: adds `imbalance_ratio` (always a number),
+/// `critical_path` and `latency_quantiles` (objects when the solve ran
+/// with tracing/metrics enabled, `null` otherwise). No v1 key was
+/// removed or renamed; v2 is a strict superset. The bump is still
+/// breaking for consumers because v1 readers would silently miss the
+/// observability fields newer tooling keys on.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The configuration a solve ran with, reduced to plain strings and
 /// numbers for the report.
@@ -96,6 +103,30 @@ pub struct PhaseCounters {
     pub remote_batches: u64,
 }
 
+/// Headline numbers of the causality-DAG analysis (see `stanalyze`),
+/// present when the solve ran with tracing enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPathSummary {
+    /// Dependent visits on the longest lineage chain.
+    pub visits: u64,
+    /// Wall-clock span of that chain, microseconds.
+    pub span_us: u64,
+    /// Total visits in the trace (the chain's denominator).
+    pub total_visits: u64,
+    /// Whether the causality graph verified acyclic.
+    pub acyclic: bool,
+}
+
+impl CriticalPathSummary {
+    fn to_json(self) -> Json {
+        Json::obj()
+            .with("visits", self.visits)
+            .with("span_us", self.span_us)
+            .with("total_visits", self.total_visits)
+            .with("acyclic", self.acyclic)
+    }
+}
+
 /// The unified machine-readable summary of one solve.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
@@ -118,6 +149,15 @@ pub struct RunReport {
     pub rank_work: Vec<u64>,
     /// Work-based simulated speedup (Fig 3's scaling metric).
     pub simulated_speedup: f64,
+    /// Most-loaded rank's work divided by the mean — 1.0 is perfectly
+    /// balanced, `num_ranks` is one rank doing everything.
+    pub imbalance_ratio: f64,
+    /// Causality-DAG headline numbers; `None` when the solve ran
+    /// without tracing.
+    pub critical_path: Option<CriticalPathSummary>,
+    /// `{phase: {metric: {p50, p90, p99, count}}}` quantiles from the
+    /// latency histograms; `None` when the solve ran without metrics.
+    pub latency_quantiles: Option<Json>,
     /// Number of seed (terminal) vertices in the tree.
     pub tree_num_seeds: usize,
     /// Number of edges in the tree.
@@ -131,7 +171,8 @@ impl RunReport {
     /// stability rules). Top-level keys: `schema_version`, `config`,
     /// `phase_times_us`, `total_time_us`, `message_counts`,
     /// `graph_bytes`, `state_peak_bytes`, `distance_graph_edges`,
-    /// `rank_work`, `simulated_speedup`, `tree`.
+    /// `rank_work`, `simulated_speedup`, `imbalance_ratio`,
+    /// `critical_path`, `latency_quantiles`, `tree`.
     pub fn to_json(&self) -> Json {
         let mut phase_times = Json::obj();
         for &(name, us) in &self.phase_times_us {
@@ -162,6 +203,15 @@ impl RunReport {
                 Json::Arr(self.rank_work.iter().map(|&w| Json::from(w)).collect()),
             )
             .with("simulated_speedup", self.simulated_speedup)
+            .with("imbalance_ratio", self.imbalance_ratio)
+            .with(
+                "critical_path",
+                self.critical_path.map(CriticalPathSummary::to_json),
+            )
+            .with(
+                "latency_quantiles",
+                self.latency_quantiles.clone().unwrap_or(Json::Null),
+            )
             .with(
                 "tree",
                 Json::obj()
@@ -174,6 +224,11 @@ impl RunReport {
 
 impl SolveReport {
     /// Condenses this solve into its machine-readable [`RunReport`].
+    ///
+    /// When the solve ran with tracing, the causality DAG is analyzed
+    /// here (via `stanalyze`) to fill `critical_path`; with metrics,
+    /// histogram quantiles fill `latency_quantiles`. Both are `None`
+    /// otherwise — the v2 schema keeps the keys, as `null`.
     pub fn run_report(&self) -> RunReport {
         let phase_times_us: Vec<(&'static str, u64)> = Phase::ALL
             .iter()
@@ -194,6 +249,29 @@ impl SolveReport {
                 )
             })
             .collect();
+        let critical_path = if self.trace.is_empty() {
+            None
+        } else {
+            let analysis = stanalyze::analyze(&stanalyze::model_from_dump(&self.trace));
+            Some(CriticalPathSummary {
+                visits: analysis.critical_path.visits,
+                span_us: analysis.critical_path.span_us,
+                total_visits: analysis.total_visits,
+                acyclic: analysis.acyclic,
+            })
+        };
+        let latency_quantiles = if self.metrics.is_empty() {
+            None
+        } else {
+            Some(self.metrics.quantiles_json())
+        };
+        let total_work: u64 = self.rank_work.iter().sum();
+        let max_work = self.rank_work.iter().copied().max().unwrap_or(0);
+        let imbalance_ratio = if total_work == 0 || self.rank_work.is_empty() {
+            1.0
+        } else {
+            max_work as f64 * self.rank_work.len() as f64 / total_work as f64
+        };
         RunReport {
             config: ConfigFingerprint::of(&self.config),
             phase_times_us,
@@ -204,6 +282,9 @@ impl SolveReport {
             distance_graph_edges: self.distance_graph_edges,
             rank_work: self.rank_work.clone(),
             simulated_speedup: self.simulated_speedup(),
+            imbalance_ratio,
+            critical_path,
+            latency_quantiles,
             tree_num_seeds: self.tree.seeds.len(),
             tree_num_edges: self.tree.num_edges(),
             tree_total_distance: self.tree.total_distance(),
@@ -275,6 +356,56 @@ mod tests {
             .and_then(|v| v.as_f64())
             .is_some());
         // Round-trips through the parser.
+        let text = doc.to_pretty();
+        assert_eq!(stgraph::json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn v2_observability_fields_null_without_trace_or_metrics() {
+        let report = sample_report().run_report();
+        assert!(report.critical_path.is_none());
+        assert!(report.latency_quantiles.is_none());
+        assert!(report.imbalance_ratio >= 1.0);
+        let doc = report.to_json();
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+        assert!(doc.get("critical_path").expect("key present").is_null());
+        assert!(doc.get("latency_quantiles").expect("key present").is_null());
+        assert!(doc
+            .get("imbalance_ratio")
+            .and_then(|v| v.as_f64())
+            .is_some());
+    }
+
+    #[test]
+    fn v2_observability_fields_populated_with_trace_and_metrics() {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, 2);
+        }
+        let g = b.build();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            trace: struntime::TraceConfig::ring(),
+            metrics: struntime::MetricsConfig::On,
+            ..SolverConfig::default()
+        };
+        let report = solve(&g, &[0, 7], &cfg).unwrap().run_report();
+        let cp = report
+            .critical_path
+            .expect("traced solve has critical path");
+        assert!(cp.acyclic);
+        assert!(cp.visits > 0);
+        assert!(cp.visits <= cp.total_visits);
+        let lq = report.latency_quantiles.clone().expect("metrics quantiles");
+        // At least the voronoi traversal recorded visit-service samples.
+        assert!(lq
+            .get("voronoi")
+            .and_then(|p| p.get("visit_service_us"))
+            .and_then(|m| m.get("count"))
+            .and_then(|c| c.as_u64())
+            .is_some_and(|c| c > 0));
+        // The JSON twin round-trips.
+        let doc = report.to_json();
         let text = doc.to_pretty();
         assert_eq!(stgraph::json::parse(&text).unwrap(), doc);
     }

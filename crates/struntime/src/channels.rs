@@ -19,14 +19,33 @@ use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// What actually travels through a channel: the caller's message, wrapped
-/// in an audit envelope on `check` builds.
+/// The caller's message as shipped, wrapped in an audit envelope on
+/// `check` builds.
 #[cfg(feature = "check")]
 pub(crate) type Wire<T> = crate::audit::Tagged<T>;
-/// What actually travels through a channel (bare message — the audit
-/// envelope exists only on `check` builds).
+/// The caller's message as shipped (bare — the audit envelope exists
+/// only on `check` builds).
 #[cfg(not(feature = "check"))]
 pub(crate) type Wire<T> = T;
+
+/// Observability sidecar riding next to a traversal batch on the wire.
+/// Present only when the sending world records traces or metrics, so an
+/// uninstrumented run ships `None` and pays one machine word per batch.
+pub(crate) struct LineageSidecar {
+    /// Lineage ids of the batch's visitors, parallel to the payload.
+    pub ids: Box<[u64]>,
+    /// Flush time, microseconds since the world's shared epoch.
+    pub sent_us: u64,
+}
+
+/// What actually travels through a channel: the (possibly audit-tagged)
+/// payload plus the optional observability sidecar. Keeping the sidecar
+/// out of the payload type means no caller-visible channel type changes
+/// and the byte counters keep charging `size_of::<T>()` per message.
+pub(crate) struct WireMsg<T> {
+    pub payload: Wire<T>,
+    pub lineage: Option<LineageSidecar>,
+}
 
 /// Non-generic context a group needs from its world: the audit ledger,
 /// this rank's schedule perturber (if the world is perturbed), and the
@@ -54,8 +73,8 @@ impl GroupCtx {
 /// One rank's endpoints of a typed all-to-all channel group.
 pub struct ChannelGroup<T: Send + 'static> {
     rank: usize,
-    senders: Vec<Sender<Wire<T>>>,
-    receiver: Receiver<Wire<T>>,
+    senders: Vec<Sender<WireMsg<T>>>,
+    receiver: Receiver<WireMsg<T>>,
     stats: Arc<PhaseStats>,
     ctx: GroupCtx,
 }
@@ -63,8 +82,8 @@ pub struct ChannelGroup<T: Send + 'static> {
 impl<T: Send + 'static> ChannelGroup<T> {
     pub(crate) fn new(
         rank: usize,
-        senders: Vec<Sender<Wire<T>>>,
-        receiver: Receiver<Wire<T>>,
+        senders: Vec<Sender<WireMsg<T>>>,
+        receiver: Receiver<WireMsg<T>>,
         stats: Arc<PhaseStats>,
         ctx: GroupCtx,
     ) -> Self {
@@ -129,8 +148,11 @@ impl<T: Send + 'static> ChannelGroup<T> {
         wire
     }
 
-    fn ship(&self, dest: usize, wire: Wire<T>) {
-        if self.senders[dest].send(wire).is_err() {
+    fn ship(&self, dest: usize, payload: Wire<T>, lineage: Option<LineageSidecar>) {
+        if self.senders[dest]
+            .send(WireMsg { payload, lineage })
+            .is_err()
+        {
             unreachable!("receiver endpoint dropped while its world is running");
         }
     }
@@ -152,14 +174,21 @@ impl<T: Send + 'static> ChannelGroup<T> {
         }
         self.pause(SyncPoint::ChannelSend);
         let wire = self.wrap(dest, msg, 1);
-        self.ship(dest, wire);
+        self.ship(dest, wire, None);
     }
 
     /// Non-blocking receive from this rank's inbound queue.
     pub fn try_recv(&self) -> Option<T> {
+        self.try_recv_traced().map(|(msg, _)| msg)
+    }
+
+    /// Non-blocking receive that also yields the sender's observability
+    /// sidecar (`None` when the sender was uninstrumented or the message
+    /// came from the plain `send`/`send_batch` path).
+    pub(crate) fn try_recv_traced(&self) -> Option<(T, Option<LineageSidecar>)> {
         self.pause(SyncPoint::ChannelRecv);
         match self.receiver.try_recv() {
-            Ok(wire) => Some(self.unwrap_wire(wire)),
+            Ok(wire) => Some((self.unwrap_wire(wire.payload), wire.lineage)),
             Err(TryRecvError::Empty) => None,
             Err(TryRecvError::Disconnected) => {
                 unreachable!("own sender kept alive by the group")
@@ -184,6 +213,19 @@ impl<V: Send + 'static> ChannelGroup<Vec<V>> {
     /// independent. Like [`ChannelGroup::send`], a self-addressed batch
     /// counts as local traffic.
     pub fn send_batch(&self, dest: usize, batch: Vec<V>) {
+        self.send_batch_traced(dest, batch, None);
+    }
+
+    /// [`ChannelGroup::send_batch`] with an observability sidecar. The
+    /// counters are identical whether or not a sidecar is attached — the
+    /// sidecar models out-of-band instrumentation, not simulated network
+    /// traffic.
+    pub(crate) fn send_batch_traced(
+        &self,
+        dest: usize,
+        batch: Vec<V>,
+        lineage: Option<LineageSidecar>,
+    ) {
         if dest == self.rank {
             self.stats
                 .local_msgs
@@ -201,13 +243,13 @@ impl<V: Send + 'static> ChannelGroup<Vec<V>> {
         self.pause(SyncPoint::ChannelSend);
         let visitors = batch.len() as u64;
         let wire = self.wrap(dest, batch, visitors);
-        self.ship(dest, wire);
+        self.ship(dest, wire, lineage);
     }
 }
 
 /// One sender per destination plus every rank's receiving end.
 #[cfg(test)]
-pub(crate) type Endpoints<T> = (Vec<Sender<Wire<T>>>, Vec<Receiver<Wire<T>>>);
+pub(crate) type Endpoints<T> = (Vec<Sender<WireMsg<T>>>, Vec<Receiver<WireMsg<T>>>);
 
 /// Creates the full `p x p` mesh of channel endpoints locally, for unit
 /// tests that exercise a group without a full world.

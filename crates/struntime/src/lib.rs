@@ -39,6 +39,7 @@ pub mod channels;
 mod collective;
 pub mod counters;
 pub mod memory;
+pub mod metrics;
 pub mod persistent;
 pub mod perturb;
 pub mod queue;
@@ -49,6 +50,7 @@ pub mod traversal;
 pub use audit::AuditViolation;
 pub use channels::ChannelGroup;
 pub use counters::{merge_snapshots, PhaseSnapshot};
+pub use metrics::{HistogramSnapshot, MetricKind, MetricsConfig, MetricsDump};
 pub use persistent::PersistentWorld;
 pub use perturb::{stress_schedules, PerturbAction, SchedulePerturber, SyncPoint, TraceEntry};
 pub use queue::QueueKind;
@@ -62,8 +64,10 @@ pub use traversal::{
 use channels::GroupCtx;
 use counters::RankCounters;
 use memory::MemoryTracker;
+use metrics::{PhaseMetrics, RankMetrics};
 use shared::{ChannelSlot, Shared};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use trace::TraceBuffer;
 
@@ -76,6 +80,12 @@ pub struct Comm {
     tag_counter: u64,
     perturb: Option<Arc<SchedulePerturber>>,
     trace: Option<Arc<TraceBuffer>>,
+    metrics: Option<Arc<RankMetrics>>,
+    /// Monotone per-rank lineage sequence; world-unique ids are
+    /// `rank << 40 | seq` with seq starting at 1 (0 = "no message").
+    /// The packing survives a round-trip through JSON's f64 numbers for
+    /// up to 2^13 ranks x 2^40 messages (< 2^53).
+    lineage_seq: AtomicU64,
 }
 
 impl Comm {
@@ -84,6 +94,7 @@ impl Comm {
         shared: Arc<Shared>,
         perturb: Option<Arc<SchedulePerturber>>,
         trace: Option<Arc<TraceBuffer>>,
+        metrics: Option<Arc<RankMetrics>>,
     ) -> Comm {
         Comm {
             rank,
@@ -93,6 +104,8 @@ impl Comm {
             tag_counter: 0,
             perturb,
             trace,
+            metrics,
+            lineage_seq: AtomicU64::new(0),
         }
     }
 
@@ -173,6 +186,42 @@ impl Comm {
         }
     }
 
+    /// Records a two-payload event (lineage spawns carry child + parent).
+    pub(crate) fn trace_event2(
+        &self,
+        kind: TraceEventKind,
+        name: &'static str,
+        arg: u64,
+        arg2: u64,
+    ) {
+        if let Some(buf) = &self.trace {
+            buf.record2(kind, name, arg, arg2);
+        }
+    }
+
+    /// Whether any observability layer (tracing or metrics) is active —
+    /// the gate the traversal uses before reading clocks or assigning
+    /// lineage ids.
+    pub(crate) fn observing(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Microseconds since the world's shared epoch.
+    pub(crate) fn now_us(&self) -> u64 {
+        self.shared.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The next world-unique lineage id for a message this rank creates.
+    pub(crate) fn next_lineage_id(&self) -> u64 {
+        let seq = self.lineage_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        ((self.rank as u64) << 40) | seq
+    }
+
+    /// This phase's histogram set, when the world records metrics.
+    pub(crate) fn metrics_phase(&self, phase: &'static str) -> Option<Arc<PhaseMetrics>> {
+        self.metrics.as_ref().map(|m| m.phase(phase))
+    }
+
     /// Collectively opens a typed all-to-all channel group. Every rank must
     /// call this in the same program order (tags are assigned from a local
     /// counter that advances identically on all ranks). Messages sent
@@ -188,7 +237,7 @@ impl Comm {
         self.tag_counter += 1;
         let p = self.num_ranks();
         let my_type = std::any::type_name::<V>();
-        let (sender, receiver) = crossbeam::channel::unbounded::<channels::Wire<V>>();
+        let (sender, receiver) = crossbeam::channel::unbounded::<channels::WireMsg<V>>();
         {
             let mut reg = self.shared.channel_registry.lock();
             let slots = reg
@@ -226,7 +275,7 @@ impl Comm {
                     }
                     match slot
                         .sender
-                        .downcast_ref::<crossbeam::channel::Sender<channels::Wire<V>>>()
+                        .downcast_ref::<crossbeam::channel::Sender<channels::WireMsg<V>>>()
                     {
                         Some(s) => s.clone(),
                         None => panic!(
@@ -287,6 +336,9 @@ pub struct RunOutput<T> {
     /// Event traces drained from every rank at teardown. Empty unless the
     /// world ran with [`TraceConfig::Ring`].
     pub trace: TraceDump,
+    /// Latency histograms drained from every rank at teardown. Empty
+    /// unless the world ran with [`MetricsConfig::On`].
+    pub metrics: MetricsDump,
 }
 
 impl<T> RunOutput<T> {
@@ -295,6 +347,12 @@ impl<T> RunOutput<T> {
     /// consumed by `run`, so the trace travels with the output.)
     pub fn finish_trace(&self) -> TraceDump {
         self.trace.clone()
+    }
+
+    /// The drained latency metrics, ready for
+    /// [`MetricsDump::quantiles_json`].
+    pub fn finish_metrics(&self) -> MetricsDump {
+        self.metrics.clone()
     }
     /// Cluster-wide per-phase message counts (sum over ranks).
     pub fn merged_counters(&self) -> BTreeMap<&'static str, PhaseSnapshot> {
@@ -320,6 +378,8 @@ pub struct WorldConfig {
     pub perturb_seed: Option<u64>,
     /// Event-trace recording (off by default; see [`trace`]).
     pub trace: TraceConfig,
+    /// Latency-histogram recording (off by default; see [`metrics`]).
+    pub metrics: MetricsConfig,
 }
 
 /// The simulated cluster.
@@ -354,7 +414,8 @@ impl World {
                     .map(|seed| Arc::new(SchedulePerturber::new(seed, rank)))
             })
             .collect();
-        let trace_buffers = trace::make_buffers(p, config.trace);
+        let trace_buffers = trace::make_buffers(p, config.trace, shared.epoch);
+        let metric_regs = metrics::make_registries(p, config.metrics);
 
         let results: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
@@ -367,6 +428,8 @@ impl World {
                         tag_counter: 0,
                         perturb: perturbers[rank].clone(),
                         trace: trace_buffers.as_ref().map(|b| Arc::clone(&b[rank])),
+                        metrics: metric_regs.as_ref().map(|m| Arc::clone(&m[rank])),
+                        lineage_seq: AtomicU64::new(0),
                     };
                     let f = &f;
                     scope.spawn(move || f(&mut comm))
@@ -397,6 +460,7 @@ impl World {
                 .map(|p| p.as_ref().map(|p| p.trace()).unwrap_or_default())
                 .collect(),
             trace: trace::drain_buffers(&trace_buffers),
+            metrics: metrics::drain_registries(&metric_regs),
         }
     }
 }
@@ -738,7 +802,7 @@ mod tests {
                 let d = match ev.kind {
                     TraceEventKind::SpanBegin => 1,
                     TraceEventKind::SpanEnd => -1,
-                    TraceEventKind::Instant => 0,
+                    _ => 0,
                 };
                 depth += d;
                 if ev.name == "idle" {
@@ -817,6 +881,140 @@ mod tests {
         assert!(!out.reports[0]
             .peak_memory_by_label
             .contains_key("collective_slot"));
+    }
+
+    #[test]
+    fn lineage_spawns_cover_visits_with_unique_ids() {
+        let p = 3;
+        let config = WorldConfig {
+            trace: trace::TraceConfig::ring(),
+            metrics: MetricsConfig::On,
+            ..WorldConfig::default()
+        };
+        let out = World::run_config(p, config, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("ring");
+            let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Fifo,
+                |_| 0,
+                init,
+                |hops, pusher| {
+                    if (hops as usize) < 3 * p {
+                        pusher.push((pusher.rank() + 1) % p, hops + 1);
+                    }
+                },
+            )
+        });
+        let mut spawns: Vec<(u64, u64)> = Vec::new(); // (id, parent)
+        let mut visits: Vec<u64> = Vec::new();
+        for rt in &out.trace.ranks {
+            for ev in &rt.events {
+                match ev.kind {
+                    TraceEventKind::Spawn => spawns.push((ev.arg, ev.arg2)),
+                    TraceEventKind::Visit => visits.push(ev.arg),
+                    _ => {}
+                }
+            }
+        }
+        let total_processed: u64 = out.results.iter().map(|s| s.processed).sum();
+        assert_eq!(visits.len() as u64, total_processed);
+        assert_eq!(spawns.len(), visits.len(), "every message spawned once");
+        let mut ids: Vec<u64> = spawns.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), spawns.len(), "lineage ids are unique");
+        let spawned: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert!(visits.iter().all(|id| spawned.contains(id)));
+        assert!(visits.iter().all(|&id| id != 0));
+        // Exactly one root: rank 0's seed.
+        assert_eq!(spawns.iter().filter(|&&(_, p)| p == 0).count(), 1);
+        // Non-root parents must themselves be spawned messages.
+        assert!(spawns
+            .iter()
+            .filter(|&&(_, p)| p != 0)
+            .all(|&(_, p)| spawned.contains(&p)));
+    }
+
+    #[test]
+    fn metrics_capture_traversal_signals() {
+        let p = 2;
+        let config = WorldConfig {
+            metrics: MetricsConfig::On,
+            ..WorldConfig::default()
+        };
+        let out = World::run_config(p, config, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("ping");
+            let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Fifo,
+                |_| 0,
+                init,
+                |hops, pusher| {
+                    if hops < 10 {
+                        pusher.push((pusher.rank() + 1) % p, hops + 1);
+                    }
+                },
+            )
+        });
+        assert!(!out.metrics.is_empty());
+        let agg = out.finish_metrics().aggregate();
+        let ping = &agg["ping"];
+        let total_processed: u64 = out.results.iter().map(|s| s.processed).sum();
+        assert_eq!(
+            ping.hist(MetricKind::VisitServiceUs).count(),
+            total_processed
+        );
+        assert_eq!(
+            ping.hist(MetricKind::QueueResidencyUs).count(),
+            total_processed
+        );
+        // Ten one-visitor batches crossed the wire (hops 1..=10 alternate
+        // ranks), each recorded once as a batch and once as a latency.
+        assert_eq!(ping.hist(MetricKind::BatchSize).count(), 10);
+        assert_eq!(ping.hist(MetricKind::MsgLatencyUs).count(), 10);
+        assert_eq!(ping.hist(MetricKind::BatchSize).quantile(1.0), 1);
+    }
+
+    #[test]
+    fn metrics_off_dump_is_empty_and_counters_match_on() {
+        let run = |metrics: MetricsConfig| {
+            let config = WorldConfig {
+                metrics,
+                ..WorldConfig::default()
+            };
+            World::run_config(2, config, |comm| {
+                let chan = comm.open_channels::<Vec<u32>>("cmp");
+                let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+                run_traversal(
+                    comm,
+                    &chan,
+                    QueueKind::Priority,
+                    |&v| v as u64,
+                    init,
+                    |hops, pusher| {
+                        if hops < 6 {
+                            pusher.push((pusher.rank() + 1) % 2, hops + 1);
+                        }
+                    },
+                )
+            })
+        };
+        let off = run(MetricsConfig::Off);
+        let on = run(MetricsConfig::On);
+        assert!(off.metrics.is_empty());
+        assert!(!on.metrics.is_empty());
+        let off_counts = off.merged_counters();
+        let on_counts = on.merged_counters();
+        assert_eq!(off_counts["cmp"].remote_msgs, on_counts["cmp"].remote_msgs);
+        assert_eq!(off_counts["cmp"].local_msgs, on_counts["cmp"].local_msgs);
+        assert_eq!(
+            off.results.iter().map(|s| s.processed).sum::<u64>(),
+            on.results.iter().map(|s| s.processed).sum::<u64>()
+        );
     }
 
     #[test]

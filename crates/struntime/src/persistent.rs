@@ -10,6 +10,7 @@
 
 use crate::counters::RankCounters;
 use crate::memory::MemoryTracker;
+use crate::metrics::{self, MetricsDump};
 use crate::perturb::SchedulePerturber;
 use crate::shared::Shared;
 use crate::trace::{self, TraceDump};
@@ -33,6 +34,7 @@ pub struct PersistentWorld {
     shared: Arc<Shared>,
     perturbers: Vec<Option<Arc<SchedulePerturber>>>,
     trace_buffers: Option<Vec<Arc<crate::trace::TraceBuffer>>>,
+    metric_regs: Option<Vec<Arc<crate::metrics::RankMetrics>>>,
     job_senders: Vec<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -57,7 +59,8 @@ impl PersistentWorld {
                     .map(|seed| Arc::new(SchedulePerturber::new(seed, rank)))
             })
             .collect();
-        let trace_buffers = trace::make_buffers(p, config.trace);
+        let trace_buffers = trace::make_buffers(p, config.trace, shared.epoch);
+        let metric_regs = metrics::make_registries(p, config.metrics);
         let mut job_senders = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
         for (rank, perturb) in perturbers.iter().enumerate() {
@@ -66,8 +69,9 @@ impl PersistentWorld {
             let shared = Arc::clone(&shared);
             let perturb = perturb.clone();
             let trace = trace_buffers.as_ref().map(|b| Arc::clone(&b[rank]));
+            let rank_metrics = metric_regs.as_ref().map(|m| Arc::clone(&m[rank]));
             handles.push(std::thread::spawn(move || {
-                let mut comm = Comm::new_for_persistent(rank, shared, perturb, trace);
+                let mut comm = Comm::new_for_persistent(rank, shared, perturb, trace, rank_metrics);
                 while let Ok(job) = rx.recv() {
                     comm.install_observers(Arc::clone(&job.counters), Arc::clone(&job.memory));
                     let out = (job.f)(&mut comm);
@@ -82,6 +86,7 @@ impl PersistentWorld {
             shared,
             perturbers,
             trace_buffers,
+            metric_regs,
             job_senders,
             handles,
         }
@@ -104,6 +109,15 @@ impl PersistentWorld {
     /// writes.
     pub fn finish_trace(&self) -> TraceDump {
         trace::drain_buffers(&self.trace_buffers)
+    }
+
+    /// Snapshots every rank's latency histograms accumulated since
+    /// construction (histograms are cumulative, not sliced per drain).
+    /// Empty unless the world was built with
+    /// [`crate::metrics::MetricsConfig::On`]. Same between-jobs calling
+    /// contract as [`PersistentWorld::finish_trace`].
+    pub fn finish_metrics(&self) -> MetricsDump {
+        metrics::drain_registries(&self.metric_regs)
     }
 
     /// Runs `f` on every rank concurrently and returns the per-rank
@@ -173,9 +187,11 @@ impl PersistentWorld {
                 .iter()
                 .map(|p| p.as_ref().map(|p| p.trace()).unwrap_or_default())
                 .collect(),
-            // Event traces accumulate across jobs on a persistent world;
-            // drain them explicitly with [`PersistentWorld::finish_trace`].
+            // Event traces and metrics accumulate across jobs on a
+            // persistent world; drain them explicitly with
+            // [`PersistentWorld::finish_trace`] / `finish_metrics`.
             trace: TraceDump::default(),
+            metrics: MetricsDump::default(),
         }
     }
 }

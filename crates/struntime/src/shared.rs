@@ -8,12 +8,13 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 /// One rank's registered channel endpoint plus the metadata needed to
 /// produce structured lockstep diagnostics (which phase label and visitor
 /// type each rank opened the tag with).
 pub struct ChannelSlot {
-    /// The boxed `crossbeam::channel::Sender<Wire<V>>`.
+    /// The boxed `crossbeam::channel::Sender<WireMsg<V>>`.
     pub sender: Box<dyn Any + Send>,
     /// `std::any::type_name` of the visitor type `V` the rank opened with.
     pub type_name: &'static str,
@@ -83,6 +84,10 @@ pub struct Shared {
     /// Protocol-audit ledger (records nothing unless the crate is built
     /// with the `check` feature — see [`crate::audit`]).
     pub audit: Arc<AuditState>,
+    /// The world's clock origin. Trace timestamps, lineage send times,
+    /// and metrics latencies are all microseconds since this instant, so
+    /// observability data from different ranks lines up on one axis.
+    pub epoch: Instant,
 }
 
 impl Shared {
@@ -95,6 +100,7 @@ impl Shared {
             collective_slot: Mutex::new(None),
             quiescence: Quiescence::default(),
             audit: Arc::new(AuditState::new()),
+            epoch: Instant::now(),
         }
     }
 }

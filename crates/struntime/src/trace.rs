@@ -77,22 +77,34 @@ pub enum TraceEventKind {
     SpanEnd,
     /// A point event with a numeric argument (Chrome `ph: "i"`).
     Instant,
+    /// A causal lineage edge: the visit of message `arg2` (0 for traversal
+    /// seeds) pushed a new message with id `arg`. Recorded on the pushing
+    /// rank; exported as a Chrome flow start (`ph: "s"`) so Perfetto draws
+    /// an arrow from the push to the matching [`TraceEventKind::Visit`].
+    Spawn,
+    /// Message `arg` was dequeued and its visit began on this rank.
+    /// Exported as a Chrome flow finish (`ph: "f"`, `bp: "e"`).
+    Visit,
 }
 
 /// One recorded event. `ts_us` is microseconds since the world's trace
 /// epoch (shared by all ranks, so lanes align). `arg` is a free numeric
-/// payload for instants (queue depth, batch size, target vertex); zero
-/// for spans.
+/// payload for instants (queue depth, batch size, target vertex) and the
+/// message id for lineage events; `arg2` is the parent message id of a
+/// [`TraceEventKind::Spawn`]; both zero for spans.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Static label; span begin/end pairs share it.
+    /// Static label; span begin/end pairs share it, lineage events carry
+    /// the phase label of the channel the message travelled on.
     pub name: &'static str,
-    /// Span begin, span end, or instant.
+    /// Span begin, span end, instant, or lineage spawn/visit.
     pub kind: TraceEventKind,
     /// Microseconds since the world's shared trace epoch.
     pub ts_us: u64,
-    /// Numeric payload for instants (0 for spans).
+    /// Numeric payload: instants' value, lineage events' message id.
     pub arg: u64,
+    /// Second payload: a spawn's parent message id (0 = traversal seed).
+    pub arg2: u64,
 }
 
 const EMPTY_EVENT: TraceEvent = TraceEvent {
@@ -100,6 +112,7 @@ const EMPTY_EVENT: TraceEvent = TraceEvent {
     kind: TraceEventKind::Instant,
     ts_us: 0,
     arg: 0,
+    arg2: 0,
 };
 
 /// One rank's event ring. See the module docs for the single-writer
@@ -136,6 +149,12 @@ impl TraceBuffer {
 
     /// Records one event. Must only be called from the owning rank thread.
     pub(crate) fn record(&self, kind: TraceEventKind, name: &'static str, arg: u64) {
+        self.record2(kind, name, arg, 0);
+    }
+
+    /// Records one event with both payload words (lineage spawns carry
+    /// the parent id in `arg2`). Same single-writer contract as `record`.
+    pub(crate) fn record2(&self, kind: TraceEventKind, name: &'static str, arg: u64, arg2: u64) {
         let ts_us = self.epoch.elapsed().as_micros() as u64;
         let n = self.count.load(Ordering::Relaxed);
         let slot = (n % self.capacity as u64) as usize;
@@ -147,6 +166,7 @@ impl TraceBuffer {
                 kind,
                 ts_us,
                 arg,
+                arg2,
             };
         }
         self.count.store(n + 1, Ordering::Release);
@@ -239,11 +259,24 @@ impl TraceDump {
         self.ranks.iter().map(|r| r.events.len()).sum()
     }
 
+    /// Total events lost to ring overwrite across ranks. Non-zero means
+    /// the trace window is truncated and lineage analysis over it is
+    /// incomplete (the analyzer downgrades coverage errors to warnings).
+    pub fn total_dropped(&self) -> u64 {
+        self.ranks.iter().map(|r| r.dropped).sum()
+    }
+
     /// Renders the dump in the Chrome Trace Event Format (JSON object
     /// form). Open the result in `about:tracing` or Perfetto: one lane
     /// (thread) per rank under a single process, span begin/end pairs as
     /// nested slices, instants as thread-scoped marks carrying their
-    /// numeric argument as `args.v`.
+    /// numeric argument as `args.v`. Lineage spawns/visits become flow
+    /// events (`ph: "s"` / `ph: "f"`, `cat: "lineage"`) keyed by the
+    /// message id, so viewers draw causal arrows between rank lanes; the
+    /// spawn carries its parent message id as `args.parent`. A top-level
+    /// `struntime` object (ignored by trace viewers) records per-rank
+    /// ring-overflow drop counts so downstream analyzers can tell a
+    /// truncated trace from a complete one.
     pub fn to_chrome_trace(&self) -> String {
         let mut events = Json::arr();
         events.push(
@@ -277,35 +310,65 @@ impl TraceDump {
                             TraceEventKind::SpanBegin => "B",
                             TraceEventKind::SpanEnd => "E",
                             TraceEventKind::Instant => "i",
+                            TraceEventKind::Spawn => "s",
+                            TraceEventKind::Visit => "f",
                         },
                     )
                     .with("ts", ev.ts_us)
                     .with("pid", 0u64)
                     .with("tid", rt.rank);
-                if ev.kind == TraceEventKind::Instant {
-                    e.insert("s", "t"); // thread-scoped instant
-                    e.insert("args", Json::obj().with("v", ev.arg));
+                match ev.kind {
+                    TraceEventKind::Instant => {
+                        e.insert("s", "t"); // thread-scoped instant
+                        e.insert("args", Json::obj().with("v", ev.arg));
+                    }
+                    TraceEventKind::Spawn => {
+                        e.insert("cat", "lineage");
+                        e.insert("id", ev.arg);
+                        e.insert("args", Json::obj().with("parent", ev.arg2));
+                    }
+                    TraceEventKind::Visit => {
+                        e.insert("cat", "lineage");
+                        e.insert("id", ev.arg);
+                        e.insert("bp", "e"); // bind to enclosing slice
+                    }
+                    TraceEventKind::SpanBegin | TraceEventKind::SpanEnd => {}
                 }
                 events.push(e);
             }
         }
-        Json::obj().with("traceEvents", events).to_string()
+        let mut dropped = Json::arr();
+        for rt in &self.ranks {
+            dropped.push(rt.dropped);
+        }
+        Json::obj()
+            .with("traceEvents", events)
+            .with(
+                "struntime",
+                Json::obj()
+                    .with("lineage_schema", 1u64)
+                    .with("dropped", dropped),
+            )
+            .to_string()
     }
 }
 
 /// Builds the per-rank buffers for a world, or `None` when tracing is
-/// off. All buffers share one epoch so cross-rank timestamps align.
-pub(crate) fn make_buffers(p: usize, config: TraceConfig) -> Option<Vec<Arc<TraceBuffer>>> {
+/// off. The caller passes the world's epoch ([`crate::Shared`] owns it)
+/// so trace timestamps, lineage send times, and metrics all share one
+/// clock and cross-rank lanes align.
+pub(crate) fn make_buffers(
+    p: usize,
+    config: TraceConfig,
+    epoch: Instant,
+) -> Option<Vec<Arc<TraceBuffer>>> {
     match config {
         TraceConfig::Off => None,
-        TraceConfig::Ring { capacity } => {
-            let epoch = Instant::now();
-            Some(
-                (0..p)
-                    .map(|rank| Arc::new(TraceBuffer::new(rank, capacity, epoch)))
-                    .collect(),
-            )
-        }
+        TraceConfig::Ring { capacity } => Some(
+            (0..p)
+                .map(|rank| Arc::new(TraceBuffer::new(rank, capacity, epoch)))
+                .collect(),
+        ),
     }
 }
 
@@ -421,8 +484,72 @@ mod tests {
     fn off_config_produces_empty_dump() {
         assert!(!TraceConfig::Off.is_enabled());
         assert!(TraceConfig::ring().is_enabled());
-        let dump = drain_buffers(&make_buffers(4, TraceConfig::Off));
+        let dump = drain_buffers(&make_buffers(4, TraceConfig::Off, Instant::now()));
         assert!(dump.is_empty());
         assert_eq!(dump.num_events(), 0);
+        assert_eq!(dump.total_dropped(), 0);
+    }
+
+    #[test]
+    fn lineage_events_export_as_flow_events() {
+        let epoch = Instant::now();
+        let bufs: Vec<_> = (0..2)
+            .map(|r| Arc::new(TraceBuffer::new(r, 16, epoch)))
+            .collect();
+        // Rank 0 visits seed 7 and spawns message 9 from it; rank 1
+        // receives and visits message 9.
+        bufs[0].record2(TraceEventKind::Visit, "voronoi", 7, 0);
+        bufs[0].record2(TraceEventKind::Spawn, "voronoi", 9, 7);
+        bufs[1].record2(TraceEventKind::Visit, "voronoi", 9, 0);
+        let dump = drain_buffers(&Some(bufs));
+        let text = dump.to_chrome_trace();
+        let doc = stgraph::json::parse(&text).expect("chrome trace must parse");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        let spawn = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s"))
+            .expect("flow start present");
+        assert_eq!(spawn.get("cat").and_then(|c| c.as_str()), Some("lineage"));
+        assert_eq!(spawn.get("id").and_then(|i| i.as_u64()), Some(9));
+        assert_eq!(
+            spawn
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(|p| p.as_u64()),
+            Some(7)
+        );
+        let finishes: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f"))
+            .collect();
+        assert_eq!(finishes.len(), 2);
+        assert!(finishes
+            .iter()
+            .all(|e| e.get("bp").and_then(|b| b.as_str()) == Some("e")));
+    }
+
+    #[test]
+    fn dropped_counts_surface_in_dump_and_chrome_header() {
+        let epoch = Instant::now();
+        let bufs: Vec<_> = (0..2)
+            .map(|r| Arc::new(TraceBuffer::new(r, 4, epoch)))
+            .collect();
+        for i in 0..10u64 {
+            bufs[0].record(TraceEventKind::Instant, "x", i);
+        }
+        bufs[1].record(TraceEventKind::Instant, "y", 0);
+        let dump = drain_buffers(&Some(bufs));
+        assert_eq!(dump.total_dropped(), 6);
+        let doc = stgraph::json::parse(&dump.to_chrome_trace()).expect("parses");
+        let dropped = doc
+            .get("struntime")
+            .and_then(|s| s.get("dropped"))
+            .and_then(|d| d.as_arr())
+            .expect("struntime.dropped array");
+        let counts: Vec<u64> = dropped.iter().filter_map(|d| d.as_u64()).collect();
+        assert_eq!(counts, vec![6, 0]);
     }
 }

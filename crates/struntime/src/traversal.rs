@@ -47,12 +47,14 @@
 //! accounting.
 
 use crate::audit::{self, AuditViolation};
-use crate::channels::ChannelGroup;
+use crate::channels::{ChannelGroup, LineageSidecar};
+use crate::metrics::{MetricKind, PhaseMetrics};
 use crate::perturb::SyncPoint;
 use crate::queue::{QueueKind, VisitorQueue};
 use crate::trace::TraceEventKind;
 use crate::Comm;
 use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default visitors per network batch (HavoqGT-style aggregation).
@@ -77,27 +79,113 @@ impl TraversalOptions {
     }
 }
 
+/// Observability metadata carried next to each queued visitor: its
+/// lineage id (`rank << 40 | seq`, 0 when observability is off or the
+/// visitor arrived from an uninstrumented sender) and its local enqueue
+/// time. All-zero — and never read — when neither tracing nor metrics
+/// is enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct VisitMeta {
+    id: u64,
+    enq_us: u64,
+}
+
+/// Per-destination aggregation buffer: the visitor batch plus (when
+/// observability is on) the parallel lineage-id list that ships as the
+/// batch's [`LineageSidecar`].
+struct OutBuf<V> {
+    batch: Vec<V>,
+    ids: Vec<u64>,
+}
+
+impl<V> Default for OutBuf<V> {
+    fn default() -> Self {
+        OutBuf {
+            batch: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+}
+
+/// Per-rank lineage state for one traversal. `parent` is the id of the
+/// visitor currently being visited (0 between visits, so seeds pushed by
+/// `init` get parent 0 = root). The per-rank sequence counter lives on
+/// the [`Comm`] so ids stay world-unique across phases.
+struct Lineage {
+    /// Tracing or metrics enabled — the single observability gate. When
+    /// false no clock is read, no id assigned, no event recorded.
+    enabled: bool,
+    parent: u64,
+}
+
+impl Lineage {
+    fn new(comm: &Comm) -> Lineage {
+        Lineage {
+            enabled: comm.observing(),
+            parent: 0,
+        }
+    }
+
+    /// Assigns the next lineage id and records the parent→child edge as
+    /// a [`TraceEventKind::Spawn`]. Returns 0 when observability is off.
+    fn spawn(&self, comm: &Comm, phase: &'static str) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let id = comm.next_lineage_id();
+        comm.trace_event2(TraceEventKind::Spawn, phase, id, self.parent);
+        id
+    }
+
+    /// Current time against the world epoch, or 0 when observability is
+    /// off (keeps the uninstrumented hot path free of clock reads).
+    fn now_us(&self, comm: &Comm) -> u64 {
+        if self.enabled {
+            comm.now_us()
+        } else {
+            0
+        }
+    }
+}
+
 /// Handle the `visit` callback uses to emit follow-on visitors.
 pub struct Pusher<'a, V: Send + 'static> {
     rank: usize,
     batch_size: usize,
     chan: &'a ChannelGroup<Vec<V>>,
     comm: &'a Comm,
-    local: &'a mut Vec<V>,
-    outgoing: &'a mut Vec<Vec<V>>,
+    local: &'a mut Vec<(VisitMeta, V)>,
+    outgoing: &'a mut Vec<OutBuf<V>>,
+    lineage: &'a Lineage,
+    metrics: &'a Option<Arc<PhaseMetrics>>,
 }
 
 impl<'a, V: Send + 'static> Pusher<'a, V> {
     /// Routes visitor `v` to `dest`: the local queue when `dest` is this
-    /// rank, a (buffered) network batch otherwise.
+    /// rank, a (buffered) network batch otherwise. When observability is
+    /// on, the push also records a causal edge from the visitor being
+    /// visited (the traversal threads it through) to the new message.
     pub fn push(&mut self, dest: usize, v: V) {
+        let id = self.lineage.spawn(self.comm, self.chan.phase());
         if dest == self.rank {
             self.chan.count_local();
-            self.local.push(v);
+            let enq_us = self.lineage.now_us(self.comm);
+            self.local.push((VisitMeta { id, enq_us }, v));
         } else {
-            self.outgoing[dest].push(v);
-            if self.outgoing[dest].len() >= self.batch_size {
-                flush_one(self.comm, self.chan, &mut self.outgoing[dest], dest);
+            let buf = &mut self.outgoing[dest];
+            buf.batch.push(v);
+            if self.lineage.enabled {
+                buf.ids.push(id);
+            }
+            if buf.batch.len() >= self.batch_size {
+                flush_one(
+                    self.comm,
+                    self.chan,
+                    buf,
+                    dest,
+                    self.lineage.enabled,
+                    self.metrics.as_deref(),
+                );
             }
         }
     }
@@ -117,10 +205,12 @@ impl<'a, V: Send + 'static> Pusher<'a, V> {
 fn flush_one<V: Send + 'static>(
     comm: &Comm,
     chan: &ChannelGroup<Vec<V>>,
-    buffer: &mut Vec<V>,
+    buffer: &mut OutBuf<V>,
     dest: usize,
+    observing: bool,
+    metrics: Option<&PhaseMetrics>,
 ) {
-    if buffer.is_empty() {
+    if buffer.batch.is_empty() {
         return;
     }
     let q = &comm.shared().quiescence;
@@ -136,8 +226,19 @@ fn flush_one<V: Send + 'static>(
     // Count the in-flight batch before it enters the channel so the
     // quiescence detector can never observe sent < actual.
     q.sent.fetch_add(1, SeqCst);
-    comm.trace_instant("batch_flush", buffer.len() as u64);
-    chan.send_batch(dest, std::mem::take(buffer));
+    comm.trace_instant("batch_flush", buffer.batch.len() as u64);
+    if let Some(m) = metrics {
+        m.record(MetricKind::BatchSize, buffer.batch.len() as u64);
+    }
+    let lineage = if observing {
+        Some(LineageSidecar {
+            ids: std::mem::take(&mut buffer.ids).into_boxed_slice(),
+            sent_us: comm.now_us(),
+        })
+    } else {
+        None
+    };
+    chan.send_batch_traced(dest, std::mem::take(&mut buffer.batch), lineage);
 }
 
 /// Per-rank statistics returned by [`run_traversal`].
@@ -256,15 +357,23 @@ where
     }
     comm.barrier();
 
-    let mut queue = VisitorQueue::new(options.queue);
+    // Fetch the phase's histogram set once so recording inside the loop
+    // never touches the registry lock; `lineage` gates every clock read
+    // and id assignment so an unobserved run takes only `None` branches.
+    let mut lineage = Lineage::new(comm);
+    let metrics = comm.metrics_phase(chan.phase());
+
+    let mut queue: VisitorQueue<(VisitMeta, V)> = VisitorQueue::new(options.queue);
     for v in init {
         let pr = priority(&v);
-        queue.push(pr, v);
+        let id = lineage.spawn(comm, chan.phase());
+        let enq_us = lineage.now_us(comm);
+        queue.push(pr, (VisitMeta { id, enq_us }, v));
     }
 
     let mut stats = TraversalStats::default();
-    let mut local_buf: Vec<V> = Vec::new();
-    let mut outgoing: Vec<Vec<V>> = (0..p).map(|_| Vec::new()).collect();
+    let mut local_buf: Vec<(VisitMeta, V)> = Vec::new();
+    let mut outgoing: Vec<OutBuf<V>> = (0..p).map(|_| OutBuf::default()).collect();
     let mut idle = false;
     let traversal_span = comm.trace_span("traversal");
 
@@ -274,7 +383,7 @@ where
         // first, the detector could observe `sent == received` while this
         // rank still counted as idle and held an unprocessed batch — a
         // premature-termination race.
-        while let Some(batch) = chan.try_recv() {
+        while let Some((batch, sidecar)) = chan.try_recv_traced() {
             if PREMATURE_MUTANT {
                 // Intentionally wrong order (mutation check): acknowledge
                 // the batch while still counted idle, and dwell in the
@@ -296,14 +405,35 @@ where
                 }
                 q.received.fetch_add(1, SeqCst);
             }
-            for v in batch {
+            let now = lineage.now_us(comm);
+            if let (Some(m), Some(sc)) = (metrics.as_deref(), sidecar.as_ref()) {
+                m.record(MetricKind::MsgLatencyUs, now.saturating_sub(sc.sent_us));
+            }
+            for (i, v) in batch.into_iter().enumerate() {
                 let pr = priority(&v);
-                queue.push(pr, v);
+                let id = sidecar
+                    .as_ref()
+                    .and_then(|sc| sc.ids.get(i).copied())
+                    .unwrap_or(0);
+                queue.push(pr, (VisitMeta { id, enq_us: now }, v));
             }
         }
 
-        if let Some(v) = queue.pop() {
+        if let Some((meta, v)) = queue.pop() {
             debug_assert!(!idle, "queue cannot be non-empty while idle");
+            let visit_start = lineage.now_us(comm);
+            if lineage.enabled {
+                comm.trace_event2(TraceEventKind::Visit, chan.phase(), meta.id, 0);
+            }
+            if let Some(m) = metrics.as_deref() {
+                m.record(
+                    MetricKind::QueueResidencyUs,
+                    visit_start.saturating_sub(meta.enq_us),
+                );
+            }
+            // Every push inside this visit records `meta.id` as parent —
+            // the causal edge the analyzer's DAG is built from.
+            lineage.parent = meta.id;
             let mut pusher = Pusher {
                 rank,
                 batch_size: options.batch_size,
@@ -311,8 +441,17 @@ where
                 comm,
                 local: &mut local_buf,
                 outgoing: &mut outgoing,
+                lineage: &lineage,
+                metrics: &metrics,
             };
             visit(v, &mut pusher);
+            lineage.parent = 0;
+            if let Some(m) = metrics.as_deref() {
+                m.record(
+                    MetricKind::VisitServiceUs,
+                    comm.now_us().saturating_sub(visit_start),
+                );
+            }
             stats.processed += 1;
             // Sample queue depth sparsely (every 256 visitors, starting
             // at the first) so the trace stays light on big runs but
@@ -320,9 +459,9 @@ where
             if stats.processed & 0xff == 1 {
                 comm.trace_instant("queue_depth", queue.len() as u64);
             }
-            for nv in local_buf.drain(..) {
+            for (nmeta, nv) in local_buf.drain(..) {
                 let pr = priority(&nv);
-                queue.push(pr, nv);
+                queue.push(pr, (nmeta, nv));
             }
             stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
             stats.peak_queue_bytes = stats.peak_queue_bytes.max(queue.memory_bytes());
@@ -333,8 +472,15 @@ where
         // buffered visitors are visible to the quiescence detector.
         let mut flushed = false;
         for (dest, buffer) in outgoing.iter_mut().enumerate() {
-            if !buffer.is_empty() {
-                flush_one(comm, chan, buffer, dest);
+            if !buffer.batch.is_empty() {
+                flush_one(
+                    comm,
+                    chan,
+                    buffer,
+                    dest,
+                    lineage.enabled,
+                    metrics.as_deref(),
+                );
                 flushed = true;
             }
         }

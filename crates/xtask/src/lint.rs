@@ -18,6 +18,10 @@
 //! 4. `phase-label-dup` — `open_channels` phase labels must be unique per
 //!    call site within a file's non-test code, or per-phase counters and
 //!    audit diagnostics silently merge unrelated channel groups.
+//! 5. `trace-label-dup` — `trace_span`/`trace_instant` label literals must
+//!    not collide across modules; the trace analyzer and Chrome-trace
+//!    viewers group events by label, so two modules reusing one label
+//!    silently merge unrelated timelines.
 //!
 //! The scanner blanks comment bodies and string/char-literal contents
 //! before matching (so prose and fixtures never trip a rule) and tracks
@@ -52,6 +56,7 @@ pub const RULE_RELAXED: &str = "relaxed-quiescence";
 pub const RULE_SPAWN: &str = "thread-spawn";
 pub const RULE_UNWRAP: &str = "unwrap-expect";
 pub const RULE_PHASE_DUP: &str = "phase-label-dup";
+pub const RULE_TRACE_DUP: &str = "trace-label-dup";
 
 /// Directories never descended into.
 const SKIP_DIRS: &[&str] = &["vendored", "target", ".git"];
@@ -91,8 +96,16 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
 pub fn run_lints(files: &[(String, String)]) -> Vec<LintError> {
     let test_modules = collect_test_module_files(files);
     let mut errors = Vec::new();
+    // label -> first (path, line) that used it, for the cross-file rule.
+    let mut trace_labels: Vec<(String, String, usize)> = Vec::new();
     for (path, content) in files {
-        lint_file(path, content, test_modules.contains(path), &mut errors);
+        lint_file(
+            path,
+            content,
+            test_modules.contains(path),
+            &mut errors,
+            &mut trace_labels,
+        );
     }
     errors
 }
@@ -161,7 +174,13 @@ fn module_base_dir(path: &str) -> String {
     }
 }
 
-fn lint_file(path: &str, content: &str, declared_test_module: bool, errors: &mut Vec<LintError>) {
+fn lint_file(
+    path: &str,
+    content: &str,
+    declared_test_module: bool,
+    errors: &mut Vec<LintError>,
+    trace_labels: &mut Vec<(String, String, usize)>,
+) {
     let blanked = blank(content);
     let raw_lines: Vec<&str> = content.lines().collect();
     let blanked_lines: Vec<&str> = blanked.lines().collect();
@@ -224,6 +243,15 @@ fn lint_file(path: &str, content: &str, declared_test_module: bool, errors: &mut
     }
 
     phase_label_dups(path, content, &blanked, &is_test_line, &raw_lines, errors);
+    trace_label_dups(
+        path,
+        content,
+        &blanked,
+        &is_test_line,
+        &raw_lines,
+        errors,
+        trace_labels,
+    );
 }
 
 /// Does this (blanked) line touch one of the quiescence fields?
@@ -241,27 +269,26 @@ fn allows(raw_line: &str, rule: &str) -> bool {
         .unwrap_or(false)
 }
 
-/// Flags duplicate `open_channels` phase labels among a file's non-test
-/// call sites. Labels are extracted from the *original* text (the blank
-/// pass erases literal contents but keeps the quote delimiters, so the
-/// span is found in the blanked copy and read from the raw one).
-fn phase_label_dups(
-    path: &str,
+/// Extracts `(label, line)` for every non-test, non-suppressed call site
+/// of `needle` that carries a string-literal first argument. Labels are
+/// read from the *original* text (the blank pass erases literal contents
+/// but keeps the quote delimiters, so the span is found in the blanked
+/// copy and read from the raw one). A definition or bare mention hits
+/// `{`, `;`, or `}` before any quote and is skipped.
+fn literal_label_sites(
     content: &str,
     blanked: &str,
+    needle: &str,
     is_test_line: &dyn Fn(usize) -> bool,
     raw_lines: &[&str],
-    errors: &mut Vec<LintError>,
-) {
+    rule: &'static str,
+) -> Vec<(String, usize)> {
     let bytes = blanked.as_bytes();
-    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut sites = Vec::new();
     let mut search = 0;
-    while let Some(found) = blanked[search..].find("open_channels") {
+    while let Some(found) = blanked[search..].find(needle) {
         let at = search + found;
-        search = at + "open_channels".len();
-        // A call site carries its label before any statement/body
-        // boundary; a definition or bare mention hits `{`, `;`, or `}`
-        // first and is skipped.
+        search = at + needle.len();
         let mut open = None;
         for (off, &b) in bytes[search..].iter().enumerate() {
             match b {
@@ -283,9 +310,33 @@ fn phase_label_dups(
             continue;
         }
         let raw = raw_lines.get(lineno - 1).copied().unwrap_or("");
-        if allows(raw, RULE_PHASE_DUP) {
+        if allows(raw, rule) {
             continue;
         }
+        sites.push((label, lineno));
+    }
+    sites
+}
+
+/// Flags duplicate `open_channels` phase labels among a file's non-test
+/// call sites.
+fn phase_label_dups(
+    path: &str,
+    content: &str,
+    blanked: &str,
+    is_test_line: &dyn Fn(usize) -> bool,
+    raw_lines: &[&str],
+    errors: &mut Vec<LintError>,
+) {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    for (label, lineno) in literal_label_sites(
+        content,
+        blanked,
+        "open_channels",
+        is_test_line,
+        raw_lines,
+        RULE_PHASE_DUP,
+    ) {
         if let Some((_, first_line)) = seen.iter().find(|(l, _)| *l == label) {
             errors.push(LintError {
                 path: path.to_string(),
@@ -299,6 +350,51 @@ fn phase_label_dups(
             });
         } else {
             seen.push((label, lineno));
+        }
+    }
+}
+
+/// Flags `trace_span`/`trace_instant` label literals reused across
+/// modules. `seen` accumulates `(label, path, line)` across the whole
+/// lint run; repeats within one file are fine (a module may mark the
+/// same label at several points of one timeline), but a second *file*
+/// using a label merges unrelated timelines in the analyzer and in
+/// Chrome-trace viewers.
+#[allow(clippy::too_many_arguments)]
+fn trace_label_dups(
+    path: &str,
+    content: &str,
+    blanked: &str,
+    is_test_line: &dyn Fn(usize) -> bool,
+    raw_lines: &[&str],
+    errors: &mut Vec<LintError>,
+    seen: &mut Vec<(String, String, usize)>,
+) {
+    for needle in ["trace_span", "trace_instant"] {
+        for (label, lineno) in literal_label_sites(
+            content,
+            blanked,
+            needle,
+            is_test_line,
+            raw_lines,
+            RULE_TRACE_DUP,
+        ) {
+            match seen.iter().find(|(l, _, _)| *l == label) {
+                Some((_, first_path, first_line)) if first_path != path => {
+                    errors.push(LintError {
+                        path: path.to_string(),
+                        line: lineno,
+                        rule: RULE_TRACE_DUP,
+                        message: format!(
+                            "trace label {label:?} already used in {first_path}:{first_line}; \
+                             the analyzer and trace viewers group events by label, so \
+                             cross-module reuse merges unrelated timelines"
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => seen.push((label, path.to_string(), lineno)),
+            }
         }
     }
 }
@@ -637,6 +733,68 @@ mod tests {
             ),
         ];
         assert_eq!(rules(&run_lints(&files)), vec![RULE_UNWRAP]);
+    }
+
+    #[test]
+    fn trace_labels_colliding_across_modules_are_flagged() {
+        let a = "fn f(c: &Comm) { let _s = c.trace_span(\"drain\"); }\n";
+        let b = "fn g(c: &Comm) { c.trace_instant(\"drain\", 1); }\n";
+        let files = vec![
+            ("crates/struntime/src/a.rs".to_string(), a.to_string()),
+            ("crates/struntime/src/b.rs".to_string(), b.to_string()),
+        ];
+        let hit = run_lints(&files);
+        assert_eq!(rules(&hit), vec![RULE_TRACE_DUP]);
+        assert_eq!(hit[0].path, "crates/struntime/src/b.rs");
+        assert!(hit[0].message.contains("a.rs:1"), "{}", hit[0].message);
+    }
+
+    #[test]
+    fn trace_labels_may_repeat_within_one_module() {
+        let src = "fn f(c: &Comm) {\n\
+                       c.trace_instant(\"tick\", 1);\n\
+                       c.trace_instant(\"tick\", 2);\n\
+                   }\n";
+        assert!(lint_one("crates/struntime/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_label_collisions_in_test_code_are_exempt() {
+        let a = "fn f(c: &Comm) { c.trace_instant(\"shared\", 1); }\n";
+        let b = "#[cfg(test)]\n\
+                 mod tests {\n\
+                     fn t(c: &Comm) { c.trace_instant(\"shared\", 2); }\n\
+                 }\n";
+        let files = vec![
+            ("crates/struntime/src/a.rs".to_string(), a.to_string()),
+            ("crates/struntime/src/b.rs".to_string(), b.to_string()),
+        ];
+        assert!(run_lints(&files).is_empty());
+    }
+
+    #[test]
+    fn trace_label_collision_can_be_suppressed_inline() {
+        let a = "fn f(c: &Comm) { c.trace_instant(\"x\", 1); }\n";
+        let b =
+            "fn g(c: &Comm) { c.trace_instant(\"x\", 2); } // stcheck: allow(trace-label-dup)\n";
+        let files = vec![
+            ("crates/struntime/src/a.rs".to_string(), a.to_string()),
+            ("crates/struntime/src/b.rs".to_string(), b.to_string()),
+        ];
+        assert!(run_lints(&files).is_empty());
+    }
+
+    #[test]
+    fn trace_span_definition_and_dynamic_labels_are_skipped() {
+        let a = "pub fn trace_span(&self, name: &'static str) -> TraceSpan {\n\
+                     self.make(name)\n\
+                 }\n";
+        let b = "fn g(c: &Comm) { let _s = c.trace_span(phase.name()); }\n";
+        let files = vec![
+            ("crates/struntime/src/a.rs".to_string(), a.to_string()),
+            ("crates/steiner/src/b.rs".to_string(), b.to_string()),
+        ];
+        assert!(run_lints(&files).is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p xtask -- lint [root]
 //! cargo run -p xtask -- check-reports [dir]
+//! cargo run -p xtask -- analyze <trace.json>
 //! ```
 //!
 //! `lint` runs the custom static checks in [`lint`] over every
@@ -15,6 +16,13 @@
 //! against the envelope schema in `bench::report`. Exit code 0 means all
 //! reports are schema-valid; 1 means violations (or no reports at all);
 //! 2 means usage or I/O error.
+//!
+//! `analyze` loads an exported Chrome-trace JSON (from
+//! `steiner-cli solve --trace` or any `TraceDump::to_chrome_trace`
+//! output), reconstructs the causality DAG with `stanalyze`, and prints
+//! the critical-path / load-imbalance readout. Exit code 0 means the DAG
+//! verified (acyclic, covered, non-empty critical path when visits
+//! exist); 1 means a verification failure; 2 means usage or I/O error.
 
 mod lint;
 
@@ -59,7 +67,8 @@ fn main() -> ExitCode {
                         lint::RULE_RELAXED,
                         lint::RULE_SPAWN,
                         lint::RULE_UNWRAP,
-                        lint::RULE_PHASE_DUP
+                        lint::RULE_PHASE_DUP,
+                        lint::RULE_TRACE_DUP
                     ]
                     .len()
                 );
@@ -79,11 +88,58 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| workspace_root().join("bench_results"));
             check_reports(&dir)
         }
+        Some("analyze") => match args.get(1) {
+            Some(path) => analyze_trace(std::path::Path::new(path)),
+            None => {
+                eprintln!("xtask analyze: missing trace file argument");
+                ExitCode::from(2)
+            }
+        },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [root] | check-reports [dir]");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [root] | check-reports [dir] | \
+                 analyze <trace.json>"
+            );
             ExitCode::from(2)
         }
     }
+}
+
+fn analyze_trace(path: &std::path::Path) -> ExitCode {
+    let doc = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| stgraph::json::parse(&text).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("xtask analyze: cannot load {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let model = match stanalyze::model_from_chrome(&doc) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("xtask analyze: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = stanalyze::analyze(&model);
+    print!("{}", analysis.render_text());
+    if let Err(e) = analysis.verify() {
+        eprintln!("xtask analyze: FAIL: {e}");
+        return ExitCode::FAILURE;
+    }
+    // CI smoke contract: a traced solve must yield a usable DAG, not an
+    // empty or lineage-free trace.
+    if analysis.critical_path.visits == 0 {
+        eprintln!("xtask analyze: FAIL: empty critical path (no lineage events in trace?)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask analyze: ok ({} visits, critical path {})",
+        analysis.total_visits, analysis.critical_path.visits
+    );
+    ExitCode::SUCCESS
 }
 
 fn check_reports(dir: &std::path::Path) -> ExitCode {

@@ -6,8 +6,10 @@
 //! steiner-cli solve    --graph graph.bin (--seeds 1,2,3 | --select K[:STRATEGY])
 //!                      [--ranks P] [--queue fifo|priority] [--refine]
 //!                      [--improve ROUNDS] [--dot out.dot]
-//!                      [--trace trace.json] [--report report.json]
+//!                      [--trace trace.json] [--report report.json] [--analyze]
 //! steiner-cli compare  --graph graph.bin --select K[:STRATEGY]
+//! steiner-cli repl     --graph graph.bin [--select K[:STRATEGY]]
+//!                      [--ranks P] [--trace trace.json] [--report report.json]
 //! ```
 //!
 //! Strategies: bfs-level (default), uniform-random, eccentric, proximate.
@@ -19,7 +21,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 use steiner::interactive::InteractiveSession;
-use steiner::{solve, QueueKind, SolverConfig, TraceConfig};
+use steiner::{solve, MetricsConfig, QueueKind, SolveReport, SolverConfig, TraceConfig};
 use stgraph::csr::{CsrGraph, Vertex};
 use stgraph::datasets::Dataset;
 
@@ -42,14 +44,20 @@ const USAGE: &str = "usage:
   steiner-cli solve    --graph FILE (--seeds A,B,C | --select K[:STRATEGY])
                        [--ranks P] [--queue fifo|priority] [--refine]
                        [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
-                       [--trace FILE] [--report FILE]
+                       [--trace FILE] [--report FILE] [--analyze]
 
 --trace writes a Chrome-trace/Perfetto JSON timeline of the solve (one
-lane per simulated rank); --report writes the machine-readable RunReport.
+lane per simulated rank); --report writes the machine-readable RunReport
+(schema v2, with latency quantiles from the runtime's histograms);
+--analyze turns on tracing and prints the causality-DAG readout
+(critical path, load imbalance) after the solve.
   steiner-cli compare  --graph FILE --select K[:STRATEGY]
-  steiner-cli repl     --graph FILE [--select K[:STRATEGY]]
+  steiner-cli repl     --graph FILE [--select K[:STRATEGY]] [--ranks P]
+                       [--trace FILE] [--report FILE]
 
-repl commands: add V | remove V | seeds | tree | dot FILE | help | quit
+repl commands: add V | remove V | seeds | tree | solve | dot FILE | help | quit
+(`solve` runs the distributed solver on the current seeds; with the repl's
+--trace/--report flags it writes the same artifacts as batch solve)
 
 datasets: WDC CLW UKW FRS LVJ PTN MCO CTS
 strategies: bfs-level uniform-random eccentric proximate";
@@ -63,7 +71,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument {a:?}"));
         };
-        let boolean = matches!(name, "tiny" | "refine");
+        let boolean = matches!(name, "tiny" | "refine" | "analyze");
         if boolean {
             flags.insert(name.to_string(), String::new());
             i += 1;
@@ -187,6 +195,49 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Observability settings shared by batch solve and the repl: tracing
+/// when the user asked for a timeline or an analysis, metrics when a
+/// machine-readable report (which embeds latency quantiles) was
+/// requested.
+fn observability_config(flags: &HashMap<String, String>) -> (TraceConfig, MetricsConfig) {
+    let trace = if flags.contains_key("trace") || flags.contains_key("analyze") {
+        TraceConfig::ring()
+    } else {
+        TraceConfig::Off
+    };
+    let metrics = if flags.contains_key("report") {
+        MetricsConfig::On
+    } else {
+        MetricsConfig::Off
+    };
+    (trace, metrics)
+}
+
+/// Writes the `--trace`/`--report` artifacts and prints the `--analyze`
+/// readout for one solve — the shared back half of `solve` and the
+/// repl's `solve` command.
+fn write_solve_artifacts(
+    report: &SolveReport,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, report.trace.to_chrome_trace())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} (open in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = flags.get("report") {
+        std::fs::write(path, report.run_report().to_json().to_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if flags.contains_key("analyze") {
+        let analysis = stanalyze::analyze(&stanalyze::model_from_dump(&report.trace));
+        print!("{}", analysis.render_text());
+        analysis.verify()?;
+    }
+    Ok(())
+}
+
 fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     let g = load_graph(flags)?;
     let seeds = seeds_from_flags(&g, flags)?;
@@ -195,17 +246,13 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
         Some("fifo") => QueueKind::Fifo,
         Some(other) => return Err(format!("unknown queue {other:?}")),
     };
+    let (trace, metrics) = observability_config(flags);
     let config = SolverConfig {
         num_ranks: rank_count(flags)?,
         queue,
         refine: flags.contains_key("refine"),
-        // Tracing costs a few bytes per event; only turn it on when the
-        // user asked for the timeline.
-        trace: if flags.contains_key("trace") {
-            TraceConfig::ring()
-        } else {
-            TraceConfig::Off
-        },
+        trace,
+        metrics,
         ..SolverConfig::default()
     };
     let t = Instant::now();
@@ -232,16 +279,7 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     for (phase, time) in report.phase_times.iter() {
         println!("  {:<16} {time:?}", phase.name());
     }
-    if let Some(path) = flags.get("trace") {
-        std::fs::write(path, report.trace.to_chrome_trace())
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        println!("wrote {path} (open in Perfetto / chrome://tracing)");
-    }
-    if let Some(path) = flags.get("report") {
-        std::fs::write(path, report.run_report().to_json().to_pretty())
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        println!("wrote {path}");
-    }
+    write_solve_artifacts(&report, flags)?;
     if let Some(dot) = flags.get("dot") {
         std::fs::write(dot, tree.to_dot()).map_err(|e| format!("writing {dot}: {e}"))?;
         println!("wrote {dot}");
@@ -323,6 +361,7 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Vec::new()
     };
+    let (obs_trace, obs_metrics) = observability_config(flags);
     let mut session = InteractiveSession::new(&g, &initial).map_err(|e| e.to_string())?;
     println!(
         "interactive session: {} vertices, {} edges, {} seeds; type `help`",
@@ -348,7 +387,7 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
         let outcome = match cmd {
             "quit" | "exit" => break,
             "help" => {
-                println!("commands: add V | remove V | seeds | tree | dot FILE | quit");
+                println!("commands: add V | remove V | seeds | tree | solve | dot FILE | quit");
                 Ok(())
             }
             "seeds" => {
@@ -389,6 +428,31 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
                             t.elapsed()
                         );
                         Ok(())
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            "solve" => {
+                // Full distributed solve on the session's current seeds,
+                // with the same --trace/--report artifact plumbing as the
+                // batch `solve` subcommand (PR 2 wired only that path).
+                let config = SolverConfig {
+                    num_ranks: rank_count(flags)?,
+                    trace: obs_trace,
+                    metrics: obs_metrics,
+                    ..SolverConfig::default()
+                };
+                let t = Instant::now();
+                match solve(&g, &session.seeds(), &config) {
+                    Ok(report) => {
+                        println!(
+                            "distributed solve: distance {} | {} edges | {} ranks | {:?}",
+                            report.tree.total_distance(),
+                            report.tree.num_edges(),
+                            config.num_ranks,
+                            t.elapsed()
+                        );
+                        write_solve_artifacts(&report, flags)
                     }
                     Err(e) => Err(e.to_string()),
                 }

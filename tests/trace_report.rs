@@ -117,7 +117,9 @@ fn chrome_trace_has_one_lane_per_rank_with_paired_phase_spans() {
 
     // Every lane carries a balanced B/E pair for all six phases, with
     // begin before end in stream order (ts ties are possible at µs
-    // resolution, but ordering within a lane is chronological).
+    // resolution, but ordering within a lane is chronological). Lineage
+    // flow events ("s"/"f") share the phase name — only the span pair
+    // is pinned here; the flow events are covered by lineage_metrics.
     for tid in 0..4u64 {
         for phase in Phase::ALL {
             let phs: Vec<&str> = events
@@ -127,6 +129,7 @@ fn chrome_trace_has_one_lane_per_rank_with_paired_phase_spans() {
                         && e.get("name").and_then(|n| n.as_str()) == Some(phase.name())
                 })
                 .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+                .filter(|ph| matches!(*ph, "B" | "E"))
                 .collect();
             assert_eq!(phs, vec!["B", "E"], "tid {tid} phase {}", phase.name());
         }
