@@ -160,6 +160,14 @@ fn validate_run(run: &Json) -> Result<(), String> {
                     .to_string(),
             );
         }
+        Some(2) => {
+            return Err(
+                "schema_version 2 report found; v3 adds the faults object (injection and \
+                 reliability-protocol counters) and config.faults (no v2 key was removed \
+                 or renamed) — regenerate the report with current binaries to migrate"
+                    .to_string(),
+            );
+        }
         _ => {
             return Err(format!(
                 "schema_version must be {}",
@@ -226,6 +234,26 @@ fn validate_run(run: &Json) -> Result<(), String> {
     if !lq.is_null() && lq.as_obj().is_none() {
         return Err("latency_quantiles must be null or an object".to_string());
     }
+    let faults = run.get("faults").ok_or("missing faults")?;
+    for key in [
+        "drops",
+        "dups",
+        "delays",
+        "stalls",
+        "retransmits",
+        "dedup_discards",
+        "acks",
+        "retries",
+    ] {
+        faults
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("faults.{key} must be an integer"))?;
+    }
+    config
+        .get("faults")
+        .and_then(|v| v.as_str())
+        .ok_or("config.faults must be a string (a fault-plan spec or \"off\")")?;
     let tree = run.get("tree").ok_or("missing tree")?;
     for key in ["num_seeds", "num_edges", "total_distance"] {
         tree.get(key)
@@ -326,6 +354,33 @@ mod tests {
         }
         let err = validate(&doc).unwrap_err();
         assert!(err.contains("schema_version 1"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn v2_run_report_rejected_with_migration_note() {
+        let mut r = BenchReport::new("unit_test");
+        r.add_solve("x", Json::obj(), &sample_solve());
+        let mut doc = r.to_json();
+        // Downgrade the embedded run report to v2.
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "entries" {
+                    if let Json::Arr(entries) = v {
+                        if let Json::Obj(e) = &mut entries[0] {
+                            for (ek, ev) in e.iter_mut() {
+                                if ek == "run" {
+                                    ev.insert("schema_version", 2u64);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("schema_version 2"), "{err}");
+        assert!(err.contains("faults"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
     }
 

@@ -49,7 +49,10 @@ pub mod voronoi_bsp;
 
 pub use phases::{Phase, PhaseTimes};
 pub use report::{ConfigFingerprint, RunReport};
-pub use struntime::{MetricKind, MetricsConfig, MetricsDump, QueueKind, TraceConfig, TraceDump};
+pub use struntime::{
+    FaultPlan, FaultSnapshot, MetricKind, MetricsConfig, MetricsDump, QueueKind, TraceConfig,
+    TraceDump,
+};
 
 use distance_graph::ReduceMode;
 use state::VertexStates;
@@ -123,6 +126,18 @@ pub struct SolverConfig {
     /// message latency, queue residency, batch size, and visit service
     /// time.
     pub metrics: MetricsConfig,
+    /// Deterministic fault injection for the solve's world (off by
+    /// default; see [`struntime::faults`]). With an active plan the
+    /// runtime's reliability protocol keeps the solve's output
+    /// bit-identical to a fault-free run; injection and recovery counters
+    /// land in [`SolveReport::fault_stats`].
+    pub faults: Option<FaultPlan>,
+    /// Solve-level retries taken when a phase fails under fault injection
+    /// (a defense-in-depth guard — with reliable delivery it should
+    /// never trigger). Each retry re-runs the world with a seed derived
+    /// from the plan's (`seed + attempt`). Ignored when `faults` is
+    /// `None` or inert.
+    pub fault_retries: usize,
 }
 
 impl Default for SolverConfig {
@@ -136,6 +151,8 @@ impl Default for SolverConfig {
             batch_size: struntime::traversal::DEFAULT_BATCH_SIZE,
             trace: TraceConfig::Off,
             metrics: MetricsConfig::Off,
+            faults: None,
+            fault_retries: 2,
         }
     }
 }
@@ -170,6 +187,10 @@ pub struct SolveReport {
     /// Per-rank × per-phase latency histograms (empty unless
     /// [`SolverConfig::metrics`] was enabled).
     pub metrics: MetricsDump,
+    /// Fault-injection and reliability-protocol counters (drops, dups,
+    /// delays, stalls, retransmits, dedup discards, acks, solve retries).
+    /// All-zero when [`SolverConfig::faults`] is off.
+    pub fault_stats: FaultSnapshot,
 }
 
 impl SolveReport {
@@ -263,23 +284,47 @@ pub fn solve_partitioned(
         .map(|(i, &s)| (s, i as u32))
         .collect();
 
-    let world_config = WorldConfig {
-        trace: config.trace,
-        metrics: config.metrics,
-        ..WorldConfig::default()
-    };
-    let out = World::run_config(p, world_config, |comm: &mut Comm| {
-        rank_main(
-            comm,
-            pg,
-            &seeds,
-            &seed_index,
-            config.queue,
-            reduce_mode,
-            config.batch_size,
-        )
-    });
-    assemble_report(pg, seeds, config, out)
+    // Phase retry policy: with active fault injection, a phase-level
+    // failure (a disconnected distance graph that a fault-free run would
+    // not produce) is retried with a derived fault seed. Reliable
+    // delivery makes the runtime's output bit-identical to fault-free
+    // runs, so this is defense in depth — the counter stays at zero
+    // unless something slipped past the reliability layer.
+    let faults_active = config.faults.is_some_and(|pl| pl.is_active());
+    let mut retries = 0u64;
+    loop {
+        let mut world_config = WorldConfig {
+            trace: config.trace,
+            metrics: config.metrics,
+            faults: config.faults,
+            ..WorldConfig::default()
+        };
+        if retries > 0 {
+            if let Some(plan) = &mut world_config.faults {
+                plan.seed = plan.seed.wrapping_add(retries);
+            }
+        }
+        let out = World::run_config(p, world_config, |comm: &mut Comm| {
+            rank_main(
+                comm,
+                pg,
+                &seeds,
+                &seed_index,
+                config.queue,
+                reduce_mode,
+                config.batch_size,
+            )
+        });
+        match assemble_report(pg, seeds.clone(), config, out, retries) {
+            Err(SteinerError::SeedsDisconnected(a, b))
+                if faults_active && (retries as usize) < config.fault_retries =>
+            {
+                let _ = (a, b);
+                retries += 1;
+            }
+            other => return other,
+        }
+    }
 }
 
 /// Like [`solve_partitioned`], but runs on resident rank threads — the
@@ -327,7 +372,10 @@ pub fn solve_on(
             batch_size,
         )
     });
-    assemble_report(pg, seeds, config, out)
+    // No retry loop here: a persistent world's fault plan is fixed at
+    // construction, so the solve-level retry policy applies to
+    // `solve` / `solve_partitioned` only.
+    assemble_report(pg, seeds, config, out, 0)
 }
 
 fn assemble_report(
@@ -335,6 +383,7 @@ fn assemble_report(
     seeds: Vec<Vertex>,
     config: &SolverConfig,
     out: RunOutput<RankOutcome>,
+    retries: u64,
 ) -> Result<SolveReport, SteinerError> {
     let connected = out.results.iter().all(|r| r.connected);
     if !connected {
@@ -361,6 +410,8 @@ fn assemble_report(
     }
     let message_counts = out.merged_counters();
     let state_peak_bytes = out.total_peak_memory();
+    let mut fault_stats = out.fault_stats;
+    fault_stats.retries += retries;
     Ok(SolveReport {
         tree,
         phase_times,
@@ -373,6 +424,7 @@ fn assemble_report(
         config: *config,
         trace: out.trace,
         metrics: out.metrics,
+        fault_stats,
     })
 }
 

@@ -34,7 +34,15 @@ use struntime::QueueKind;
 /// removed or renamed; v2 is a strict superset. The bump is still
 /// breaking for consumers because v1 readers would silently miss the
 /// observability fields newer tooling keys on.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// **v2 → v3**: adds the `faults` object (injection and
+/// reliability-protocol counters: `drops`, `dups`, `delays`, `stalls`,
+/// `retransmits`, `dedup_discards`, `acks`, `retries` — all-zero for a
+/// fault-free run) and `config.faults` (the fault-plan spec string, or
+/// `"off"`). Again a strict superset of the previous version, and again
+/// breaking: v2 readers comparing reports across runs would silently
+/// treat a faulted run as comparable to a fault-free one.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The configuration a solve ran with, reduced to plain strings and
 /// numbers for the report.
@@ -53,6 +61,9 @@ pub struct ConfigFingerprint {
     pub refine: bool,
     /// Visitors per aggregated network batch.
     pub batch_size: usize,
+    /// Fault-plan spec (`"drop=0.1,seed=7"` style, see
+    /// [`struntime::faults::FaultPlan::from_spec`]), or `"off"`.
+    pub faults: String,
 }
 
 impl ConfigFingerprint {
@@ -69,6 +80,10 @@ impl ConfigFingerprint {
             ReduceModeConfig::Dense { chunk: Some(c) } => format!("dense(chunk={c})"),
             ReduceModeConfig::Sparse => "sparse".to_string(),
         };
+        let faults = match config.faults.filter(|pl| pl.is_active()) {
+            Some(plan) => plan.to_spec(),
+            None => "off".to_string(),
+        };
         ConfigFingerprint {
             num_ranks: config.num_ranks,
             queue,
@@ -76,6 +91,7 @@ impl ConfigFingerprint {
             reduce_mode,
             refine: config.refine,
             batch_size: config.batch_size,
+            faults,
         }
     }
 
@@ -87,6 +103,7 @@ impl ConfigFingerprint {
             .with("reduce_mode", self.reduce_mode.as_str())
             .with("refine", self.refine)
             .with("batch_size", self.batch_size)
+            .with("faults", self.faults.as_str())
     }
 }
 
@@ -158,6 +175,9 @@ pub struct RunReport {
     /// `{phase: {metric: {p50, p90, p99, count}}}` quantiles from the
     /// latency histograms; `None` when the solve ran without metrics.
     pub latency_quantiles: Option<Json>,
+    /// Fault-injection and reliability-protocol counters; all-zero for a
+    /// fault-free run (the v3 schema always emits the object).
+    pub fault_stats: struntime::FaultSnapshot,
     /// Number of seed (terminal) vertices in the tree.
     pub tree_num_seeds: usize,
     /// Number of edges in the tree.
@@ -172,7 +192,7 @@ impl RunReport {
     /// `phase_times_us`, `total_time_us`, `message_counts`,
     /// `graph_bytes`, `state_peak_bytes`, `distance_graph_edges`,
     /// `rank_work`, `simulated_speedup`, `imbalance_ratio`,
-    /// `critical_path`, `latency_quantiles`, `tree`.
+    /// `critical_path`, `latency_quantiles`, `faults`, `tree`.
     pub fn to_json(&self) -> Json {
         let mut phase_times = Json::obj();
         for &(name, us) in &self.phase_times_us {
@@ -211,6 +231,18 @@ impl RunReport {
             .with(
                 "latency_quantiles",
                 self.latency_quantiles.clone().unwrap_or(Json::Null),
+            )
+            .with(
+                "faults",
+                Json::obj()
+                    .with("drops", self.fault_stats.drops)
+                    .with("dups", self.fault_stats.dups)
+                    .with("delays", self.fault_stats.delays)
+                    .with("stalls", self.fault_stats.stalls)
+                    .with("retransmits", self.fault_stats.retransmits)
+                    .with("dedup_discards", self.fault_stats.dedup_discards)
+                    .with("acks", self.fault_stats.acks)
+                    .with("retries", self.fault_stats.retries),
             )
             .with(
                 "tree",
@@ -285,6 +317,7 @@ impl SolveReport {
             imbalance_ratio,
             critical_path,
             latency_quantiles,
+            fault_stats: self.fault_stats,
             tree_num_seeds: self.tree.seeds.len(),
             tree_num_edges: self.tree.num_edges(),
             tree_total_distance: self.tree.total_distance(),
@@ -367,13 +400,72 @@ mod tests {
         assert!(report.latency_quantiles.is_none());
         assert!(report.imbalance_ratio >= 1.0);
         let doc = report.to_json();
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
         assert!(doc.get("critical_path").expect("key present").is_null());
         assert!(doc.get("latency_quantiles").expect("key present").is_null());
         assert!(doc
             .get("imbalance_ratio")
             .and_then(|v| v.as_f64())
             .is_some());
+    }
+
+    #[test]
+    fn v3_faults_object_zero_and_config_off_without_injection() {
+        let report = sample_report().run_report();
+        assert_eq!(report.config.faults, "off");
+        assert_eq!(report.fault_stats, struntime::FaultSnapshot::default());
+        let doc = report.to_json();
+        let faults = doc.get("faults").expect("v3 emits the faults object");
+        for key in [
+            "drops",
+            "dups",
+            "delays",
+            "stalls",
+            "retransmits",
+            "dedup_discards",
+            "acks",
+            "retries",
+        ] {
+            assert_eq!(
+                faults.get(key).and_then(|v| v.as_u64()),
+                Some(0),
+                "fault counter {key} nonzero in a fault-free run"
+            );
+        }
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("faults"))
+                .and_then(|v| v.as_str()),
+            Some("off")
+        );
+    }
+
+    #[test]
+    fn v3_faults_object_counts_injection() {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, 2);
+        }
+        let g = b.build();
+        let plan = struntime::FaultPlan::from_spec("drop=0.2,dup=0.1,seed=7").unwrap();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            faults: Some(plan),
+            ..SolverConfig::default()
+        };
+        let report = solve(&g, &[0, 7], &cfg).unwrap().run_report();
+        assert_eq!(report.config.faults, plan.to_spec());
+        assert!(
+            report.fault_stats.injected() > 0,
+            "an active plan over remote traffic should inject something"
+        );
+        let doc = report.to_json();
+        let drops = doc
+            .get("faults")
+            .and_then(|f| f.get("drops"))
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        assert_eq!(drops, report.fault_stats.drops);
     }
 
     #[test]

@@ -28,6 +28,20 @@
 //! hot path, and the traversal-end verification is skipped — the audit
 //! layer costs nothing in release builds.
 //!
+//! ## Interaction with the reliability layer
+//!
+//! Under fault injection (see [`crate::faults`] and [`crate::channels`])
+//! one logical batch may cross the wire several times: the injector
+//! duplicates it, or the sender retransmits it after a drop. The channel
+//! layer clones the [`Tagged`] envelope *preserving its batch id*, and
+//! receiver-side dedup swallows every copy after the first — so exactly
+//! one delivery per ledger entry reaches the traversal, and the
+//! exactly-once verification above holds verbatim over an unreliable
+//! network. The audit thereby checks the reliability protocol itself:
+//! disabling retransmission ([`crate::FaultPlan::mutant_no_retransmit`])
+//! makes dropped batches surface as `LostBatch` violations even though
+//! the traversal still terminates.
+//!
 //! ## Scope and caveats
 //!
 //! The ledger retains one entry per delivered batch for the lifetime of a

@@ -9,11 +9,17 @@
 //! Every collective must be called by **all** ranks of a world in the same
 //! program order, like their MPI counterparts. The reduction buffer is a
 //! single shared slot: rank 0 seeds it with its local vector, the other
-//! ranks fold theirs in (serialized by the slot mutex), and everyone copies
-//! the result back out. Lockstep is audited: a rank joining with the wrong
+//! ranks fold theirs in **strictly in rank order** (the slot carries a
+//! turn counter; each rank spins until it is up), and everyone copies the
+//! result back out. Rank-ordered folds make the result of
+//! non-commutative or non-associative combiners schedule-independent —
+//! with arrival-order folds, two runs under different schedules could
+//! reduce floating-point sums or other non-associative operators in
+//! different orders. Lockstep is audited: a rank joining with the wrong
 //! element type (i.e. the ranks' collective sequences diverged) gets a
 //! structured panic naming the seeding op and both types, instead of a
-//! bare downcast failure.
+//! bare downcast failure, and a non-root rank supplying a broadcast value
+//! gets the same treatment.
 
 use crate::perturb::SyncPoint;
 use crate::shared::CollectiveSlot;
@@ -64,27 +70,41 @@ impl Comm {
                 value: Box::new(data.to_vec()),
                 type_name,
                 op: "allreduce",
+                turn: 1,
             });
         }
         self.barrier();
         if self.rank() != 0 {
             self.pause(SyncPoint::CollectiveSlot);
-            let mut slot = self.shared().collective_slot.lock();
-            let entry = match slot.as_mut() {
-                Some(e) => e,
-                None => missing_slot(self.rank(), "allreduce", "fold"),
-            };
-            let acc = match entry.value.downcast_mut::<Vec<T>>() {
-                Some(acc) => acc,
-                None => type_mismatch(self.rank(), "allreduce", type_name, entry),
-            };
-            assert_eq!(
-                acc.len(),
-                data.len(),
-                "allreduce length mismatch across ranks"
-            );
-            for (a, b) in acc.iter_mut().zip(data.iter()) {
-                combine(a, b);
+            // Folds are serialized in rank order: the slot's turn counter
+            // admits rank 1, then 2, ... so the reduction tree is the
+            // same left-fold under every schedule, keeping
+            // non-commutative / non-associative combiners deterministic.
+            loop {
+                let mut slot = self.shared().collective_slot.lock();
+                let entry = match slot.as_mut() {
+                    Some(e) => e,
+                    None => missing_slot(self.rank(), "allreduce", "fold"),
+                };
+                if entry.turn != self.rank() {
+                    drop(slot);
+                    std::thread::yield_now();
+                    continue;
+                }
+                let acc = match entry.value.downcast_mut::<Vec<T>>() {
+                    Some(acc) => acc,
+                    None => type_mismatch(self.rank(), "allreduce", type_name, entry),
+                };
+                assert_eq!(
+                    acc.len(),
+                    data.len(),
+                    "allreduce length mismatch across ranks"
+                );
+                for (a, b) in acc.iter_mut().zip(data.iter()) {
+                    combine(a, b);
+                }
+                entry.turn += 1;
+                break;
             }
         }
         self.barrier();
@@ -156,7 +176,20 @@ impl Comm {
         T: Clone + Send + 'static,
     {
         assert!(root < self.num_ranks());
-        debug_assert_eq!(self.rank() == root, value.is_some());
+        // A non-root rank supplying a value means the ranks' collective
+        // sequences diverged (or a caller misunderstands the contract);
+        // in release builds the value used to be silently discarded.
+        // Diagnose it like the other lockstep violations — and *before*
+        // the first barrier, so the panic cannot strand other ranks any
+        // earlier than the protocol itself would.
+        if self.rank() != root && value.is_some() {
+            panic!(
+                "collective lockstep violation: rank {rank} passed Some to \
+                 broadcast(root={root}) — only the root supplies a value \
+                 (ranks must call collectives in identical program order)",
+                rank = self.rank(),
+            );
+        }
         let _span = self.trace_span("broadcast");
         let type_name = std::any::type_name::<T>();
         self.barrier();
@@ -175,6 +208,7 @@ impl Comm {
                 value: Box::new(value),
                 type_name,
                 op: "broadcast",
+                turn: 0,
             });
         }
         self.barrier();
@@ -197,5 +231,47 @@ impl Comm {
                 .release("collective_slot", std::mem::size_of::<T>());
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::shared::Shared;
+    use crate::{stress_schedules, Comm};
+    use std::sync::Arc;
+
+    #[test]
+    fn allreduce_folds_in_rank_order_under_perturbed_schedules() {
+        let p = 4usize;
+        // Deliberately non-commutative, non-associative combiner: the
+        // result is a base-31 positional encoding of the exact fold
+        // order, so any schedule-dependent ordering changes the value.
+        let runs = stress_schedules(p, [1u64, 42, 4096, 31337], |comm| {
+            let mut data = [comm.rank() as u64 + 1];
+            comm.allreduce(&mut data, |a, b| *a = 31 * *a + *b);
+            data[0]
+        });
+        let mut expected = 1u64; // rank 0 seeds the slot
+        for r in 1..p as u64 {
+            expected = 31 * expected + (r + 1);
+        }
+        for (seed, out) in &runs {
+            for (rank, v) in out.results.iter().enumerate() {
+                assert_eq!(
+                    *v, expected,
+                    "seed {seed} rank {rank}: fold order drifted from rank order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collective lockstep violation")]
+    fn non_root_some_is_a_lockstep_panic() {
+        // A standalone rank-1 endpoint of a 2-rank world: the lockstep
+        // check fires before the first barrier, so no peer thread is
+        // needed and the panic cannot deadlock the test.
+        let comm = Comm::new_for_persistent(1, Arc::new(Shared::new(2)), None, None, None, None);
+        let _ = comm.broadcast(0, Some(7u32));
     }
 }

@@ -1,0 +1,501 @@
+//! Deterministic fault injection: seeded message drop / duplication /
+//! delay and transient rank stalls.
+//!
+//! The paper's deployment runs thousands of MPI processes for hours,
+//! where lost, duplicated, and delayed messages (and briefly unresponsive
+//! ranks) are operational reality. A [`FaultPlan`] models that adversary
+//! inside the simulation: every remote message crossing a
+//! [`crate::ChannelGroup`] consults a per-rank [`FaultInjector`] — a
+//! ChaCha-seeded decision stream, derived exactly like the schedule
+//! perturber's so a fault schedule is replayable by seed — and is then
+//! delivered, silently dropped, delivered twice, or parked until a
+//! deadline. Stalls piggyback on the runtime's existing
+//! [`crate::SyncPoint`] hooks: with probability `stall_p` a rank sleeps a
+//! bounded interval at a sync point, modelling GC pauses, OS jitter, or a
+//! slow NIC.
+//!
+//! The reliability protocol that defeats the injector (sequence numbers,
+//! acks, timeout-driven retransmission with exponential backoff, a
+//! receiver-side dedup window) lives in [`crate::channels`]; its
+//! termination argument is documented in [`crate::traversal`]. Permanent
+//! rank death is explicitly out of scope: every rank eventually makes
+//! progress, faults only reorder/duplicate/postpone work.
+//!
+//! Counters land in a [`FaultStats`] block shared by all ranks of a world
+//! (always allocated — eight atomics — so snapshotting is unconditional
+//! and a fault-free run reports zeros).
+
+use crate::perturb::SyncPoint;
+use parking_lot::Mutex;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Hard ceiling on any single injected probability. A spec asking for
+/// more is a configuration error: the reliability layer's liveness
+/// argument (and the acceptance envelope of the chaos tests) is stated
+/// for fault rates well below saturation.
+pub const MAX_FAULT_P: f64 = 0.5;
+
+/// Delivery attempts after which the injector stands aside and the
+/// channel layer ships the batch faultlessly — the bound that turns
+/// probabilistic retry into guaranteed delivery.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 16;
+
+/// A seeded, deterministic description of the network adversary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a remote message is dropped on first transmission.
+    pub drop_p: f64,
+    /// Probability a remote message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a remote message is parked before delivery.
+    pub delay_p: f64,
+    /// Maximum injected delay, microseconds (drawn uniformly in
+    /// `1..=delay_us`).
+    pub delay_us: u64,
+    /// Probability a rank stalls at a sync point.
+    pub stall_p: f64,
+    /// Maximum stall, microseconds (drawn uniformly in `1..=stall_us`).
+    pub stall_us: u64,
+    /// Seed for the per-rank decision streams.
+    pub seed: u64,
+    /// Per-message injection ceiling: after this many transmissions the
+    /// injector passes the message through untouched.
+    pub max_attempts: u32,
+    /// **Test-only mutant**: model a runtime that is unaware the network
+    /// is unreliable — dropped batches are never stashed for
+    /// retransmission and the drop is hidden from the quiescence
+    /// detector. The audit layer must flag the resulting lost batches;
+    /// see `tests/fault_injection.rs`.
+    pub mutant_no_retransmit: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay_us: 200,
+            stall_p: 0.0,
+            stall_us: 200,
+            seed: 0,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            mutant_no_retransmit: false,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses a CLI-style spec: comma-separated `key=value` pairs with
+    /// keys `drop`, `dup`, `delay` (probabilities in `[0, 0.5]`),
+    /// `delay_us`, `stall`, `stall_us`, and `seed`. Example:
+    /// `"drop=0.1,dup=0.05,delay=0.1,stall=0.02,seed=7"`. Unset keys keep
+    /// their defaults.
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{part}` is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault spec: `{v}` is not a probability"))?;
+                if !(0.0..=MAX_FAULT_P).contains(&p) {
+                    return Err(format!(
+                        "fault spec: probability {p} outside [0, {MAX_FAULT_P}]"
+                    ));
+                }
+                Ok(p)
+            };
+            let int = |v: &str| -> Result<u64, String> {
+                v.parse()
+                    .map_err(|_| format!("fault spec: `{v}` is not an integer"))
+            };
+            match key.trim() {
+                "drop" => plan.drop_p = prob(value)?,
+                "dup" => plan.dup_p = prob(value)?,
+                "delay" => plan.delay_p = prob(value)?,
+                "delay_us" => plan.delay_us = int(value)?.max(1),
+                "stall" => plan.stall_p = prob(value)?,
+                "stall_us" => plan.stall_us = int(value)?.max(1),
+                "seed" => plan.seed = int(value)?,
+                other => return Err(format!("fault spec: unknown key `{other}`")),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Checks the plan's probabilities are within the supported envelope.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop", self.drop_p),
+            ("dup", self.dup_p),
+            ("delay", self.delay_p),
+            ("stall", self.stall_p),
+        ] {
+            if !(0.0..=MAX_FAULT_P).contains(&p) || !p.is_finite() {
+                return Err(format!(
+                    "fault plan: {name} probability {p} outside [0, {MAX_FAULT_P}]"
+                ));
+            }
+        }
+        if self.max_attempts == 0 {
+            return Err("fault plan: max_attempts must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Whether the plan injects anything at all. An inert plan makes the
+    /// runtime behave (and count) exactly like a fault-free run.
+    pub fn is_active(&self) -> bool {
+        self.drop_p > 0.0
+            || self.dup_p > 0.0
+            || self.delay_p > 0.0
+            || self.stall_p > 0.0
+            || self.mutant_no_retransmit
+    }
+
+    /// The spec string this plan round-trips to (used by the config
+    /// fingerprint in run reports).
+    pub fn to_spec(&self) -> String {
+        format!(
+            "drop={},dup={},delay={},delay_us={},stall={},stall_us={},seed={}",
+            self.drop_p,
+            self.dup_p,
+            self.delay_p,
+            self.delay_us,
+            self.stall_p,
+            self.stall_us,
+            self.seed
+        )
+    }
+}
+
+/// What the injector decided for one transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Ship normally.
+    Deliver,
+    /// Swallow this transmission (the reliability layer's retransmit
+    /// timer recovers it).
+    Drop,
+    /// Ship two copies (the receiver's dedup window absorbs the second).
+    Duplicate,
+    /// Park the message; ship when the embedded duration elapses.
+    Delay(Duration),
+}
+
+/// World-shared fault/reliability counters. Always allocated (the cost
+/// is eight atomics per world) so [`crate::RunOutput`] can carry a
+/// snapshot unconditionally; every field is zero when no faults were
+/// injected.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Transmissions swallowed by the injector.
+    pub drops: AtomicU64,
+    /// Transmissions shipped twice by the injector.
+    pub dups: AtomicU64,
+    /// Transmissions parked by the injector.
+    pub delays: AtomicU64,
+    /// Sync-point stalls taken.
+    pub stalls: AtomicU64,
+    /// Batches retransmitted by the reliability layer after an ack
+    /// timeout.
+    pub retransmits: AtomicU64,
+    /// Duplicate deliveries discarded by the receiver-side dedup window.
+    pub dedup_discards: AtomicU64,
+    /// Acknowledgements delivered back to senders.
+    pub acks: AtomicU64,
+    /// Solve-level phase retries taken (recorded by `steiner::solve`'s
+    /// retry policy, not by the runtime itself).
+    pub retries: AtomicU64,
+}
+
+impl FaultStats {
+    /// A plain-value copy of the counters.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            drops: self.drops.load(Ordering::Relaxed),
+            dups: self.dups.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dedup_discards: self.dedup_discards.load(Ordering::Relaxed),
+            acks: self.acks.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`FaultStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Transmissions swallowed by the injector.
+    pub drops: u64,
+    /// Transmissions shipped twice by the injector.
+    pub dups: u64,
+    /// Transmissions parked by the injector.
+    pub delays: u64,
+    /// Sync-point stalls taken.
+    pub stalls: u64,
+    /// Batches retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Duplicate deliveries discarded by the dedup window.
+    pub dedup_discards: u64,
+    /// Acknowledgements delivered back to senders.
+    pub acks: u64,
+    /// Solve-level phase retries taken.
+    pub retries: u64,
+}
+
+impl FaultSnapshot {
+    /// Total faults injected (not counting the recovery traffic).
+    pub fn injected(&self) -> u64 {
+        self.drops + self.dups + self.delays + self.stalls
+    }
+}
+
+/// Distinct-stream constant for per-rank fault-seed derivation. Deliberately
+/// different from the schedule perturber's stream constant so a world
+/// running both draws uncorrelated sequences from the same user seed.
+const FAULT_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+
+struct InjectorInner {
+    rng: ChaCha8Rng,
+}
+
+/// One rank's deterministic fault source. Held by the rank's
+/// [`crate::Comm`] and every [`crate::ChannelGroup`] it opens; decisions
+/// are drawn from a ChaCha stream that is a pure function of
+/// `(plan.seed, rank)`.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rank: usize,
+    inner: Mutex<InjectorInner>,
+    stats: std::sync::Arc<FaultStats>,
+}
+
+/// Draws a uniform probability in `[0, 1)` from 32 bits of the stream.
+fn unit(rng: &mut ChaCha8Rng) -> f64 {
+    f64::from(rng.next_u32()) / f64::from(u32::MAX)
+}
+
+impl FaultInjector {
+    /// Injector for `rank` under `plan`, counting into `stats`.
+    pub fn new(plan: FaultPlan, rank: usize, stats: std::sync::Arc<FaultStats>) -> Self {
+        let stream = plan
+            .seed
+            .wrapping_add((rank as u64 + 1).wrapping_mul(FAULT_STREAM));
+        FaultInjector {
+            plan,
+            rank,
+            inner: Mutex::new(InjectorInner {
+                rng: ChaCha8Rng::seed_from_u64(stream),
+            }),
+            stats,
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The rank this injector belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The world-shared counters this injector feeds.
+    pub fn stats(&self) -> &std::sync::Arc<FaultStats> {
+        &self.stats
+    }
+
+    /// Decides the fate of one transmission. `attempts` is how many times
+    /// this message has already been transmitted: past the plan's
+    /// `max_attempts` the injector always delivers, which bounds the
+    /// retransmit loop and turns eventual delivery into a guarantee.
+    pub fn draw(&self, attempts: u32) -> FaultAction {
+        if attempts >= self.plan.max_attempts {
+            return FaultAction::Deliver;
+        }
+        let mut inner = self.inner.lock();
+        let roll = unit(&mut inner.rng);
+        if roll < self.plan.drop_p {
+            self.stats.drops.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Drop;
+        }
+        if roll < self.plan.drop_p + self.plan.dup_p {
+            self.stats.dups.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Duplicate;
+        }
+        if roll < self.plan.drop_p + self.plan.dup_p + self.plan.delay_p {
+            self.stats.delays.fetch_add(1, Ordering::Relaxed);
+            let span = self.plan.delay_us.max(1);
+            let us = 1 + inner.rng.next_u64() % span;
+            return FaultAction::Delay(Duration::from_micros(us));
+        }
+        FaultAction::Deliver
+    }
+
+    /// Maybe stall at a sync point: with probability `stall_p` the caller
+    /// sleeps a bounded, seeded interval. The stall is a plain sleep —
+    /// never a lock hold — so it can only slow the schedule down, not
+    /// deadlock it.
+    pub fn maybe_stall(&self, _point: SyncPoint) {
+        if self.plan.stall_p <= 0.0 {
+            return;
+        }
+        let stall = {
+            let mut inner = self.inner.lock();
+            if unit(&mut inner.rng) < self.plan.stall_p {
+                let span = self.plan.stall_us.max(1);
+                Some(Duration::from_micros(1 + inner.rng.next_u64() % span))
+            } else {
+                None
+            }
+        };
+        if let Some(d) = stall {
+            self.stats.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Builds one injector per rank for a world, or `None` when the config
+/// carries no plan / an inert plan — the `None` keeps the fault-free
+/// hot path bit-identical to a build without this subsystem.
+pub(crate) fn make_injectors(
+    p: usize,
+    plan: Option<FaultPlan>,
+    stats: &std::sync::Arc<FaultStats>,
+) -> Option<Vec<std::sync::Arc<FaultInjector>>> {
+    let plan = plan.filter(FaultPlan::is_active)?;
+    Some(
+        (0..p)
+            .map(|rank| {
+                std::sync::Arc::new(FaultInjector::new(plan, rank, std::sync::Arc::clone(stats)))
+            })
+            .collect(),
+    )
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("rank", &self.rank)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spec_round_trips() {
+        let plan = FaultPlan::from_spec("drop=0.1,dup=0.05,delay=0.1,stall=0.02,seed=7")
+            .expect("valid spec");
+        assert_eq!(plan.drop_p, 0.1);
+        assert_eq!(plan.dup_p, 0.05);
+        assert_eq!(plan.delay_p, 0.1);
+        assert_eq!(plan.stall_p, 0.02);
+        assert_eq!(plan.seed, 7);
+        assert!(plan.is_active());
+        let again = FaultPlan::from_spec(&plan.to_spec()).expect("spec round-trip");
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn spec_rejects_bad_input() {
+        assert!(FaultPlan::from_spec("drop=0.9").is_err());
+        assert!(FaultPlan::from_spec("drop=nope").is_err());
+        assert!(FaultPlan::from_spec("bogus=1").is_err());
+        assert!(FaultPlan::from_spec("drop").is_err());
+        assert!(FaultPlan::from_spec("").expect("empty spec").drop_p == 0.0);
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(!FaultPlan::default().is_active());
+        assert!(FaultPlan::default().validate().is_ok());
+    }
+
+    #[test]
+    fn draw_stream_is_deterministic_per_seed_and_rank() {
+        let plan = FaultPlan {
+            drop_p: 0.2,
+            dup_p: 0.2,
+            delay_p: 0.2,
+            ..FaultPlan::default()
+        };
+        let draw_n = |seed: u64, rank: usize, n: usize| {
+            let plan = FaultPlan { seed, ..plan };
+            let inj = FaultInjector::new(plan, rank, Arc::new(FaultStats::default()));
+            (0..n).map(|_| inj.draw(0)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw_n(42, 1, 64), draw_n(42, 1, 64));
+        assert_ne!(draw_n(42, 1, 64), draw_n(43, 1, 64));
+        assert_ne!(draw_n(42, 1, 64), draw_n(42, 2, 64));
+    }
+
+    #[test]
+    fn draw_delivers_unconditionally_past_max_attempts() {
+        let plan = FaultPlan {
+            drop_p: 0.5,
+            dup_p: 0.5,
+            max_attempts: 4,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan, 0, Arc::new(FaultStats::default()));
+        for _ in 0..256 {
+            assert_eq!(inj.draw(4), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn all_fault_kinds_occur_and_are_counted() {
+        let plan = FaultPlan {
+            drop_p: 0.2,
+            dup_p: 0.2,
+            delay_p: 0.2,
+            seed: 3,
+            ..FaultPlan::default()
+        };
+        let stats = Arc::new(FaultStats::default());
+        let inj = FaultInjector::new(plan, 0, Arc::clone(&stats));
+        let draws: Vec<_> = (0..512).map(|_| inj.draw(0)).collect();
+        let snap = stats.snapshot();
+        assert!(snap.drops > 0 && snap.dups > 0 && snap.delays > 0);
+        assert_eq!(
+            snap.drops,
+            draws.iter().filter(|a| **a == FaultAction::Drop).count() as u64
+        );
+        for a in &draws {
+            if let FaultAction::Delay(d) = a {
+                assert!(d.as_micros() >= 1 && d.as_micros() <= plan.delay_us as u128);
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_stall_draws_nothing() {
+        let stats = Arc::new(FaultStats::default());
+        let inj = FaultInjector::new(FaultPlan::default(), 0, Arc::clone(&stats));
+        for _ in 0..64 {
+            inj.maybe_stall(SyncPoint::Barrier);
+        }
+        assert_eq!(stats.snapshot().stalls, 0);
+    }
+}

@@ -38,6 +38,7 @@ pub mod audit;
 pub mod channels;
 mod collective;
 pub mod counters;
+pub mod faults;
 pub mod memory;
 pub mod metrics;
 pub mod persistent;
@@ -50,6 +51,7 @@ pub mod traversal;
 pub use audit::AuditViolation;
 pub use channels::ChannelGroup;
 pub use counters::{merge_snapshots, PhaseSnapshot};
+pub use faults::{FaultPlan, FaultSnapshot, FaultStats};
 pub use metrics::{HistogramSnapshot, MetricKind, MetricsConfig, MetricsDump};
 pub use persistent::PersistentWorld;
 pub use perturb::{stress_schedules, PerturbAction, SchedulePerturber, SyncPoint, TraceEntry};
@@ -63,6 +65,7 @@ pub use traversal::{
 
 use channels::GroupCtx;
 use counters::RankCounters;
+use faults::FaultInjector;
 use memory::MemoryTracker;
 use metrics::{PhaseMetrics, RankMetrics};
 use shared::{ChannelSlot, Shared};
@@ -81,6 +84,7 @@ pub struct Comm {
     perturb: Option<Arc<SchedulePerturber>>,
     trace: Option<Arc<TraceBuffer>>,
     metrics: Option<Arc<RankMetrics>>,
+    faults: Option<Arc<FaultInjector>>,
     /// Monotone per-rank lineage sequence; world-unique ids are
     /// `rank << 40 | seq` with seq starting at 1 (0 = "no message").
     /// The packing survives a round-trip through JSON's f64 numbers for
@@ -95,6 +99,7 @@ impl Comm {
         perturb: Option<Arc<SchedulePerturber>>,
         trace: Option<Arc<TraceBuffer>>,
         metrics: Option<Arc<RankMetrics>>,
+        faults: Option<Arc<FaultInjector>>,
     ) -> Comm {
         Comm {
             rank,
@@ -105,6 +110,7 @@ impl Comm {
             perturb,
             trace,
             metrics,
+            faults,
             lineage_seq: AtomicU64::new(0),
         }
     }
@@ -145,10 +151,14 @@ impl Comm {
     }
 
     /// Consumes one perturbation decision at `point` (no-op when the world
-    /// is unperturbed).
+    /// is unperturbed), then gives the fault injector — when one is
+    /// installed — a chance to stall this rank transiently.
     pub(crate) fn pause(&self, point: SyncPoint) {
         if let Some(p) = &self.perturb {
             p.pause(point);
+        }
+        if let Some(f) = &self.faults {
+            f.maybe_stall(point);
         }
     }
 
@@ -232,7 +242,10 @@ impl Comm {
     /// diverged in their channel-open sequences — the call panics with a
     /// diagnostic naming the tag, both phase labels, and the expected vs.
     /// found visitor types.
-    pub fn open_channels<V: Send + 'static>(&mut self, phase: &'static str) -> ChannelGroup<V> {
+    pub fn open_channels<V: Send + Clone + 'static>(
+        &mut self,
+        phase: &'static str,
+    ) -> ChannelGroup<V> {
         let tag = self.tag_counter;
         self.tag_counter += 1;
         let p = self.num_ranks();
@@ -294,8 +307,10 @@ impl Comm {
             self.shared.channel_registry.lock().remove(&tag);
         }
         let ctx = GroupCtx {
-            audit: Arc::clone(&self.shared.audit),
+            shared: Arc::clone(&self.shared),
             perturb: self.perturb.clone(),
+            faults: self.faults.clone(),
+            trace: self.trace.clone(),
             phase,
         };
         ChannelGroup::new(
@@ -339,6 +354,9 @@ pub struct RunOutput<T> {
     /// Latency histograms drained from every rank at teardown. Empty
     /// unless the world ran with [`MetricsConfig::On`].
     pub metrics: MetricsDump,
+    /// Fault-injection and reliability-protocol counters summed over all
+    /// ranks; all-zero when the world ran without a [`FaultPlan`].
+    pub fault_stats: FaultSnapshot,
 }
 
 impl<T> RunOutput<T> {
@@ -380,6 +398,11 @@ pub struct WorldConfig {
     pub trace: TraceConfig,
     /// Latency-histogram recording (off by default; see [`metrics`]).
     pub metrics: MetricsConfig,
+    /// Deterministic fault injection (off by default; see [`faults`]).
+    /// When set *and* [`FaultPlan::is_active`], every rank gets a
+    /// [`faults::FaultInjector`] seeded from the plan, and the channel
+    /// layer runs its reliability protocol (see [`channels`]).
+    pub faults: Option<FaultPlan>,
 }
 
 /// The simulated cluster.
@@ -416,6 +439,7 @@ impl World {
             .collect();
         let trace_buffers = trace::make_buffers(p, config.trace, shared.epoch);
         let metric_regs = metrics::make_registries(p, config.metrics);
+        let injectors = faults::make_injectors(p, config.faults, &shared.faults);
 
         let results: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
@@ -429,6 +453,7 @@ impl World {
                         perturb: perturbers[rank].clone(),
                         trace: trace_buffers.as_ref().map(|b| Arc::clone(&b[rank])),
                         metrics: metric_regs.as_ref().map(|m| Arc::clone(&m[rank])),
+                        faults: injectors.as_ref().map(|i| Arc::clone(&i[rank])),
                         lineage_seq: AtomicU64::new(0),
                     };
                     let f = &f;
@@ -461,6 +486,7 @@ impl World {
                 .collect(),
             trace: trace::drain_buffers(&trace_buffers),
             metrics: metrics::drain_registries(&metric_regs),
+            fault_stats: shared.faults.snapshot(),
         }
     }
 }
@@ -1031,6 +1057,59 @@ mod tests {
         let total: u64 = out.results.iter().map(|s| s.processed).sum();
         assert_eq!(total, 3);
         assert!(out.results[0].peak_queue_len >= 2);
+    }
+
+    #[test]
+    fn peak_queue_len_counts_init_seeding() {
+        let out = World::run(1, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("seed_peak");
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Fifo,
+                |_| 0,
+                (0..10u32).collect::<Vec<_>>(),
+                |_, _| {},
+            )
+        });
+        // All ten seeds are queued before the first visit; the old
+        // after-a-visit-only sample reported 9.
+        assert_eq!(out.results[0].peak_queue_len, 10);
+        assert!(out.results[0].peak_queue_bytes > 0);
+    }
+
+    #[test]
+    fn peak_queue_len_counts_inbound_batch_drain() {
+        let out = World::run(2, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("drain_peak");
+            let options = TraversalOptions {
+                queue: QueueKind::Fifo,
+                batch_size: 8,
+            };
+            let init: Vec<u32> = if comm.rank() == 0 {
+                (0..8).collect()
+            } else {
+                vec![]
+            };
+            run_traversal_config(
+                comm,
+                &chan,
+                options,
+                |_| 0,
+                init,
+                |v, pusher| {
+                    // Rank 0 forwards each seed to rank 1; with batch_size 8
+                    // they ship as one batch that lands on rank 1's queue in
+                    // full before any visit there.
+                    if pusher.rank() == 0 {
+                        pusher.push(1, v + 100);
+                    }
+                },
+            )
+        });
+        // The drain-time sample sees all 8; the old after-a-visit sample
+        // could only ever see 7.
+        assert_eq!(out.results[1].peak_queue_len, 8);
     }
 }
 

@@ -22,6 +22,14 @@
 //! to within one log-bucket (a factor of two). Histograms are drained at
 //! world teardown into a [`MetricsDump`], aggregated per rank x phase
 //! with p50/p90/p99 via [`HistogramSnapshot::quantile`].
+//!
+//! Under fault injection (see [`crate::faults`]) message-latency samples
+//! measure flush → *first accepted* delivery: a batch that was dropped
+//! and retransmitted, or delayed in the injector's queue, records its
+//! full recovery latency, while deduplicated redundant copies record
+//! nothing. Fault-sweep histograms therefore show the reliability
+//! protocol's latency cost directly; injection/recovery *counts* live in
+//! [`crate::FaultStats`], not here.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;

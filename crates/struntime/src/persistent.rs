@@ -9,6 +9,7 @@
 //! memory ledgers per job so observability matches `World::run`.
 
 use crate::counters::RankCounters;
+use crate::faults;
 use crate::memory::MemoryTracker;
 use crate::metrics::{self, MetricsDump};
 use crate::perturb::SchedulePerturber;
@@ -61,6 +62,7 @@ impl PersistentWorld {
             .collect();
         let trace_buffers = trace::make_buffers(p, config.trace, shared.epoch);
         let metric_regs = metrics::make_registries(p, config.metrics);
+        let injectors = faults::make_injectors(p, config.faults, &shared.faults);
         let mut job_senders = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
         for (rank, perturb) in perturbers.iter().enumerate() {
@@ -70,8 +72,16 @@ impl PersistentWorld {
             let perturb = perturb.clone();
             let trace = trace_buffers.as_ref().map(|b| Arc::clone(&b[rank]));
             let rank_metrics = metric_regs.as_ref().map(|m| Arc::clone(&m[rank]));
+            let rank_faults = injectors.as_ref().map(|i| Arc::clone(&i[rank]));
             handles.push(std::thread::spawn(move || {
-                let mut comm = Comm::new_for_persistent(rank, shared, perturb, trace, rank_metrics);
+                let mut comm = Comm::new_for_persistent(
+                    rank,
+                    shared,
+                    perturb,
+                    trace,
+                    rank_metrics,
+                    rank_faults,
+                );
                 while let Ok(job) = rx.recv() {
                     comm.install_observers(Arc::clone(&job.counters), Arc::clone(&job.memory));
                     let out = (job.f)(&mut comm);
@@ -192,6 +202,9 @@ impl PersistentWorld {
             // [`PersistentWorld::finish_trace`] / `finish_metrics`.
             trace: TraceDump::default(),
             metrics: MetricsDump::default(),
+            // Fault counters also accumulate across jobs; the snapshot is
+            // cumulative, like `finish_metrics`.
+            fault_stats: self.shared.faults.snapshot(),
         }
     }
 }

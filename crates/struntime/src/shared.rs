@@ -3,6 +3,7 @@
 //! the protocol-audit ledger.
 
 use crate::audit::AuditState;
+use crate::faults::FaultStats;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
@@ -34,6 +35,10 @@ pub struct CollectiveSlot {
     pub type_name: &'static str,
     /// Which collective seeded the slot (`"allreduce"` / `"broadcast"`).
     pub op: &'static str,
+    /// Rank whose turn it is to fold into the slot next. Non-root ranks
+    /// fold strictly in rank order (1, 2, ...), so non-commutative /
+    /// non-associative combiners produce schedule-independent results.
+    pub turn: usize,
 }
 
 /// Global termination-detection state for one asynchronous traversal.
@@ -84,6 +89,10 @@ pub struct Shared {
     /// Protocol-audit ledger (records nothing unless the crate is built
     /// with the `check` feature — see [`crate::audit`]).
     pub audit: Arc<AuditState>,
+    /// Fault-injection and reliability-protocol counters, summed across
+    /// ranks. Always allocated (eight atomics); all-zero when the world
+    /// runs without a [`crate::faults::FaultPlan`].
+    pub faults: Arc<FaultStats>,
     /// The world's clock origin. Trace timestamps, lineage send times,
     /// and metrics latencies are all microseconds since this instant, so
     /// observability data from different ranks lines up on one axis.
@@ -100,6 +109,7 @@ impl Shared {
             collective_slot: Mutex::new(None),
             quiescence: Quiescence::default(),
             audit: Arc::new(AuditState::new()),
+            faults: Arc::new(FaultStats::default()),
             epoch: Instant::now(),
         }
     }

@@ -14,6 +14,14 @@
 //! `check` feature is unrelated — traces work identically on release
 //! builds.
 //!
+//! Under fault injection the channel layer emits two extra instant
+//! events on the affected rank's lane: `"retransmit"` when an unacked
+//! batch's timer expires and the batch is reshipped, and `"dedup_drop"`
+//! when the receiver discards a redelivered copy (both carry the wire
+//! sequence number as their argument; see [`crate::channels`]). They make
+//! recovery traffic visible in the timeline without touching the
+//! per-phase message counters.
+//!
 //! Buffers are drained at world teardown into a [`TraceDump`]
 //! (chronological per-rank event lists), which renders to the Chrome
 //! Trace Event Format via [`TraceDump::to_chrome_trace`] — load the JSON

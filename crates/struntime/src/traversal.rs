@@ -34,6 +34,27 @@
 //! the idle check being equal therefore proves no rank left idleness and
 //! no new work appeared — the system is quiescent.
 //!
+//! ### Termination under an unreliable network
+//!
+//! With fault injection active ([`crate::faults`]), the channel layer
+//! gives `sent` / `received` *acked-delivery* semantics without this
+//! module changing a line: `sent` still counts logical batches at flush
+//! time, but a batch only bumps `received` when its **first** copy is
+//! delivered — acknowledgements are absorbed and duplicate deliveries
+//! discarded below [`crate::channels::ChannelGroup::try_recv_traced`],
+//! and a dropped copy is retransmitted (exponential backoff, injector
+//! bypass past `max_attempts`) until one lands. `sent == received`
+//! therefore still means exactly "every logical batch was delivered
+//! exactly once": a drop cannot fake quiescence (the missing bump keeps
+//! `sent > received`, and the sender's empty polls while waiting for
+//! `done` keep its retransmit timer running), and a duplicate cannot
+//! overshoot it (the dedup window swallows the second bump). The
+//! double-read argument above then applies verbatim. The audit layer
+//! checks the same claim independently: retransmitted copies reuse their
+//! ledger id, so the exactly-once check holds *across* the reliability
+//! layer — and a mutant that disables retransmission is flagged as lost
+//! batches (see `tests/fault_injection.rs`).
+//!
 //! ## Verification hooks
 //!
 //! Each of the protocol's sync points (channel send/recv inside the
@@ -160,7 +181,7 @@ pub struct Pusher<'a, V: Send + 'static> {
     metrics: &'a Option<Arc<PhaseMetrics>>,
 }
 
-impl<'a, V: Send + 'static> Pusher<'a, V> {
+impl<'a, V: Send + Clone + 'static> Pusher<'a, V> {
     /// Routes visitor `v` to `dest`: the local queue when `dest` is this
     /// rank, a (buffered) network batch otherwise. When observability is
     /// on, the push also records a causal edge from the visitor being
@@ -202,7 +223,7 @@ impl<'a, V: Send + 'static> Pusher<'a, V> {
     }
 }
 
-fn flush_one<V: Send + 'static>(
+fn flush_one<V: Send + Clone + 'static>(
     comm: &Comm,
     chan: &ChannelGroup<Vec<V>>,
     buffer: &mut OutBuf<V>,
@@ -266,7 +287,7 @@ pub fn run_traversal<V, P, F>(
     visit: F,
 ) -> TraversalStats
 where
-    V: Send + 'static,
+    V: Send + Clone + 'static,
     P: Fn(&V) -> u64,
     F: FnMut(V, &mut Pusher<'_, V>),
 {
@@ -290,7 +311,7 @@ pub fn run_traversal_config<V, P, F>(
     visit: F,
 ) -> TraversalStats
 where
-    V: Send + 'static,
+    V: Send + Clone + 'static,
     P: Fn(&V) -> u64,
     F: FnMut(V, &mut Pusher<'_, V>),
 {
@@ -316,7 +337,7 @@ pub fn run_traversal_mutant_premature<V, P, F>(
     delay: Duration,
 ) -> TraversalStats
 where
-    V: Send + 'static,
+    V: Send + Clone + 'static,
     P: Fn(&V) -> u64,
     F: FnMut(V, &mut Pusher<'_, V>),
 {
@@ -337,7 +358,7 @@ fn traversal_loop<const PREMATURE_MUTANT: bool, V, P, F>(
     mutant_delay: Duration,
 ) -> TraversalStats
 where
-    V: Send + 'static,
+    V: Send + Clone + 'static,
     P: Fn(&V) -> u64,
     F: FnMut(V, &mut Pusher<'_, V>),
 {
@@ -363,6 +384,7 @@ where
     let mut lineage = Lineage::new(comm);
     let metrics = comm.metrics_phase(chan.phase());
 
+    let mut stats = TraversalStats::default();
     let mut queue: VisitorQueue<(VisitMeta, V)> = VisitorQueue::new(options.queue);
     for v in init {
         let pr = priority(&v);
@@ -370,8 +392,12 @@ where
         let enq_us = lineage.now_us(comm);
         queue.push(pr, (VisitMeta { id, enq_us }, v));
     }
+    // Sample the peak right after seeding: with N init visitors the true
+    // maximum is N, which the after-a-visit sample below would miss by
+    // one (the Fig 8 memory numbers come from these peaks).
+    stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
+    stats.peak_queue_bytes = stats.peak_queue_bytes.max(queue.memory_bytes());
 
-    let mut stats = TraversalStats::default();
     let mut local_buf: Vec<(VisitMeta, V)> = Vec::new();
     let mut outgoing: Vec<OutBuf<V>> = (0..p).map(|_| OutBuf::default()).collect();
     let mut idle = false;
@@ -418,6 +444,11 @@ where
                 queue.push(pr, (VisitMeta { id, enq_us: now }, v));
             }
         }
+        // Sample the peak at drain time, before any visitor is popped:
+        // the queue is at its true maximum right after an inbound batch
+        // lands, a point the after-a-visit sample can never see.
+        stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
+        stats.peak_queue_bytes = stats.peak_queue_bytes.max(queue.memory_bytes());
 
         if let Some((meta, v)) = queue.pop() {
             debug_assert!(!idle, "queue cannot be non-empty while idle");

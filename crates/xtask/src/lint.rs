@@ -1,7 +1,7 @@
 //! Custom lint pass for the simulated-runtime workspace.
 //!
 //! `cargo run -p xtask -- lint` walks every non-vendored `.rs` file and
-//! enforces four rules that `rustc`/`clippy` cannot express because they
+//! enforces six rules that `rustc`/`clippy` cannot express because they
 //! encode *this* codebase's concurrency discipline:
 //!
 //! 1. `relaxed-quiescence` — the double-read termination protocol is only
@@ -22,6 +22,11 @@
 //!    not collide across modules; the trace analyzer and Chrome-trace
 //!    viewers group events by label, so two modules reusing one label
 //!    silently merge unrelated timelines.
+//! 6. `plain-send-vec` — `send` on a channel group opened with a
+//!    `Vec<_>` payload charges the shallow `size_of::<Vec<_>>()` (24
+//!    bytes) to the byte counters regardless of length; batch payloads
+//!    must go through `send_batch`/`send_batch_traced`, whose accounting
+//!    hook deep-counts `len * size_of::<element>()`.
 //!
 //! The scanner blanks comment bodies and string/char-literal contents
 //! before matching (so prose and fixtures never trip a rule) and tracks
@@ -57,6 +62,7 @@ pub const RULE_SPAWN: &str = "thread-spawn";
 pub const RULE_UNWRAP: &str = "unwrap-expect";
 pub const RULE_PHASE_DUP: &str = "phase-label-dup";
 pub const RULE_TRACE_DUP: &str = "trace-label-dup";
+pub const RULE_PLAIN_SEND: &str = "plain-send-vec";
 
 /// Directories never descended into.
 const SKIP_DIRS: &[&str] = &["vendored", "target", ".git"];
@@ -243,6 +249,7 @@ fn lint_file(
     }
 
     phase_label_dups(path, content, &blanked, &is_test_line, &raw_lines, errors);
+    plain_send_vec(path, &blanked_lines, &is_test_line, &raw_lines, errors);
     trace_label_dups(
         path,
         content,
@@ -316,6 +323,81 @@ fn literal_label_sites(
         sites.push((label, lineno));
     }
     sites
+}
+
+/// Flags `NAME.send(...)` where `NAME` was bound from an
+/// `open_channels::<Vec<...>>` call in the same file's non-test code.
+/// `send` charges the shallow `size_of::<Vec<_>>()` to the byte
+/// counters; Vec payloads must go through `send_batch`/
+/// `send_batch_traced`, which deep-count `len * size_of::<element>()`.
+fn plain_send_vec(
+    path: &str,
+    blanked_lines: &[&str],
+    is_test_line: &dyn Fn(usize) -> bool,
+    raw_lines: &[&str],
+    errors: &mut Vec<LintError>,
+) {
+    // Bindings of Vec-payload channel groups: `let [mut] NAME = ...
+    // open_channels::<Vec<...>>(...)`.
+    let mut bindings: Vec<(String, usize)> = Vec::new();
+    for (idx, bline) in blanked_lines.iter().enumerate() {
+        if is_test_line(idx) {
+            continue;
+        }
+        let Some(pos) = bline.find("open_channels::<Vec<") else {
+            continue;
+        };
+        let Some(let_pos) = bline[..pos].rfind("let ") else {
+            continue;
+        };
+        let rest = bline[let_pos + 4..].trim_start();
+        let rest = rest
+            .strip_prefix("mut ")
+            .map(str::trim_start)
+            .unwrap_or(rest);
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            bindings.push((name, idx + 1));
+        }
+    }
+    if bindings.is_empty() {
+        return;
+    }
+    for (idx, bline) in blanked_lines.iter().enumerate() {
+        if is_test_line(idx) {
+            continue;
+        }
+        let raw = raw_lines.get(idx).copied().unwrap_or("");
+        if allows(raw, RULE_PLAIN_SEND) {
+            continue;
+        }
+        for (name, bound_line) in &bindings {
+            let needle = format!("{name}.send(");
+            let mut search = 0;
+            while let Some(found) = bline[search..].find(&needle) {
+                let at = search + found;
+                search = at + needle.len();
+                // Reject partial-identifier matches (`batch.send(` when
+                // the binding is `ch`).
+                if at > 0 && ident_char(bline.as_bytes().get(at - 1).copied()) {
+                    continue;
+                }
+                errors.push(LintError {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: RULE_PLAIN_SEND,
+                    message: format!(
+                        "plain send on Vec-payload channel group `{name}` (opened on line \
+                         {bound_line}); send charges shallow size_of::<Vec<_>>() — use \
+                         send_batch/send_batch_traced so bytes are deep-counted"
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Flags duplicate `open_channels` phase labels among a file's non-test
@@ -795,6 +877,48 @@ mod tests {
             ("crates/steiner/src/b.rs".to_string(), b.to_string()),
         ];
         assert!(run_lints(&files).is_empty());
+    }
+
+    #[test]
+    fn plain_send_on_vec_channel_group_is_flagged() {
+        let src = "let batches = comm.open_channels::<Vec<u64>>(\"phase_x\");\n\
+                   batches.send(1, vec![1, 2, 3]);\n";
+        let hit = lint_one("crates/steiner/src/lib.rs", src);
+        assert_eq!(rules(&hit), vec![RULE_PLAIN_SEND]);
+        assert_eq!(hit[0].line, 2);
+        assert!(hit[0].message.contains("line 1"), "{}", hit[0].message);
+    }
+
+    #[test]
+    fn send_batch_on_vec_channel_group_is_fine() {
+        let src = "let batches = comm.open_channels::<Vec<u64>>(\"phase_x\");\n\
+                   batches.send_batch(1, vec![1, 2, 3]);\n\
+                   let singles = comm.open_channels::<u64>(\"phase_y\");\n\
+                   singles.send(1, 7);\n";
+        assert!(lint_one("crates/steiner/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn plain_send_partial_identifier_does_not_match() {
+        let src = "let ch = comm.open_channels::<Vec<u64>>(\"phase_x\");\n\
+                   ch.send_batch(0, vec![1]);\n\
+                   batch.send(0, 7);\n";
+        assert!(lint_one("crates/steiner/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn plain_send_in_test_code_is_exempt_and_suppressible() {
+        let test_src = "#[cfg(test)]\n\
+                        mod tests {\n\
+                            fn t(comm: &mut Comm) {\n\
+                                let g = comm.open_channels::<Vec<u8>>(\"t\");\n\
+                                g.send(0, vec![1]);\n\
+                            }\n\
+                        }\n";
+        assert!(lint_one("crates/steiner/src/lib.rs", test_src).is_empty());
+        let suppressed = "let g = comm.open_channels::<Vec<u8>>(\"p\");\n\
+                          g.send(0, vec![1]); // stcheck: allow(plain-send-vec)\n";
+        assert!(lint_one("crates/steiner/src/lib.rs", suppressed).is_empty());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! cargo run -p xtask -- lint [root]
 //! cargo run -p xtask -- check-reports [dir]
 //! cargo run -p xtask -- analyze <trace.json>
+//! cargo run -p xtask -- chaos
 //! ```
 //!
 //! `lint` runs the custom static checks in [`lint`] over every
@@ -23,6 +24,14 @@
 //! the critical-path / load-imbalance readout. Exit code 0 means the DAG
 //! verified (acyclic, covered, non-empty critical path when visits
 //! exist); 1 means a verification failure; 2 means usage or I/O error.
+//!
+//! `chaos` runs a quick fault sweep: it solves a small deterministic
+//! graph under seeded drop/dup/delay/stall plans across queue
+//! disciplines and rank counts, asserting every faulted solve recovers a
+//! tree bit-identical to the fault-free baseline and actually exercised
+//! the fault path (nonzero injection counters). Exit code 0 means every
+//! combination matched; 1 means a divergence or a plan that injected
+//! nothing; 2 means usage error.
 
 mod lint;
 
@@ -68,7 +77,8 @@ fn main() -> ExitCode {
                         lint::RULE_SPAWN,
                         lint::RULE_UNWRAP,
                         lint::RULE_PHASE_DUP,
-                        lint::RULE_TRACE_DUP
+                        lint::RULE_TRACE_DUP,
+                        lint::RULE_PLAIN_SEND
                     ]
                     .len()
                 );
@@ -95,13 +105,119 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("chaos") => chaos(),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- lint [root] | check-reports [dir] | \
-                 analyze <trace.json>"
+                 analyze <trace.json> | chaos"
             );
             ExitCode::from(2)
         }
+    }
+}
+
+/// Quick fault sweep: every seeded plan × queue discipline × rank count
+/// must recover a tree bit-identical to the fault-free baseline.
+fn chaos() -> ExitCode {
+    use stgraph::builder::GraphBuilder;
+    use stgraph::csr::Vertex;
+
+    // Deterministic ring + chords: enough cross-rank traffic to exercise
+    // retransmission at every rank count, small enough to sweep quickly.
+    let n: u32 = 96;
+    let mut b = GraphBuilder::new(n as usize);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n, 2 + (i % 5) as u64);
+        if i % 7 == 0 {
+            b.add_edge(i, (i + n / 3) % n, 9);
+        }
+    }
+    let g = b.build();
+    let seeds: Vec<Vertex> = (0..n).step_by((n / 6) as usize).collect();
+
+    let plans = [
+        "drop=0.2,seed=11",
+        "dup=0.2,seed=12",
+        "delay=0.2,delay_us=200,seed=13",
+        "drop=0.1,dup=0.1,delay=0.1,stall=0.05,seed=14",
+    ];
+    let queues = [
+        ("fifo", steiner::QueueKind::Fifo),
+        ("priority", steiner::QueueKind::Priority),
+        ("adversarial", steiner::QueueKind::Adversarial { seed: 7 }),
+    ];
+    let ranks = [1usize, 2, 4];
+
+    let mut failures = 0usize;
+    let mut combos = 0usize;
+    for (qname, queue) in queues {
+        for p in ranks {
+            let base_cfg = steiner::SolverConfig {
+                num_ranks: p,
+                queue,
+                ..steiner::SolverConfig::default()
+            };
+            let baseline = match steiner::solve(&g, &seeds, &base_cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  FAIL {qname} p={p} baseline: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            for spec in plans {
+                combos += 1;
+                let plan = match steiner::FaultPlan::from_spec(spec) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        eprintln!("xtask chaos: bad plan {spec:?}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let cfg = steiner::SolverConfig {
+                    faults: Some(plan),
+                    ..base_cfg
+                };
+                match steiner::solve(&g, &seeds, &cfg) {
+                    Ok(r) if r.tree != baseline.tree => {
+                        eprintln!(
+                            "  FAIL {qname} p={p} {spec}: tree diverged \
+                             (distance {} vs fault-free {})",
+                            r.tree.total_distance(),
+                            baseline.tree.total_distance()
+                        );
+                        failures += 1;
+                    }
+                    Ok(r) if p > 1 && r.fault_stats.injected() == 0 => {
+                        eprintln!(
+                            "  FAIL {qname} p={p} {spec}: plan injected nothing \
+                             (fault path not exercised)"
+                        );
+                        failures += 1;
+                    }
+                    Ok(r) => println!(
+                        "  ok {qname} p={p} {spec}: tree identical \
+                         ({} drops, {} dups, {} delays, {} retransmits, {} dedups)",
+                        r.fault_stats.drops,
+                        r.fault_stats.dups,
+                        r.fault_stats.delays,
+                        r.fault_stats.retransmits,
+                        r.fault_stats.dedup_discards,
+                    ),
+                    Err(e) => {
+                        eprintln!("  FAIL {qname} p={p} {spec}: solve failed: {e}");
+                        failures += 1;
+                    }
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        println!("xtask chaos: {combos} faulted solves bit-identical to fault-free baselines");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask chaos: {failures} failing combination(s)");
+        ExitCode::FAILURE
     }
 }
 

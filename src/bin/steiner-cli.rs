@@ -6,6 +6,7 @@
 //! steiner-cli solve    --graph graph.bin (--seeds 1,2,3 | --select K[:STRATEGY])
 //!                      [--ranks P] [--queue fifo|priority] [--refine]
 //!                      [--improve ROUNDS] [--dot out.dot]
+//!                      [--faults drop=0.1,dup=0.05,seed=7]
 //!                      [--trace trace.json] [--report report.json] [--analyze]
 //! steiner-cli compare  --graph graph.bin --select K[:STRATEGY]
 //! steiner-cli repl     --graph graph.bin [--select K[:STRATEGY]]
@@ -21,7 +22,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 use steiner::interactive::InteractiveSession;
-use steiner::{solve, MetricsConfig, QueueKind, SolveReport, SolverConfig, TraceConfig};
+use steiner::{solve, FaultPlan, MetricsConfig, QueueKind, SolveReport, SolverConfig, TraceConfig};
 use stgraph::csr::{CsrGraph, Vertex};
 use stgraph::datasets::Dataset;
 
@@ -44,16 +45,20 @@ const USAGE: &str = "usage:
   steiner-cli solve    --graph FILE (--seeds A,B,C | --select K[:STRATEGY])
                        [--ranks P] [--queue fifo|priority] [--refine]
                        [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
-                       [--trace FILE] [--report FILE] [--analyze]
+                       [--faults SPEC] [--trace FILE] [--report FILE] [--analyze]
 
 --trace writes a Chrome-trace/Perfetto JSON timeline of the solve (one
 lane per simulated rank); --report writes the machine-readable RunReport
-(schema v2, with latency quantiles from the runtime's histograms);
---analyze turns on tracing and prints the causality-DAG readout
-(critical path, load imbalance) after the solve.
+(schema v3, with latency quantiles from the runtime's histograms and the
+fault/retransmit counters); --analyze turns on tracing and prints the
+causality-DAG readout (critical path, load imbalance) after the solve.
+--faults injects deterministic message faults, e.g.
+`drop=0.1,dup=0.05,delay=0.1,delay_us=200,stall=0.05,seed=7` (probs in
+[0, 0.5]); the runtime's reliability protocol recovers and the tree is
+bit-identical to a fault-free solve.
   steiner-cli compare  --graph FILE --select K[:STRATEGY]
   steiner-cli repl     --graph FILE [--select K[:STRATEGY]] [--ranks P]
-                       [--trace FILE] [--report FILE]
+                       [--faults SPEC] [--trace FILE] [--report FILE]
 
 repl commands: add V | remove V | seeds | tree | solve | dot FILE | help | quit
 (`solve` runs the distributed solver on the current seeds; with the repl's
@@ -150,6 +155,16 @@ fn flag_num(flags: &HashMap<String, String>, name: &str, default: u64) -> Result
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad --{name} value {v:?}")),
+    }
+}
+
+/// Parses `--faults SPEC` into a plan (`None` when the flag is absent).
+fn fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, String> {
+    match flags.get("faults") {
+        None => Ok(None),
+        Some(spec) => FaultPlan::from_spec(spec)
+            .map(Some)
+            .map_err(|e| format!("bad --faults value {spec:?}: {e}")),
     }
 }
 
@@ -253,6 +268,7 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
         refine: flags.contains_key("refine"),
         trace,
         metrics,
+        faults: fault_plan(flags)?,
         ..SolverConfig::default()
     };
     let t = Instant::now();
@@ -278,6 +294,17 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("phase breakdown (max across {} ranks):", config.num_ranks);
     for (phase, time) in report.phase_times.iter() {
         println!("  {:<16} {time:?}", phase.name());
+    }
+    if config.faults.is_some_and(|pl| pl.is_active()) {
+        let fs = report.fault_stats;
+        println!(
+            "faults injected  {} drops, {} dups, {} delays, {} stalls",
+            fs.drops, fs.dups, fs.delays, fs.stalls
+        );
+        println!(
+            "faults recovered {} retransmits, {} dedup discards, {} acks, {} retries",
+            fs.retransmits, fs.dedup_discards, fs.acks, fs.retries
+        );
     }
     write_solve_artifacts(&report, flags)?;
     if let Some(dot) = flags.get("dot") {
@@ -362,6 +389,7 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
         Vec::new()
     };
     let (obs_trace, obs_metrics) = observability_config(flags);
+    let obs_faults = fault_plan(flags)?;
     let mut session = InteractiveSession::new(&g, &initial).map_err(|e| e.to_string())?;
     println!(
         "interactive session: {} vertices, {} edges, {} seeds; type `help`",
@@ -440,6 +468,7 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
                     num_ranks: rank_count(flags)?,
                     trace: obs_trace,
                     metrics: obs_metrics,
+                    faults: obs_faults,
                     ..SolverConfig::default()
                 };
                 let t = Instant::now();

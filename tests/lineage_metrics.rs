@@ -198,7 +198,7 @@ fn metrics_quantiles_describe_the_solve() {
 }
 
 /// A fully observed solve must embed into a bench report that passes the
-/// same validation `xtask check-reports` applies in CI (schema v2 with
+/// same validation `xtask check-reports` applies in CI (schema v3 with
 /// populated observability fields), and survive a JSON round-trip.
 #[test]
 fn observed_solve_round_trips_through_bench_validation() {
@@ -223,7 +223,10 @@ fn observed_solve_round_trips_through_bench_validation() {
     let run = reparsed.get("entries").and_then(|e| e.as_arr()).unwrap()[0]
         .get("run")
         .unwrap();
-    assert_eq!(run.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        run.get("schema_version").and_then(|v| v.as_u64()),
+        Some(steiner::report::SCHEMA_VERSION)
+    );
     assert!(!run.get("critical_path").unwrap().is_null());
     assert!(!run.get("latency_quantiles").unwrap().is_null());
 }
