@@ -21,7 +21,7 @@
 
 use crate::refine;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use stgraph::csr::{CsrGraph, Distance, Vertex, Weight, INF};
 use stgraph::error::SteinerError;
 use stgraph::mst::{kruskal, AuxEdge};
@@ -217,7 +217,10 @@ impl<'g> InteractiveSession<'g> {
             .enumerate()
             .map(|(i, &s)| (s, i as u32))
             .collect();
-        let mut best: HashMap<(u32, u32), Bridge> = HashMap::new();
+        // BTreeMap, not HashMap: `pairs` below feeds kruskal(), whose
+        // tie-breaking between equal-cost bridges follows input order —
+        // hash-seed iteration order would leak into the tree shape.
+        let mut best: BTreeMap<(u32, u32), Bridge> = BTreeMap::new();
         for (u, v, w) in self.g.undirected_edges() {
             let (su, sv) = (self.src[u as usize], self.src[v as usize]);
             if su == NONE || sv == NONE || su == sv {

@@ -24,6 +24,10 @@
 //! KMB via Mehlhorn's proof that every MST of `G_1'` is an MST of the
 //! complete seed distance graph.
 //!
+//! stcheck: allow-file(wallclock): the `Instant::now()` reads here bracket
+//! whole phases to fill `RunReport::times` — measurement only, never
+//! branched on, so they cannot perturb the solve.
+//!
 //! ```
 //! use stgraph::{datasets::Dataset, SteinerTree};
 //! use steiner::{solve, SolverConfig};

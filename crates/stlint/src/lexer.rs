@@ -1,0 +1,381 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream — identifiers, literals, punctuation, and
+//! (unlike most lexers) *comments*, which the unsafe-hygiene rule needs to
+//! find `// SAFETY:` text. The goal is not full fidelity to the reference
+//! grammar but a stream that is never desynchronized by strings, raw
+//! strings, char literals, lifetimes, or nested block comments — the
+//! failure modes that make line-regex lints lie.
+//!
+//! Numbers are lexed as maximal `[0-9a-zA-Z_]` runs (so `0xff_u64` is one
+//! token but `1.5` is three); none of the rules care about numeric shape.
+
+/// Token classes. Keywords are `Ident`s — the model layer matches on text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Num,
+    /// Any string literal: plain, raw, byte, or byte-raw.
+    Str,
+    Char,
+    LineComment,
+    BlockComment,
+    /// One punctuation byte. Multi-byte operators arrive as consecutive
+    /// tokens (`::` is two `:`), which the matchers handle explicitly.
+    Punct,
+}
+
+/// One token. `line` is 1-based and points at the token's first byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    pub fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.is(TokKind::Ident, text)
+    }
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.is(TokKind::Punct, text)
+    }
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn ident_byte(b: Option<u8>) -> bool {
+    matches!(b, Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// Lexes `src` into tokens. Never panics on malformed input: an unclosed
+/// literal or comment consumes to end-of-file and the stream stays valid.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: &src[start..i.min(b.len())],
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                i = scan_string(b, i, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: &src[start..i.min(b.len())],
+                    line: start_line,
+                });
+            }
+            b'r' | b'b'
+                if !ident_byte(prev_byte(b, i)) && raw_or_byte_string_at(b, i).is_some() =>
+            {
+                let start = i;
+                let start_line = line;
+                let (quote, hashes) = match raw_or_byte_string_at(b, i) {
+                    Some(found) => found,
+                    None => (i, 0), // unreachable: guarded by the match arm
+                };
+                // `b"…"` is a cooked byte string (escapes apply); every
+                // other shape here carries an `r` and is raw.
+                let raw = b[i] == b'r' || b.get(i + 1) == Some(&b'r');
+                i = if raw {
+                    scan_raw_string(b, quote, hashes, &mut line)
+                } else {
+                    scan_string(b, quote, &mut line)
+                };
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: &src[start..i.min(b.len())],
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // bytes ('x' or an escape); a lifetime has an identifier
+                // and no closing quote right after it.
+                if b.get(i + 1) == Some(&b'\\') {
+                    let start = i;
+                    i += 2; // quote + backslash
+                    if i < b.len() {
+                        i += 1; // escaped byte (covers '\'' safely)
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        i += 1; // closing quote
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: &src[start..i.min(b.len())],
+                        line,
+                    });
+                } else if let Some(ch) = src[i + 1..]
+                    .chars()
+                    .next()
+                    .filter(|&ch| ch != '\'' && b.get(i + 1 + ch.len_utf8()) == Some(&b'\''))
+                {
+                    // `'x'` with an arbitrary (possibly multibyte) scalar.
+                    let end = i + 2 + ch.len_utf8();
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: &src[i..end],
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let start = i;
+                    i += 1;
+                    while ident_byte(b.get(i).copied()) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: &src[start..i],
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                i = lex_ident(src, b, i, line, &mut toks);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while ident_byte(b.get(i).copied()) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            _ => {
+                // One punctuation character. Multibyte scalars outside
+                // literals/comments are not valid Rust punctuation, but
+                // the lexer must stay on char boundaries regardless.
+                let len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+                let end = (i + len).min(b.len());
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: &src[i..end],
+                    line,
+                });
+                i = end;
+            }
+        }
+    }
+    toks
+}
+
+fn prev_byte(b: &[u8], i: usize) -> Option<u8> {
+    i.checked_sub(1).map(|j| b[j])
+}
+
+/// If position `i` (at `r` or `b`) begins a raw/byte string prefix,
+/// returns `(index of the opening quote, hash count)`.
+fn raw_or_byte_string_at(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i + 1;
+    if b[i] == b'b' && b.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` — but a bare `b` followed by
+        // `"` only counts when it is the byte-string prefix, which this
+        // shape already is.
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+fn lex_ident<'a>(src: &'a str, b: &[u8], i: usize, line: u32, toks: &mut Vec<Tok<'a>>) -> usize {
+    let start = i;
+    let mut i = i;
+    while ident_byte(b.get(i).copied()) {
+        i += 1;
+    }
+    toks.push(Tok {
+        kind: TokKind::Ident,
+        text: &src[start..i],
+        line,
+    });
+    i
+}
+
+/// Scans a plain string from its opening quote; returns the index just
+/// past the closing quote, bumping `line` across embedded newlines.
+fn scan_string(b: &[u8], open: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a raw string whose opening quote sits at `quote`, closed by `"`
+/// followed by `hashes` `#`s.
+fn scan_raw_string(b: &[u8], quote: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut i = quote + 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn f() {\n  x.y();\n}\n");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("f"));
+        let dot = toks.iter().find(|t| t.is_punct(".")).expect("dot");
+        assert_eq!(dot.line, 2);
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_desync() {
+        let toks = kinds("let s = \"a \\\" } {\"; let c = '\"'; let q = '\\'';");
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Str | TokKind::Char))
+            .collect();
+        assert_eq!(strs.len(), 3);
+        // No brace punct leaked out of the string body.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Punct && *t == "}"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds("let a = r#\"un\"closed }\"#; let b = b\"x\"; let c = br##\"y\"##;");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            3,
+            "{toks:?}"
+        );
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Punct && *t == "}"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            3
+        );
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = lex("/* outer /* inner */ tail */ fn f() {}");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn multiline_strings_advance_line_numbers() {
+        let toks = lex("let s = \"a\nb\";\nlet t = 1;");
+        let t = toks.iter().find(|t| t.is_ident("t")).expect("t");
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn multibyte_char_literal_stays_on_boundaries() {
+        let toks = lex("let d = x.strip_prefix('—'); let e = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'—'"));
+        assert!(toks.iter().any(|t| t.is_ident("e")));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        // '\'' then a real token after it.
+        let toks = lex(r"let c = '\''; let d = 2;");
+        assert!(toks.iter().any(|t| t.is_ident("d")));
+    }
+}

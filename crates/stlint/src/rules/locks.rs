@@ -1,0 +1,434 @@
+//! Lock-order rule: builds an acquisition graph from nested `lock()` /
+//! `borrow_mut()` scopes and rejects cycles.
+//!
+//! A lock's identity is the last receiver-chain segment before the
+//! acquiring call (`self.shared().collective_slot.lock()` acquires
+//! `collective_slot`), which groups every path to the same field. Guards
+//! bound with `let` are held to the end of their block (or an explicit
+//! `drop(guard)`); unbound acquisitions are statement-scoped temporaries.
+//! While a guard is held, acquiring another lock — directly or through a
+//! workspace function that transitively acquires one — adds an edge
+//! `held → acquired`. Two code paths taking the same pair of locks in
+//! opposite orders form a cycle: a deadlock waiting for the right
+//! schedule, which no runtime test sweep can reliably produce.
+
+use crate::model::{FileModel, Workspace};
+use crate::{Finding, RULE_LOCK_ORDER};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names that acquire.
+fn is_acquire(name: &str) -> bool {
+    matches!(name, "lock" | "borrow_mut")
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    path: String,
+    line: u32,
+}
+
+struct Guard {
+    lock: String,
+    depth: i32,
+    var: Option<String>,
+}
+
+pub fn run(ws: &Workspace<'_>, findings: &mut Vec<Finding>) {
+    // Pass 1: per-function direct acquisitions, then the transitive
+    // closure over the name-level call graph.
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for fm in &ws.files {
+        for f in &fm.functions {
+            if f.is_test {
+                continue;
+            }
+            let Some(body) = f.body else { continue };
+            let entry = direct.entry(f.name.clone()).or_default();
+            for c in fm.calls_in(body) {
+                if c.is_method && is_acquire(&c.name) {
+                    if let Some(id) = lock_identity(&c.recv) {
+                        entry.insert(id);
+                    }
+                }
+            }
+        }
+    }
+    let acquires = transitive_acquires(ws, &direct);
+
+    // Pass 2: nesting scan building the edge graph.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for fm in &ws.files {
+        for f in &fm.functions {
+            if f.is_test {
+                continue;
+            }
+            let Some(body) = f.body else { continue };
+            scan_function(fm, body, &acquires, &mut edges);
+        }
+    }
+
+    // Pass 3: cycle detection over the lock graph.
+    for cycle in find_cycles(&edges) {
+        let mut sites: Vec<String> = Vec::new();
+        for w in cycle.windows(2) {
+            if let Some(e) = edges.get(&(w[0].clone(), w[1].clone())) {
+                sites.push(format!("{}->{} at {}:{}", w[0], w[1], e.path, e.line));
+            }
+        }
+        let (path, line) = edges
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .map(|e| (e.path.clone(), e.line))
+            .unwrap_or_default();
+        findings.push(Finding {
+            rule: RULE_LOCK_ORDER,
+            path: path.clone(),
+            line,
+            message: format!(
+                "lock acquisition cycle {}: two paths take these locks in \
+                 conflicting orders ({}); impose a single global order",
+                cycle.join(" -> "),
+                sites.join(", "),
+            ),
+            snippet: String::new(),
+        });
+    }
+}
+
+/// The lock's identity: last plain receiver segment, call/index suffixes
+/// stripped. `None` when the receiver is not a resolvable chain.
+fn lock_identity(recv: &[String]) -> Option<String> {
+    let last = recv.last()?;
+    let id = last.trim_end_matches("()").trim_end_matches("[]");
+    if id.is_empty() {
+        None
+    } else {
+        Some(id.to_string())
+    }
+}
+
+fn transitive_acquires(
+    ws: &Workspace<'_>,
+    direct: &BTreeMap<String, BTreeSet<String>>,
+) -> BTreeMap<String, BTreeSet<String>> {
+    // Name-level call lists.
+    let mut calls_of: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for fm in &ws.files {
+        for f in &fm.functions {
+            if f.is_test {
+                continue;
+            }
+            let Some(body) = f.body else { continue };
+            calls_of.entry(f.name.clone()).or_default().extend(
+                fm.calls_in(body)
+                    .into_iter()
+                    .filter(|c| !c.is_method || c.recv == ["self"])
+                    .map(|c| c.name),
+            );
+        }
+    }
+    let mut out = direct.clone();
+    loop {
+        let mut grew = false;
+        let snapshot = out.clone();
+        for (name, calls) in &calls_of {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in calls {
+                if let Some(locks) = snapshot.get(callee) {
+                    add.extend(locks.iter().cloned());
+                }
+            }
+            if !add.is_empty() {
+                let entry = out.entry(name.clone()).or_default();
+                let before = entry.len();
+                entry.extend(add);
+                grew |= entry.len() > before;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    out
+}
+
+fn scan_function(
+    fm: &FileModel<'_>,
+    body: (usize, usize),
+    acquires: &BTreeMap<String, BTreeSet<String>>,
+    edges: &mut BTreeMap<(String, String), Edge>,
+) {
+    let calls = fm.calls_in(body);
+    let mut call_at: BTreeMap<usize, usize> = BTreeMap::new();
+    for (ci, c) in calls.iter().enumerate() {
+        call_at.insert(c.pos, ci);
+    }
+    let (lo, hi) = body;
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    for i in lo..=hi {
+        let t = fm.tok(i);
+        if t.is_punct("{") {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        if t.is_punct(";") {
+            // Statement-scoped temporaries die at their statement's end.
+            guards.retain(|g| !(g.var.is_none() && g.depth == depth));
+            continue;
+        }
+        let Some(&ci) = call_at.get(&i) else { continue };
+        let c = &calls[ci];
+        // `drop(guard)` releases early.
+        if !c.is_method && c.name == "drop" {
+            if let Some(arg) = fm
+                .code
+                .get(i + 2)
+                .map(|_| fm.tok(i + 2))
+                .filter(|t| t.kind == crate::lexer::TokKind::Ident)
+            {
+                let name = arg.text.to_string();
+                guards.retain(|g| g.var.as_deref() != Some(name.as_str()));
+            }
+            continue;
+        }
+        if c.is_method && is_acquire(&c.name) {
+            let Some(id) = lock_identity(&c.recv) else {
+                continue;
+            };
+            // Held-lock -> new-lock edge; when the ids match this is a
+            // self-edge (re-acquiring a held, non-reentrant lock: a
+            // guaranteed self-deadlock, reported as a 1-cycle).
+            for g in &guards {
+                edges
+                    .entry((g.lock.clone(), id.clone()))
+                    .or_insert_with(|| Edge {
+                        path: fm.path.clone(),
+                        line: c.line,
+                    });
+            }
+            // Bound guard (`let [mut] name = …lock();`) or temporary?
+            let var = binding_of(fm, body, i);
+            guards.push(Guard {
+                lock: id,
+                depth,
+                var,
+            });
+            continue;
+        }
+        // A workspace call made while holding guards: edges to everything
+        // it transitively acquires. Only free calls and `self.method()`
+        // propagate — resolving `map.insert(…)` by bare method name would
+        // alias std-collection calls onto unrelated workspace functions.
+        let propagates = !c.is_method || c.recv == ["self"];
+        if !propagates {
+            continue;
+        }
+        if let Some(locks) = acquires.get(&c.name) {
+            for g in &guards {
+                for l in locks {
+                    if *l != g.lock {
+                        edges
+                            .entry((g.lock.clone(), l.clone()))
+                            .or_insert_with(|| Edge {
+                                path: fm.path.clone(),
+                                line: c.line,
+                            });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// If the statement containing code index `pos` is `let [mut] name = …`,
+/// returns the bound name.
+fn binding_of(fm: &FileModel<'_>, body: (usize, usize), pos: usize) -> Option<String> {
+    let (lo, _) = body;
+    let mut s = pos;
+    while s > lo {
+        let t = fm.tok(s - 1);
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        s -= 1;
+    }
+    if !fm.tok(s).is_ident("let") {
+        return None;
+    }
+    let mut p = s + 1;
+    if fm.tok(p).is_ident("mut") {
+        p += 1;
+    }
+    let name = fm.tok(p);
+    if name.kind == crate::lexer::TokKind::Ident {
+        Some(name.text.to_string())
+    } else {
+        None
+    }
+}
+
+/// Finds elementary cycles in the lock graph. Returns each cycle as a
+/// node path `[a, b, …, a]`, deduplicated by rotation.
+fn find_cycles(edges: &BTreeMap<(String, String), Edge>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        // DFS from `start` looking for a path back to it.
+        let mut stack: Vec<(&str, Vec<String>)> = vec![(start, vec![start.to_string()])];
+        while let Some((node, path)) = stack.pop() {
+            for next in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if *next == start {
+                    let mut cycle = path.clone();
+                    cycle.push(start.to_string());
+                    // Canonical form: rotate so the smallest node leads.
+                    let mut canon: Vec<String> = cycle[..cycle.len() - 1].to_vec();
+                    let min_at = canon
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.as_str())
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    canon.rotate_left(min_at);
+                    if seen_cycles.insert(canon.clone()) {
+                        let mut rotated = canon.clone();
+                        rotated.push(canon[0].clone());
+                        out.push(rotated);
+                    }
+                } else if !path.contains(&next.to_string()) && path.len() < 8 {
+                    let mut p = path.clone();
+                    p.push(next.to_string());
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{analyze_raw, rules_of};
+
+    #[test]
+    fn opposite_order_nesting_is_a_cycle() {
+        let src = "fn a(s: &S) {\n\
+                       let g = s.alpha.lock();\n\
+                       s.beta.lock().push(1);\n\
+                   }\n\
+                   fn b(s: &S) {\n\
+                       let g = s.beta.lock();\n\
+                       s.alpha.lock().push(1);\n\
+                   }\n";
+        let f = analyze_raw(&[("crates/struntime/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec![RULE_LOCK_ORDER]);
+        assert!(f[0].message.contains("alpha"), "{}", f[0].message);
+        assert!(f[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_order_is_fine() {
+        let src = "fn a(s: &S) {\n\
+                       let g = s.alpha.lock();\n\
+                       s.beta.lock().push(1);\n\
+                   }\n\
+                   fn b(s: &S) {\n\
+                       let g = s.alpha.lock();\n\
+                       s.beta.lock().push(2);\n\
+                   }\n";
+        assert!(analyze_raw(&[("crates/struntime/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn sequential_statement_temporaries_do_not_nest() {
+        let src = "fn a(s: &S) {\n\
+                       s.alpha.lock().push(1);\n\
+                       s.beta.lock().push(2);\n\
+                   }\n\
+                   fn b(s: &S) {\n\
+                       s.beta.lock().push(1);\n\
+                       s.alpha.lock().push(2);\n\
+                   }\n";
+        assert!(analyze_raw(&[("crates/struntime/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close() {
+        let src = "fn a(s: &S) {\n\
+                       {\n\
+                           let g = s.alpha.lock();\n\
+                       }\n\
+                       s.beta.lock().push(1);\n\
+                   }\n\
+                   fn b(s: &S) {\n\
+                       {\n\
+                           let g = s.beta.lock();\n\
+                       }\n\
+                       s.alpha.lock().push(1);\n\
+                   }\n";
+        assert!(analyze_raw(&[("crates/struntime/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "fn a(s: &S) {\n\
+                       let g = s.alpha.lock();\n\
+                       drop(g);\n\
+                       s.beta.lock().push(1);\n\
+                   }\n\
+                   fn b(s: &S) {\n\
+                       let g = s.beta.lock();\n\
+                       drop(g);\n\
+                       s.alpha.lock().push(1);\n\
+                   }\n";
+        assert!(analyze_raw(&[("crates/struntime/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn reacquiring_a_held_lock_is_a_self_cycle() {
+        let src = "fn a(s: &S) {\n\
+                       let g = s.alpha.lock();\n\
+                       s.alpha.lock().push(1);\n\
+                   }\n";
+        let f = analyze_raw(&[("crates/struntime/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec![RULE_LOCK_ORDER]);
+    }
+
+    #[test]
+    fn cross_function_acquisition_creates_the_edge() {
+        let src = "fn helper(s: &S) { s.beta.lock().push(1); }\n\
+                   fn a(s: &S) {\n\
+                       let g = s.alpha.lock();\n\
+                       helper(s);\n\
+                   }\n\
+                   fn b(s: &S) {\n\
+                       let g = s.beta.lock();\n\
+                       s.alpha.lock().push(1);\n\
+                   }\n";
+        let f = analyze_raw(&[("crates/struntime/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec![RULE_LOCK_ORDER]);
+    }
+
+    #[test]
+    fn borrow_mut_participates() {
+        let src = "fn a(s: &S) {\n\
+                       let g = s.alpha.borrow_mut();\n\
+                       s.beta.borrow_mut().push(1);\n\
+                   }\n\
+                   fn b(s: &S) {\n\
+                       let g = s.beta.borrow_mut();\n\
+                       s.alpha.borrow_mut().push(1);\n\
+                   }\n";
+        let f = analyze_raw(&[("crates/struntime/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec![RULE_LOCK_ORDER]);
+    }
+}

@@ -1,0 +1,7 @@
+//! Rule families. Each module exposes `run(&Workspace, &mut Vec<Finding>)`
+//! (unsafety additionally fills the unsafe-site inventory).
+
+pub mod determinism;
+pub mod locks;
+pub mod protocol;
+pub mod unsafety;

@@ -1,0 +1,170 @@
+//! Unsafe hygiene: every `unsafe` block, fn, or impl in non-test code
+//! needs an adjacent `// SAFETY:` comment stating the invariant that makes
+//! it sound. The rule also builds a machine-readable inventory of every
+//! unsafe site (emitted in `stlint.json`) so the workspace's entire unsafe
+//! surface is reviewable at a glance.
+//!
+//! "Adjacent" means: on the same line, or in the comment block directly
+//! above the `unsafe` keyword's line (only comment and attribute lines may
+//! sit between). One comment cannot cover two items — `unsafe impl Send`
+//! and `unsafe impl Sync` each need their own.
+
+use crate::model::{FileModel, Workspace};
+use crate::{Finding, UnsafeSite, RULE_UNSAFE_SAFETY};
+
+pub fn run(ws: &Workspace<'_>, findings: &mut Vec<Finding>, inventory: &mut Vec<UnsafeSite>) {
+    for fm in &ws.files {
+        for i in 0..fm.code.len() {
+            let t = fm.tok(i);
+            if !t.is_ident("unsafe") || fm.is_test_at(i) {
+                continue;
+            }
+            let kind = classify(fm, i);
+            if kind == "trait-bound" {
+                continue; // `unsafe fn` pointer types etc. — not a site.
+            }
+            let line = t.line;
+            let documented = has_adjacent_safety(fm, line);
+            inventory.push(UnsafeSite {
+                path: fm.path.clone(),
+                line,
+                kind: kind.to_string(),
+                documented,
+            });
+            if !documented {
+                findings.push(Finding {
+                    rule: RULE_UNSAFE_SAFETY,
+                    path: fm.path.clone(),
+                    line,
+                    message: format!(
+                        "unsafe {kind} without an adjacent `// SAFETY:` comment; \
+                         state the invariant that makes this sound directly above \
+                         (one comment per unsafe item)"
+                    ),
+                    snippet: fm.raw_line(line).trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// What does this `unsafe` keyword introduce?
+fn classify(fm: &FileModel<'_>, i: usize) -> &'static str {
+    for j in i + 1..(i + 4).min(fm.code.len()) {
+        let t = fm.tok(j);
+        if t.is_punct("{") {
+            return "block";
+        }
+        if t.is_ident("impl") {
+            return "impl";
+        }
+        if t.is_ident("trait") {
+            return "trait";
+        }
+        if t.is_ident("fn") {
+            // `unsafe fn` item vs `unsafe fn(…)` pointer type: an item has
+            // an identifier after `fn`.
+            return if j + 1 < fm.code.len() && fm.tok(j + 1).kind == crate::lexer::TokKind::Ident {
+                "fn"
+            } else {
+                "trait-bound"
+            };
+        }
+        if !(t.is_ident("extern") || t.kind == crate::lexer::TokKind::Str || t.is_ident("async")) {
+            break;
+        }
+    }
+    "block"
+}
+
+/// Same-line `SAFETY:` or a directly-above comment block containing it.
+fn has_adjacent_safety(fm: &FileModel<'_>, line: u32) -> bool {
+    if fm.raw_line(line).contains("SAFETY:") {
+        return true;
+    }
+    let mut l = line as i64 - 1;
+    let mut saw_comment = false;
+    while l >= 1 {
+        let raw = fm.raw_line(l as u32).trim();
+        let is_comment = raw.starts_with("//") || raw.starts_with("/*") || raw.starts_with('*');
+        let is_attr = raw.starts_with("#[");
+        if is_comment {
+            saw_comment = true;
+            if raw.contains("SAFETY:") {
+                return true;
+            }
+            l -= 1;
+        } else if is_attr && !saw_comment {
+            // Attributes may sit between the comment and the item.
+            l -= 1;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{analyze_full, analyze_raw, rules_of};
+
+    #[test]
+    fn undocumented_unsafe_block_is_flagged() {
+        let src = "fn f(p: *mut u8) {\n    unsafe { *p = 1; }\n}\n";
+        let f = analyze_raw(&[("crates/struntime/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec![RULE_UNSAFE_SAFETY]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_directly_above_passes() {
+        let src = "fn f(p: *mut u8) {\n\
+                   // SAFETY: caller guarantees exclusive access to `p`\n\
+                   // for the duration of the call.\n\
+                   unsafe { *p = 1; }\n\
+                   }\n";
+        assert!(analyze_raw(&[("crates/struntime/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn same_line_safety_comment_passes() {
+        let src = "fn f(p: *mut u8) { unsafe { *p = 1; } /* SAFETY: single writer */ }\n";
+        assert!(analyze_raw(&[("crates/struntime/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn one_comment_cannot_cover_two_impls() {
+        let src = "// SAFETY: single-writer discipline.\n\
+                   unsafe impl Send for T {}\n\
+                   unsafe impl Sync for T {}\n";
+        let f = analyze_raw(&[("crates/struntime/src/x.rs", src)]);
+        assert_eq!(rules_of(&f), vec![RULE_UNSAFE_SAFETY]);
+        assert_eq!(f[0].line, 3, "the Sync impl is uncovered");
+    }
+
+    #[test]
+    fn unsafe_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(p: *mut u8) { unsafe { *p = 1; } }\n}\n";
+        assert!(analyze_raw(&[("crates/struntime/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn inventory_records_documented_and_not() {
+        let src = "// SAFETY: ok.\nunsafe impl Send for T {}\nfn f() { unsafe { g(); } }\n";
+        let a = analyze_full(&[("crates/struntime/src/x.rs", src)]);
+        assert_eq!(a.unsafe_inventory.len(), 2);
+        assert!(a.unsafe_inventory[0].documented);
+        assert_eq!(a.unsafe_inventory[0].kind, "impl");
+        assert!(!a.unsafe_inventory[1].documented);
+        assert_eq!(a.unsafe_inventory[1].kind, "block");
+    }
+
+    #[test]
+    fn unsafe_fn_item_is_classified() {
+        let src = "/// Docs.\n// SAFETY: caller upholds X.\npub unsafe fn danger() {}\n";
+        let a = analyze_full(&[("crates/struntime/src/x.rs", src)]);
+        assert_eq!(a.unsafe_inventory[0].kind, "fn");
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+}

@@ -8,6 +8,12 @@
 //! phase label the group was opened under, through a single accounting
 //! hook ([`ChannelGroup::charge`]) shared by both send paths.
 //!
+//! stcheck: allow-file(wallclock): the reliability layer's retransmission
+//! deadlines and delayed-delivery due times are real timers by design —
+//! they only decide *when* a retransmit fires, and delivery is
+//! deduplicated by sequence number, so timing never changes the delivered
+//! message stream.
+//!
 //! With the `check` feature, every message travels inside a
 //! [`crate::audit::Tagged`] envelope carrying a world-unique batch id,
 //! recorded against the world's [`crate::audit::AuditState`] ledger on

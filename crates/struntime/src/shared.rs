@@ -110,6 +110,9 @@ impl Shared {
             quiescence: Quiescence::default(),
             audit: Arc::new(AuditState::new()),
             faults: Arc::new(FaultStats::default()),
+            // The world's clock origin for trace/metrics timestamps;
+            // observability-only, never read back into solver control flow.
+            // stcheck: allow(wallclock): timestamp origin, measurement only.
             epoch: Instant::now(),
         }
     }

@@ -134,11 +134,14 @@ pub struct TraceBuffer {
     slots: Box<[UnsafeCell<TraceEvent>]>,
 }
 
+// SAFETY: all fields are owned values (`Box`, atomics, `Copy` types) with
+// no thread-affine state; moving the buffer to another thread transfers
+// exclusive ownership of the slot storage with it.
+unsafe impl Send for TraceBuffer {}
 // SAFETY: slots are written only by the owning rank thread and read only
 // after a happens-before edge from that thread (join or channel recv),
 // ordered by the release store / acquire load on `count`. `TraceEvent`
 // is `Copy` with no interior pointers.
-unsafe impl Send for TraceBuffer {}
 unsafe impl Sync for TraceBuffer {}
 
 impl TraceBuffer {

@@ -1,22 +1,35 @@
 //! Workspace automation entry point.
 //!
 //! ```text
-//! cargo run -p xtask -- lint [root]
-//! cargo run -p xtask -- check-reports [dir]
+//! cargo run -p xtask -- lint [root] [--update-baseline]
+//! cargo run -p xtask -- check-reports [dir] [--stlint-only]
 //! cargo run -p xtask -- analyze <trace.json>
 //! cargo run -p xtask -- chaos
 //! ```
 //!
-//! `lint` runs the custom static checks in [`lint`] over every
-//! non-vendored `.rs` file (default root: the workspace directory, found
-//! relative to this crate's manifest). Exit code 0 means clean; 1 means
-//! findings were printed; 2 means usage or I/O error.
+//! `lint` is a thin driver over two passes run on every non-vendored
+//! `.rs` file (default root: the workspace directory, found relative to
+//! this crate's manifest): the original line-oriented rules in [`lint`]
+//! and the token-level semantic analyzer in the `stlint` crate
+//! (determinism, collective lockstep, send-after-quiescence, charge
+//! coverage, unsafe hygiene, lock ordering). stlint findings are gated by
+//! the checked-in `stlint.baseline` file — baselined findings are
+//! reported as grandfathered but do not fail the build; anything new
+//! does. Every run rewrites `stlint.json` (a versioned machine-readable
+//! report) at the workspace root. `--update-baseline` rewrites the
+//! baseline from the current findings instead of failing. Exit code 0
+//! means clean; 1 means findings were printed; 2 means usage or I/O
+//! error.
 //!
 //! `check-reports` parses every `BENCH_*.json` in the given directory
 //! (default: `bench_results/` under the workspace root) and validates it
-//! against the envelope schema in `bench::report`. Exit code 0 means all
-//! reports are schema-valid; 1 means violations (or no reports at all);
-//! 2 means usage or I/O error.
+//! against the envelope schema in `bench::report`; it also validates the
+//! workspace-root `stlint.json` against [`stlint_report`]'s schema when
+//! present. With `--stlint-only` the bench envelopes are skipped and the
+//! stlint report becomes mandatory (CI's lint job runs this form — it has
+//! no experiment outputs). Exit code 0 means all reports are
+//! schema-valid; 1 means violations (or no reports at all); 2 means
+//! usage or I/O error.
 //!
 //! `analyze` loads an exported Chrome-trace JSON (from
 //! `steiner-cli solve --trace` or any `TraceDump::to_chrome_trace`
@@ -34,6 +47,7 @@
 //! nothing; 2 means usage error.
 
 mod lint;
+mod stlint_report;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -53,50 +67,24 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
+            let update_baseline = args.iter().any(|a| a == "--update-baseline");
             let root = args
-                .get(1)
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
                 .map(PathBuf::from)
                 .unwrap_or_else(workspace_root);
-            let files = match lint::collect_sources(&root) {
-                Ok(files) => files,
-                Err(e) => {
-                    eprintln!(
-                        "xtask lint: failed to read sources under {}: {e}",
-                        root.display()
-                    );
-                    return ExitCode::from(2);
-                }
-            };
-            let errors = lint::run_lints(&files);
-            if errors.is_empty() {
-                println!(
-                    "xtask lint: {} files clean ({} rules)",
-                    files.len(),
-                    [
-                        lint::RULE_RELAXED,
-                        lint::RULE_SPAWN,
-                        lint::RULE_UNWRAP,
-                        lint::RULE_PHASE_DUP,
-                        lint::RULE_TRACE_DUP,
-                        lint::RULE_PLAIN_SEND
-                    ]
-                    .len()
-                );
-                ExitCode::SUCCESS
-            } else {
-                for e in &errors {
-                    eprintln!("{e}");
-                }
-                eprintln!("xtask lint: {} finding(s)", errors.len());
-                ExitCode::FAILURE
-            }
+            lint_cmd(&root, update_baseline)
         }
         Some("check-reports") => {
+            let stlint_only = args.iter().any(|a| a == "--stlint-only");
             let dir = args
-                .get(1)
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
                 .map(PathBuf::from)
                 .unwrap_or_else(|| workspace_root().join("bench_results"));
-            check_reports(&dir)
+            check_reports(&dir, stlint_only)
         }
         Some("analyze") => match args.get(1) {
             Some(path) => analyze_trace(std::path::Path::new(path)),
@@ -108,11 +96,110 @@ fn main() -> ExitCode {
         Some("chaos") => chaos(),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint [root] | check-reports [dir] | \
-                 analyze <trace.json> | chaos"
+                "usage: cargo run -p xtask -- lint [root] [--update-baseline] | \
+                 check-reports [dir] [--stlint-only] | analyze <trace.json> | chaos"
             );
             ExitCode::from(2)
         }
+    }
+}
+
+/// The lint driver: legacy line rules + the stlint semantic analyzer,
+/// with baseline gating and the `stlint.json` report.
+fn lint_cmd(root: &std::path::Path, update_baseline: bool) -> ExitCode {
+    let files = match lint::collect_sources(root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!(
+                "xtask lint: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    // Pass 1: the original line-oriented rules.
+    let legacy_errors = lint::run_lints(&files);
+
+    // Pass 2: the token-level semantic analyzer.
+    let analysis = stlint::analyze(&files);
+    let baseline_path = root.join("stlint.baseline");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => stlint::Baseline::parse(&text),
+        Err(_) => stlint::Baseline::default(),
+    };
+
+    if update_baseline {
+        let rendered = stlint::Baseline::render(&analysis.findings);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "xtask lint: baseline rewritten with {} finding(s) at {}",
+            analysis.findings.len(),
+            baseline_path.display()
+        );
+    }
+    let baseline = if update_baseline {
+        stlint::Baseline::parse(&std::fs::read_to_string(&baseline_path).unwrap_or_default())
+    } else {
+        baseline
+    };
+
+    // The machine-readable report is rewritten on every run so CI can
+    // upload it as an artifact even when the pass fails.
+    let report = stlint::render_json(&analysis, &baseline);
+    let report_path = root.join("stlint.json");
+    if let Err(e) = std::fs::write(&report_path, report) {
+        eprintln!("xtask lint: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+
+    let (new, grandfathered): (Vec<_>, Vec<_>) = analysis
+        .findings
+        .iter()
+        .partition(|f| !baseline.contains(f));
+
+    for e in &legacy_errors {
+        eprintln!("{e}");
+    }
+    for f in &new {
+        eprintln!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            eprintln!("    {}", f.snippet);
+        }
+    }
+    let failures = legacy_errors.len() + new.len();
+    if failures == 0 {
+        println!(
+            "xtask lint: {} files clean ({} legacy rules + {} stlint rules, \
+             {} grandfathered, {} suppression(s), {} unsafe site(s) inventoried)",
+            files.len(),
+            [
+                lint::RULE_RELAXED,
+                lint::RULE_SPAWN,
+                lint::RULE_UNWRAP,
+                lint::RULE_PHASE_DUP,
+                lint::RULE_TRACE_DUP,
+                lint::RULE_PLAIN_SEND
+            ]
+            .len(),
+            stlint::RULE_CATALOG.len(),
+            grandfathered.len(),
+            analysis.suppressions.len(),
+            analysis.unsafe_inventory.len(),
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask lint: {failures} finding(s) ({} legacy, {} stlint; \
+             {} grandfathered not counted)",
+            legacy_errors.len(),
+            new.len(),
+            grandfathered.len()
+        );
+        ExitCode::FAILURE
     }
 }
 
@@ -258,50 +345,86 @@ fn analyze_trace(path: &std::path::Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn check_reports(dir: &std::path::Path) -> ExitCode {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) => {
-            eprintln!("xtask check-reports: cannot read {}: {e}", dir.display());
-            return ExitCode::from(2);
+/// Validates machine-readable reports. With `stlint_only`, skips the
+/// bench envelopes (CI's lint job has no experiment outputs) and requires
+/// the stlint report to exist; otherwise BENCH_*.json under `dir` are
+/// mandatory and stlint.json is validated opportunistically.
+fn check_reports(dir: &std::path::Path, stlint_only: bool) -> ExitCode {
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    if !stlint_only {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("xtask check-reports: cannot read {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            eprintln!(
+                "xtask check-reports: no BENCH_*.json under {} (run ./run_experiments.sh first)",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
         }
-    };
-    let mut paths: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
-        })
-        .collect();
-    paths.sort();
-    if paths.is_empty() {
+        for path in &paths {
+            let outcome = std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| stgraph::json::parse(&text).map_err(|e| e.to_string()))
+                .and_then(|doc| bench::report::validate(&doc));
+            match outcome {
+                Ok(n) => println!("  ok {} ({n} entries)", path.display()),
+                Err(e) => {
+                    eprintln!("  FAIL {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+        checked += paths.len();
+    }
+    // The static-analysis report shares the machine-readable contract:
+    // validate the workspace-root stlint.json whenever it exists.
+    let stlint_path = workspace_root().join("stlint.json");
+    if !stlint_path.exists() && stlint_only {
         eprintln!(
-            "xtask check-reports: no BENCH_*.json under {} (run ./run_experiments.sh first)",
-            dir.display()
+            "xtask check-reports: {} not found (run `cargo run -p xtask -- lint` first)",
+            stlint_path.display()
         );
         return ExitCode::FAILURE;
     }
-    let mut failures = 0usize;
-    for path in &paths {
-        let outcome = std::fs::read_to_string(path)
+    if stlint_path.exists() {
+        let outcome = std::fs::read_to_string(&stlint_path)
             .map_err(|e| e.to_string())
             .and_then(|text| stgraph::json::parse(&text).map_err(|e| e.to_string()))
-            .and_then(|doc| bench::report::validate(&doc));
+            .and_then(|doc| stlint_report::validate(&doc));
+        checked += 1;
         match outcome {
-            Ok(n) => println!("  ok {} ({n} entries)", path.display()),
+            Ok(c) => println!(
+                "  ok {} ({} finding(s), {} new, {} suppression(s), {} unsafe site(s))",
+                stlint_path.display(),
+                c.findings,
+                c.new_findings,
+                c.suppressions,
+                c.unsafe_sites
+            ),
             Err(e) => {
-                eprintln!("  FAIL {}: {e}", path.display());
+                eprintln!("  FAIL {}: {e}", stlint_path.display());
                 failures += 1;
             }
         }
     }
     if failures == 0 {
-        println!(
-            "xtask check-reports: {} report(s) schema-valid",
-            paths.len()
-        );
+        println!("xtask check-reports: {checked} report(s) schema-valid");
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask check-reports: {failures} invalid report(s)");
