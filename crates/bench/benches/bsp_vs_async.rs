@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use steiner::messages::VoronoiMsg;
-use steiner::state::VertexStates;
+use steiner::state::{ScratchArena, VertexStates};
 use stgraph::datasets::Dataset;
 use stgraph::partition::partition_graph;
 use struntime::traversal::TraversalOptions;
@@ -20,31 +20,47 @@ fn bench_kernels(c: &mut Criterion) {
         let pg = &pg;
         let seeds = &seeds;
 
-        group.bench_function(BenchmarkId::new("async_priority", dataset.name()), |b| {
-            b.iter(|| {
-                World::run(4, |comm| {
-                    let chan = comm.open_channels::<Vec<VoronoiMsg>>("voronoi");
-                    let rg = &pg.ranks[comm.rank()];
-                    let mut st = VertexStates::new(rg);
-                    steiner::voronoi::run(
-                        comm,
-                        &chan,
-                        rg,
-                        &pg.partition,
-                        &mut st,
-                        seeds,
-                        TraversalOptions::new(QueueKind::Priority),
-                    )
+        for (name, queue) in [
+            ("async_priority", QueueKind::Priority),
+            ("async_bucketed", QueueKind::Bucketed { delta: 3 }),
+        ] {
+            group.bench_function(BenchmarkId::new(name, dataset.name()), |b| {
+                b.iter(|| {
+                    World::run(4, |comm| {
+                        let chan = comm.open_channels::<Vec<VoronoiMsg>>("voronoi");
+                        let rg = &pg.ranks[comm.rank()];
+                        let mut st = VertexStates::new(rg);
+                        let mut scratch = ScratchArena::new();
+                        steiner::voronoi::run(
+                            comm,
+                            &chan,
+                            rg,
+                            &pg.partition,
+                            &mut st,
+                            seeds,
+                            TraversalOptions::new(queue),
+                            &mut scratch,
+                        )
+                    })
                 })
-            })
-        });
+            });
+        }
         group.bench_function(BenchmarkId::new("bsp", dataset.name()), |b| {
             b.iter(|| {
                 World::run(4, |comm| {
                     let chan = comm.open_channels::<Vec<VoronoiMsg>>("voronoi_bsp");
                     let rg = &pg.ranks[comm.rank()];
                     let mut st = VertexStates::new(rg);
-                    steiner::voronoi_bsp::run_bsp(comm, &chan, rg, &pg.partition, &mut st, seeds)
+                    let mut scratch = ScratchArena::new();
+                    steiner::voronoi_bsp::run_bsp(
+                        comm,
+                        &chan,
+                        rg,
+                        &pg.partition,
+                        &mut st,
+                        seeds,
+                        &mut scratch,
+                    )
                 })
             })
         });

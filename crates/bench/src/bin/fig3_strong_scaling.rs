@@ -12,13 +12,30 @@
 //! simulated speedup grows as ranks double, more efficiently on the larger
 //! graphs.
 //!
+//! Each scale point now runs under both ordered queue disciplines —
+//! `priority` (binary heap) and `bucketed:auto` (delta-stepping buckets,
+//! delta = mean edge weight) — with the stale-relaxation pop-time filter
+//! active for both. The `visits` column counts visitors actually
+//! processed, `stale` counts dominated relaxations dropped unvisited, and
+//! `churn-cut` is the reduction in voronoi-phase visit count relative to
+//! the unfiltered priority baseline (visits + stale of the priority row —
+//! what the pre-filter code visited). Trees are asserted bit-identical
+//! across disciplines at every scale point.
+//!
 //! Run: `cargo run -p bench --release --bin fig3_strong_scaling [--quick]`
 
-use bench::{banner, fmt_dur, load_dataset, pick_seeds, quick_mode, BenchReport, Table};
-use steiner::{solve_partitioned, Phase, SolverConfig};
+use bench::{banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, BenchReport, Table};
+use steiner::{auto_delta, solve_partitioned, Phase, QueueKind, SolverConfig};
 use stgraph::datasets::Dataset;
 use stgraph::json::Json;
 use stgraph::partition::partition_graph;
+
+fn queue_label(queue: QueueKind) -> String {
+    match queue {
+        QueueKind::Bucketed { delta } => format!("bucketed:{delta}"),
+        other => other.name().to_string(),
+    }
+}
 
 fn main() {
     banner(
@@ -34,10 +51,11 @@ fn main() {
     let mut bench_report = BenchReport::new("fig3_strong_scaling");
     for dataset in Dataset::LARGE {
         let g = load_dataset(dataset);
+        let delta = auto_delta(&g);
         for &k in seed_counts {
             let seeds = pick_seeds(&g, k);
             println!(
-                "--- {} (|V|={}, 2|E|={}), |S| = {} ---",
+                "--- {} (|V|={}, 2|E|={}), |S| = {}, auto delta = {delta} ---",
                 dataset.name(),
                 g.num_vertices(),
                 g.num_arcs(),
@@ -45,48 +63,85 @@ fn main() {
             );
             let mut table = Table::new([
                 "ranks",
+                "queue",
                 "voronoi",
                 "local_min",
-                "global_min",
-                "mst",
-                "pruning",
-                "tree_edge",
+                "other",
                 "wall",
                 "sim-speedup",
-                "efficiency",
+                "visits",
+                "stale",
+                "churn-cut",
             ]);
             for &p in rank_ladder {
                 // Delegate hubs like the paper's HavoqGT configuration:
                 // vertex-cut high-degree vertices for load balance.
                 let pg = partition_graph(&g, p, Some(64));
-                let cfg = SolverConfig {
-                    num_ranks: p,
-                    delegate_threshold: Some(64),
-                    ..SolverConfig::default()
-                };
-                let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
-                bench_report.add_solve(
-                    format!("{}_s{}_p{}", dataset.name(), seeds.len(), p),
-                    Json::obj()
-                        .with("graph", dataset.name())
-                        .with("num_seeds", seeds.len())
-                        .with("ranks", p),
-                    &report,
-                );
-                let t = report.phase_times;
-                let speedup = report.simulated_speedup();
-                table.row([
-                    p.to_string(),
-                    fmt_dur(t[Phase::Voronoi]),
-                    fmt_dur(t[Phase::LocalMinEdge]),
-                    fmt_dur(t[Phase::GlobalMinEdge]),
-                    fmt_dur(t[Phase::Mst]),
-                    fmt_dur(t[Phase::EdgePruning]),
-                    fmt_dur(t[Phase::TreeEdge]),
-                    fmt_dur(report.time_to_solution()),
-                    format!("{speedup:.2}x"),
-                    format!("{:.0}%", 100.0 * speedup / p as f64),
-                ]);
+                // Unfiltered visit count of the pre-filter priority code:
+                // everything it popped got visited, so visits + stale of
+                // the filtered priority run reconstructs it.
+                let mut prio_unfiltered = 0u64;
+                let mut prio_tree = None;
+                for queue in [QueueKind::Priority, QueueKind::Bucketed { delta }] {
+                    let cfg = SolverConfig {
+                        num_ranks: p,
+                        queue,
+                        delegate_threshold: Some(64),
+                        ..SolverConfig::default()
+                    };
+                    let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+                    bench_report.add_solve(
+                        format!(
+                            "{}_s{}_p{}_{}",
+                            dataset.name(),
+                            seeds.len(),
+                            p,
+                            queue.name()
+                        ),
+                        Json::obj()
+                            .with("graph", dataset.name())
+                            .with("num_seeds", seeds.len())
+                            .with("ranks", p)
+                            .with("queue", queue_label(queue).as_str()),
+                        &report,
+                    );
+                    let visits: u64 = report.rank_work.iter().sum();
+                    let stale: u64 = report.stale_drops.iter().sum();
+                    if queue == QueueKind::Priority {
+                        prio_unfiltered = visits + stale;
+                        prio_tree = Some(report.tree.clone());
+                    } else {
+                        assert_eq!(
+                            Some(&report.tree),
+                            prio_tree.as_ref(),
+                            "disciplines must converge to bit-identical trees"
+                        );
+                    }
+                    let churn_cut = if prio_unfiltered > 0 {
+                        format!(
+                            "{:.0}%",
+                            100.0 * (1.0 - visits as f64 / prio_unfiltered as f64)
+                        )
+                    } else {
+                        "n/a".to_string()
+                    };
+                    let t = report.phase_times;
+                    let other =
+                        report.time_to_solution() - t[Phase::Voronoi] - t[Phase::LocalMinEdge];
+                    let speedup = report.simulated_speedup();
+                    table.row([
+                        p.to_string(),
+                        queue_label(queue),
+                        fmt_dur(t[Phase::Voronoi]),
+                        fmt_dur(t[Phase::LocalMinEdge]),
+                        fmt_dur(other),
+                        fmt_dur(report.time_to_solution()),
+                        format!("{speedup:.2}x"),
+                        fmt_count(visits),
+                        fmt_count(stale),
+                        churn_cut,
+                    ]);
+                }
             }
             table.print();
             println!();
@@ -94,6 +149,8 @@ fn main() {
     }
     println!("Paper shape: Voronoi dominates every bar; larger graphs scale better");
     println!("(up to 90% efficiency on CLW/WDC); speedup grows as ranks double.");
+    println!("churn-cut is measured against the unfiltered priority baseline");
+    println!("(visits + stale of the priority row — what pre-filter code visited).");
     println!("Note: sim-speedup is work-based (see header); wall-clock on this host");
     println!("reflects single-machine thread multiplexing, not cluster scaling.");
     bench_report.finish();

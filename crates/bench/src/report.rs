@@ -168,6 +168,15 @@ fn validate_run(run: &Json) -> Result<(), String> {
                     .to_string(),
             );
         }
+        Some(3) => {
+            return Err(
+                "schema_version 3 report found; v4 adds the stale_drops object (total plus \
+                 per_rank relaxations dropped by the ordered queues' pop-time filter) and \
+                 the bucketed:DELTA form of config.queue (no v3 key was removed or renamed) \
+                 — regenerate the report with current binaries to migrate"
+                    .to_string(),
+            );
+        }
         _ => {
             return Err(format!(
                 "schema_version must be {}",
@@ -209,6 +218,18 @@ fn validate_run(run: &Json) -> Result<(), String> {
         .ok_or("rank_work must be an array")?;
     if work.iter().any(|w| w.as_u64().is_none()) {
         return Err("rank_work elements must be integers".to_string());
+    }
+    let stale = run.get("stale_drops").ok_or("missing stale_drops")?;
+    stale
+        .get("total")
+        .and_then(|v| v.as_u64())
+        .ok_or("stale_drops.total must be an integer")?;
+    let per_rank = stale
+        .get("per_rank")
+        .and_then(|v| v.as_arr())
+        .ok_or("stale_drops.per_rank must be an array")?;
+    if per_rank.iter().any(|w| w.as_u64().is_none()) {
+        return Err("stale_drops.per_rank elements must be integers".to_string());
     }
     run.get("simulated_speedup")
         .and_then(|v| v.as_f64())
@@ -381,6 +402,33 @@ mod tests {
         let err = validate(&doc).unwrap_err();
         assert!(err.contains("schema_version 2"), "{err}");
         assert!(err.contains("faults"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn v3_run_report_rejected_with_migration_note() {
+        let mut r = BenchReport::new("unit_test");
+        r.add_solve("x", Json::obj(), &sample_solve());
+        let mut doc = r.to_json();
+        // Downgrade the embedded run report to v3.
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "entries" {
+                    if let Json::Arr(entries) = v {
+                        if let Json::Obj(e) = &mut entries[0] {
+                            for (ek, ev) in e.iter_mut() {
+                                if ek == "run" {
+                                    ev.insert("schema_version", 3u64);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("schema_version 3"), "{err}");
+        assert!(err.contains("stale_drops"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
     }
 

@@ -47,7 +47,9 @@ pub struct SpawnRec {
     pub phase: String,
 }
 
-/// One message visit (dequeue + callback invocation).
+/// One message consumption: a dequeue followed by either the visitor
+/// callback (`stale == false`) or a stale-relaxation drop
+/// (`stale == true`). Both terminate the message's lineage.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VisitRec {
     /// The visited message's id (0 = visitor from an uninstrumented
@@ -59,6 +61,9 @@ pub struct VisitRec {
     pub ts_us: u64,
     /// Channel phase label.
     pub phase: String,
+    /// True when the queue's stale filter dropped the message at pop
+    /// time instead of running the visitor callback.
+    pub stale: bool,
 }
 
 /// One completed begin/end span pair.
@@ -127,6 +132,7 @@ pub fn model_from_dump(dump: &TraceDump) -> TraceModel {
                     rank: rt.rank,
                     ts_us: ev.ts_us,
                     phase: ev.name.to_string(),
+                    stale: ev.arg2 != 0,
                 }),
             }
         }
@@ -197,6 +203,12 @@ pub fn model_from_chrome(doc: &Json) -> Result<TraceModel, String> {
                 rank,
                 ts_us,
                 phase: name,
+                stale: ev
+                    .get("args")
+                    .and_then(|a| a.get("stale"))
+                    .and_then(|s| s.as_u64())
+                    .unwrap_or(0)
+                    != 0,
             }),
             _ => {}
         }
@@ -243,8 +255,13 @@ pub struct RankLoad {
 pub struct Analysis {
     /// Lineage edges in the trace.
     pub total_spawns: u64,
-    /// Visits in the trace.
+    /// Consumptions in the trace (visitor callbacks plus stale drops —
+    /// every popped message terminates here).
     pub total_visits: u64,
+    /// Consumptions that were stale-relaxation drops: the queue's lazy
+    /// filter discarded the message at pop time without running the
+    /// visitor. Always `<= total_visits`.
+    pub stale_drops: u64,
     /// Visits whose message had no parent (traversal seeds).
     pub roots: u64,
     /// Whether the causality graph is a DAG (it must be; a cycle proves
@@ -323,6 +340,7 @@ impl Analysis {
         Json::obj()
             .with("total_spawns", self.total_spawns)
             .with("total_visits", self.total_visits)
+            .with("stale_drops", self.stale_drops)
             .with("roots", self.roots)
             .with("acyclic", self.acyclic)
             .with("coverage_ok", self.coverage_ok)
@@ -344,8 +362,9 @@ impl Analysis {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "causality DAG: {} visits, {} spawns, {} roots, acyclic={}, coverage={}",
+            "causality DAG: {} visits ({} stale drops), {} spawns, {} roots, acyclic={}, coverage={}",
             self.total_visits,
+            self.stale_drops,
             self.total_spawns,
             self.roots,
             self.acyclic,
@@ -404,6 +423,7 @@ pub fn analyze(model: &TraceModel) -> Analysis {
     let mut a = Analysis {
         total_spawns: model.spawns.len() as u64,
         total_visits: model.visits.len() as u64,
+        stale_drops: model.visits.iter().filter(|v| v.stale).count() as u64,
         dropped_events: model.dropped.iter().sum(),
         acyclic: true,
         coverage_ok: true,
@@ -720,6 +740,7 @@ mod tests {
                 rank: 0,
                 ts_us: 10,
                 phase: "x".to_string(),
+                stale: false,
             }],
             spans: vec![],
             dropped: vec![3],
@@ -766,6 +787,7 @@ mod tests {
             rank: 0,
             ts_us: 0,
             phase: "x".to_string(),
+            stale: false,
         };
         let model = TraceModel {
             num_ranks: 1,

@@ -107,7 +107,9 @@ pub struct SolverConfig {
     /// Number of simulated ranks (MPI processes). Default 4.
     pub num_ranks: usize,
     /// Message-queue discipline for the Voronoi phase. Default priority
-    /// (the paper's optimization; use FIFO to reproduce the baseline).
+    /// (the paper's optimization; use FIFO to reproduce the baseline, or
+    /// `Bucketed` for the delta-stepping bucket array — [`auto_delta`]
+    /// gives the mean-edge-weight bucket width).
     pub queue: QueueKind,
     /// Degree threshold above which a vertex becomes a replicated delegate
     /// (HavoqGT vertex-cut). `None` disables delegation.
@@ -182,6 +184,10 @@ pub struct SolveReport {
     /// Visitors processed per rank, summed over the asynchronous phases —
     /// the simulation's work metric.
     pub rank_work: Vec<u64>,
+    /// Per-rank stale relaxations dropped unvisited by the Voronoi
+    /// phase's pop-time filter (the ordered disciplines' decrease-key
+    /// emulation; all-zero under FIFO/adversarial queues).
+    pub stale_drops: Vec<u64>,
     /// The configuration the solve ran with (the [`RunReport`]'s config
     /// fingerprint is derived from it).
     pub config: SolverConfig,
@@ -256,6 +262,23 @@ struct RankOutcome {
     connected: bool,
     distance_graph_edges: usize,
     visitors_processed: u64,
+    stale_dropped: u64,
+}
+
+/// The `bucketed:auto` delta heuristic: the graph's mean edge weight
+/// (rounded down, at least 1) — the same choice as the sequential
+/// delta-stepping baseline's `default_delta`, so the distributed bucketed
+/// discipline and the sequential kernel bucket distances identically.
+pub fn auto_delta(g: &CsrGraph) -> u64 {
+    if g.num_arcs() == 0 {
+        return 1;
+    }
+    let sum: u128 = g
+        .vertices()
+        .flat_map(|v| g.neighbor_weights(v))
+        .map(|&w| w as u128)
+        .sum();
+    ((sum / g.num_arcs() as u128) as u64).max(1)
 }
 
 /// Runs the distributed solver end to end. Spawns `config.num_ranks`
@@ -400,12 +423,14 @@ fn assemble_report(
     let mut phase_times = PhaseTimes::default();
     let mut rank_phase_times = Vec::with_capacity(p);
     let mut rank_work = Vec::with_capacity(p);
+    let mut stale_drops = Vec::with_capacity(p);
     let mut dg_edges = 0;
     for r in &out.results {
         all_edges.extend_from_slice(&r.edges);
         phase_times = phase_times.max(&r.times);
         rank_phase_times.push(r.times);
         rank_work.push(r.visitors_processed);
+        stale_drops.push(r.stale_dropped);
         dg_edges = dg_edges.max(r.distance_graph_edges);
     }
     let mut tree = SteinerTree::new(seeds, all_edges);
@@ -425,6 +450,7 @@ fn assemble_report(
         state_peak_bytes,
         distance_graph_edges: dg_edges,
         rank_work,
+        stale_drops,
         config: *config,
         trace: out.trace,
         metrics: out.metrics,
@@ -462,6 +488,9 @@ fn rank_main(
 
     let mut states = VertexStates::new(rg);
     comm.memory().record("vertex_state", states.memory_bytes());
+    // Per-rank visitor scratch: allocated once here, reused by the phase
+    // kernels so the hot path's steady state allocates nothing.
+    let mut scratch = state::ScratchArena::new();
 
     // Step 1: Voronoi cells (Alg 4).
     let t = Instant::now();
@@ -474,6 +503,7 @@ fn rank_main(
         &mut states,
         seeds,
         struntime::traversal::TraversalOptions { queue, batch_size },
+        &mut scratch,
     );
     drop(span);
     times[Phase::Voronoi] = t.elapsed();
@@ -508,6 +538,7 @@ fn rank_main(
             connected: false,
             distance_graph_edges: dg.len(),
             visitors_processed: voronoi_stats.processed + probe_stats.processed,
+            stale_dropped: voronoi_stats.stale_dropped,
         };
     }
 
@@ -532,6 +563,7 @@ fn rank_main(
         connected: true,
         distance_graph_edges: dg.len(),
         visitors_processed: voronoi_stats.processed + probe_stats.processed + trace_stats.processed,
+        stale_dropped: voronoi_stats.stale_dropped,
     }
 }
 

@@ -45,6 +45,22 @@ fn arb_connected_instance(
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The solver's delta heuristic mirrors the sequential baseline's
+    /// `default_delta` — both are the mean edge weight, floored at 1 — so
+    /// `--queue bucketed:auto` and the delta-stepping baseline bucket on
+    /// the same granularity.
+    #[test]
+    fn auto_delta_matches_baseline_heuristic(
+        (g, _) in arb_connected_instance(16, 24, 4),
+    ) {
+        prop_assert_eq!(crate::auto_delta(&g), baselines::delta_stepping::default_delta(&g));
+        prop_assert!(crate::auto_delta(&g) >= 1);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The distributed solve is a valid tree within the 2(1-1/|S|) bound.
@@ -97,6 +113,7 @@ proptest! {
     fn queue_disciplines_agree_across_rank_counts(
         (g, seeds) in arb_connected_instance(14, 16, 5),
         chaos_seed in 0..u64::MAX,
+        delta in 1..80u64,
     ) {
         let reference = solve(&g, &seeds, &SolverConfig {
             num_ranks: 1, ..SolverConfig::default()
@@ -106,6 +123,8 @@ proptest! {
                 QueueKind::Fifo,
                 QueueKind::Priority,
                 QueueKind::Adversarial { seed: chaos_seed },
+                QueueKind::Bucketed { delta },
+                QueueKind::Bucketed { delta: crate::auto_delta(&g) },
             ] {
                 let cfg = SolverConfig { num_ranks: p, queue, ..SolverConfig::default() };
                 let r = solve(&g, &seeds, &cfg).unwrap();
@@ -138,8 +157,14 @@ proptest! {
     fn distributed_voronoi_matches_sequential(
         (g, seeds) in arb_connected_instance(16, 20, 5),
         p in 1usize..5,
+        bucketed in proptest::bool::ANY,
     ) {
-        use crate::state::{VertexStates, NO_VERTEX};
+        use crate::state::{ScratchArena, VertexStates, NO_VERTEX};
+        let queue = if bucketed {
+            QueueKind::Bucketed { delta: crate::auto_delta(&g) }
+        } else {
+            QueueKind::Priority
+        };
         let pg = partition_graph(&g, p, None);
         let seeds_ref = &seeds;
         let pg_ref = &pg;
@@ -147,9 +172,11 @@ proptest! {
             let chan = comm.open_channels::<Vec<crate::messages::VoronoiMsg>>("voronoi");
             let rg = &pg_ref.ranks[comm.rank()];
             let mut st = VertexStates::new(rg);
+            let mut scratch = ScratchArena::new();
             crate::voronoi::run(
                 comm, &chan, rg, &pg_ref.partition, &mut st, seeds_ref,
-                struntime::traversal::TraversalOptions::new(QueueKind::Priority),
+                struntime::traversal::TraversalOptions::new(queue),
+                &mut scratch,
             );
             st.owned_labels().collect::<Vec<_>>()
         });

@@ -42,7 +42,14 @@ use struntime::QueueKind;
 /// `"off"`). Again a strict superset of the previous version, and again
 /// breaking: v2 readers comparing reports across runs would silently
 /// treat a faulted run as comparable to a fault-free one.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// **v3 → v4**: adds the `stale_drops` object (`total` plus `per_rank`,
+/// counting Voronoi relaxations the ordered queue disciplines dropped
+/// unvisited at pop time) and the `"bucketed:DELTA"` form of
+/// `config.queue`. Strict superset once more, and breaking for the same
+/// reason: v3 readers comparing visit counts across disciplines would
+/// silently miss that part of the work was filtered, not performed.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The configuration a solve ran with, reduced to plain strings and
 /// numbers for the report.
@@ -50,7 +57,8 @@ pub const SCHEMA_VERSION: u64 = 3;
 pub struct ConfigFingerprint {
     /// Simulated rank count.
     pub num_ranks: usize,
-    /// Queue discipline (`"fifo"`, `"priority"`, `"adversarial:SEED"`).
+    /// Queue discipline (`"fifo"`, `"priority"`, `"bucketed:DELTA"`,
+    /// `"adversarial:SEED"`).
     pub queue: String,
     /// Delegate degree threshold, if delegation was on.
     pub delegate_threshold: Option<usize>,
@@ -72,6 +80,7 @@ impl ConfigFingerprint {
         let queue = match config.queue {
             QueueKind::Fifo => "fifo".to_string(),
             QueueKind::Priority => "priority".to_string(),
+            QueueKind::Bucketed { delta } => format!("bucketed:{delta}"),
             QueueKind::Adversarial { seed } => format!("adversarial:{seed}"),
         };
         let reduce_mode = match config.reduce_mode {
@@ -164,6 +173,10 @@ pub struct RunReport {
     pub distance_graph_edges: usize,
     /// Visitors processed per rank (the work metric behind speedup).
     pub rank_work: Vec<u64>,
+    /// Stale Voronoi relaxations per rank, dropped unvisited by the
+    /// ordered disciplines' pop-time filter (v4; all-zero under
+    /// FIFO/adversarial queues).
+    pub stale_drops: Vec<u64>,
     /// Work-based simulated speedup (Fig 3's scaling metric).
     pub simulated_speedup: f64,
     /// Most-loaded rank's work divided by the mean — 1.0 is perfectly
@@ -191,8 +204,9 @@ impl RunReport {
     /// stability rules). Top-level keys: `schema_version`, `config`,
     /// `phase_times_us`, `total_time_us`, `message_counts`,
     /// `graph_bytes`, `state_peak_bytes`, `distance_graph_edges`,
-    /// `rank_work`, `simulated_speedup`, `imbalance_ratio`,
-    /// `critical_path`, `latency_quantiles`, `faults`, `tree`.
+    /// `rank_work`, `stale_drops`, `simulated_speedup`,
+    /// `imbalance_ratio`, `critical_path`, `latency_quantiles`, `faults`,
+    /// `tree`.
     pub fn to_json(&self) -> Json {
         let mut phase_times = Json::obj();
         for &(name, us) in &self.phase_times_us {
@@ -221,6 +235,15 @@ impl RunReport {
             .with(
                 "rank_work",
                 Json::Arr(self.rank_work.iter().map(|&w| Json::from(w)).collect()),
+            )
+            .with(
+                "stale_drops",
+                Json::obj()
+                    .with("total", self.stale_drops.iter().sum::<u64>())
+                    .with(
+                        "per_rank",
+                        Json::Arr(self.stale_drops.iter().map(|&d| Json::from(d)).collect()),
+                    ),
             )
             .with("simulated_speedup", self.simulated_speedup)
             .with("imbalance_ratio", self.imbalance_ratio)
@@ -313,6 +336,7 @@ impl SolveReport {
             state_peak_bytes: self.state_peak_bytes,
             distance_graph_edges: self.distance_graph_edges,
             rank_work: self.rank_work.clone(),
+            stale_drops: self.stale_drops.clone(),
             simulated_speedup: self.simulated_speedup(),
             imbalance_ratio,
             critical_path,
@@ -400,7 +424,7 @@ mod tests {
         assert!(report.latency_quantiles.is_none());
         assert!(report.imbalance_ratio >= 1.0);
         let doc = report.to_json();
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
         assert!(doc.get("critical_path").expect("key present").is_null());
         assert!(doc.get("latency_quantiles").expect("key present").is_null());
         assert!(doc
@@ -500,6 +524,33 @@ mod tests {
         let doc = report.to_json();
         let text = doc.to_pretty();
         assert_eq!(stgraph::json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn v4_stale_drops_object_and_bucketed_fingerprint() {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, 2);
+        }
+        let g = b.build();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            queue: QueueKind::Bucketed { delta: 3 },
+            ..SolverConfig::default()
+        };
+        let report = solve(&g, &[0, 7], &cfg).unwrap().run_report();
+        assert_eq!(report.config.queue, "bucketed:3");
+        assert_eq!(report.stale_drops.len(), 2);
+        let doc = report.to_json();
+        let sd = doc.get("stale_drops").expect("v4 emits stale_drops");
+        assert_eq!(
+            sd.get("total").and_then(|v| v.as_u64()),
+            Some(report.stale_drops.iter().sum::<u64>())
+        );
+        assert_eq!(
+            sd.get("per_rank").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(2)
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! of message timing — this is what makes the distributed solver's output
 //! deterministic and bit-comparable to the sequential reference.
 
+use crate::messages::VoronoiMsg;
 use stgraph::csr::{Distance, Vertex, Weight, INF};
 use stgraph::partition::RankGraph;
+use struntime::Wire;
 
 /// Sentinel for "no vertex" in `src`/`pred` slots.
 pub const NO_VERTEX: Vertex = Vertex::MAX;
@@ -48,6 +50,26 @@ impl Label {
             src: s,
             pred: NO_VERTEX,
         }
+    }
+}
+
+impl Wire for Label {
+    fn encoded_len(&self) -> usize {
+        8 + 4 + 4
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.dist.encode_into(out);
+        self.src.encode_into(out);
+        self.pred.encode_into(out);
+    }
+
+    fn decode_from(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(Label {
+            dist: Distance::decode_from(buf, pos)?,
+            src: Vertex::decode_from(buf, pos)?,
+            pred: Vertex::decode_from(buf, pos)?,
+        })
     }
 }
 
@@ -233,6 +255,63 @@ impl VertexStates {
     }
 }
 
+/// Reusable per-rank visitor scratch buffers, allocated once per rank and
+/// reused across phases, retries, and BSP supersteps so the Voronoi hot
+/// path's steady state allocates nothing:
+///
+/// - `init` — the bootstrap message list the asynchronous phase seeds its
+///   local queue from,
+/// - `outboxes` — the BSP variant's per-destination relaxation outboxes,
+/// - `wire` — the flat byte buffer batches are wire-encoded into before
+///   shipping (see `ChannelGroup::send_batch_encoded`).
+///
+/// Buffers are cleared (capacity retained) each time they are handed out,
+/// so a fault-injection retry of the whole solve reuses the previous
+/// attempt's allocations.
+#[derive(Default)]
+pub struct ScratchArena {
+    init: Vec<VoronoiMsg>,
+    outboxes: Vec<Vec<VoronoiMsg>>,
+    wire: Vec<u8>,
+}
+
+impl ScratchArena {
+    /// An empty arena (no buffers allocated until first use).
+    pub fn new() -> ScratchArena {
+        ScratchArena::default()
+    }
+
+    /// The bootstrap message buffer, cleared but with capacity retained.
+    pub fn init_msgs(&mut self) -> &mut Vec<VoronoiMsg> {
+        self.init.clear();
+        &mut self.init
+    }
+
+    /// The BSP outboxes (resized to `p` destinations, each cleared with
+    /// capacity retained) and the shared wire-encoding scratch buffer,
+    /// split-borrowed so a superstep loop can fill and flush concurrently.
+    pub fn bsp_buffers(&mut self, p: usize) -> (&mut Vec<Vec<VoronoiMsg>>, &mut Vec<u8>) {
+        self.outboxes.resize_with(p, Vec::new);
+        for outbox in &mut self.outboxes {
+            outbox.clear();
+        }
+        (&mut self.outboxes, &mut self.wire)
+    }
+
+    /// Approximate bytes held across all scratch buffers (capacity, since
+    /// retained capacity is what the arena's reuse is about).
+    pub fn memory_bytes(&self) -> usize {
+        self.init.capacity() * std::mem::size_of::<VoronoiMsg>()
+            + self
+                .outboxes
+                .iter()
+                .map(|o| o.capacity() * std::mem::size_of::<VoronoiMsg>())
+                .sum::<usize>()
+            + self.outboxes.capacity() * std::mem::size_of::<Vec<VoronoiMsg>>()
+            + self.wire.capacity()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +421,22 @@ mod tests {
     fn accessing_remote_state_panics() {
         let st = make_states(false);
         st.label(7);
+    }
+
+    #[test]
+    fn scratch_arena_clears_but_retains_capacity() {
+        let mut a = ScratchArena::new();
+        a.init_msgs()
+            .extend([VoronoiMsg::Start(1), VoronoiMsg::Start(2)]);
+        let init = a.init_msgs(); // handed out cleared
+        assert!(init.is_empty());
+        assert!(init.capacity() >= 2, "reuse must keep the allocation");
+
+        let (outboxes, _wire) = a.bsp_buffers(4);
+        assert_eq!(outboxes.len(), 4);
+        outboxes[2].push(VoronoiMsg::Start(9));
+        let (outboxes, _wire) = a.bsp_buffers(2);
+        assert_eq!(outboxes.len(), 2, "shrinks to the requested rank count");
+        assert!(outboxes.iter().all(|o| o.is_empty()));
     }
 }

@@ -16,7 +16,7 @@
 //! supported (the ablation isolates scheduling, not partitioning).
 
 use crate::messages::VoronoiMsg;
-use crate::state::{Label, VertexStates};
+use crate::state::{Label, ScratchArena, VertexStates};
 use stgraph::csr::Vertex;
 use stgraph::partition::{BlockPartition, RankGraph};
 use struntime::{ChannelGroup, Comm};
@@ -33,6 +33,7 @@ pub struct BspStats {
 /// Runs bulk-synchronous Voronoi computation to the same fixpoint as
 /// [`crate::voronoi::run`]. Collective; requires a delegate-free
 /// partitioning.
+#[allow(clippy::too_many_arguments)] // collective phase entry: ctx + graph views + state + knobs
 pub fn run_bsp(
     comm: &Comm,
     chan: &ChannelGroup<Vec<VoronoiMsg>>,
@@ -40,6 +41,7 @@ pub fn run_bsp(
     partition: &BlockPartition,
     states: &mut VertexStates,
     seeds: &[Vertex],
+    scratch: &mut ScratchArena,
 ) -> BspStats {
     assert!(
         rg.delegates.is_empty(),
@@ -49,8 +51,10 @@ pub fn run_bsp(
     let p = comm.num_ranks();
     let mut stats = BspStats::default();
 
-    // Superstep 0's outbox: relax the arcs of owned seeds.
-    let mut outboxes: Vec<Vec<VoronoiMsg>> = (0..p).map(|_| Vec::new()).collect();
+    // Superstep 0's outbox: relax the arcs of owned seeds. Outboxes and
+    // the wire-encoding buffer come from the per-rank arena, so a sweep of
+    // repeated runs reuses one set of allocations.
+    let (outboxes, wire) = scratch.bsp_buffers(p);
     let emit = |outboxes: &mut Vec<Vec<VoronoiMsg>>, v: Vertex, label: Label, rg: &RankGraph| {
         for (nbr, w) in rg.adj(v) {
             outboxes[partition.owner(nbr)].push(VoronoiMsg::Relax {
@@ -66,19 +70,19 @@ pub fn run_bsp(
     };
     for &s in seeds {
         if rg.owns(s) {
-            emit(&mut outboxes, s, Label::seed(s), rg);
+            emit(outboxes, s, Label::seed(s), rg);
         }
     }
 
     loop {
         stats.supersteps += 1;
         // Exchange: ship every outbox (self-addressed included, for a
-        // uniform code path), then fence so all sends are visible.
+        // uniform code path) through the flat wire codec — the outbox and
+        // encoding buffers keep their capacity across supersteps — then
+        // fence so all sends are visible.
         let mut changed = 0u64;
         for (dest, outbox) in outboxes.iter_mut().enumerate() {
-            if !outbox.is_empty() {
-                chan.send_batch(dest, std::mem::take(outbox));
-            }
+            chan.send_batch_encoded(dest, outbox, wire);
         }
         comm.barrier();
         // Apply everything that arrived; improvements seed the next
@@ -96,7 +100,7 @@ pub fn run_bsp(
                 stats.processed += 1;
                 if states.try_improve(target, label, pred_weight) {
                     changed += 1;
-                    emit(&mut outboxes, target, label, rg);
+                    emit(outboxes, target, label, rg);
                 }
             }
         }
@@ -127,7 +131,8 @@ mod tests {
             let chan = comm.open_channels::<Vec<VoronoiMsg>>("voronoi_bsp");
             let rg = &pg.ranks[comm.rank()];
             let mut st = VertexStates::new(rg);
-            run_bsp(comm, &chan, rg, &pg.partition, &mut st, seeds);
+            let mut scratch = ScratchArena::new();
+            run_bsp(comm, &chan, rg, &pg.partition, &mut st, seeds, &mut scratch);
             st.owned_labels().collect::<Vec<_>>()
         });
         let mut all: Vec<(Vertex, Label)> = out.results.into_iter().flatten().collect();
@@ -165,6 +170,7 @@ mod tests {
             let chan = comm.open_channels::<Vec<VoronoiMsg>>("voronoi");
             let rg = &pg.ranks[comm.rank()];
             let mut st = VertexStates::new(rg);
+            let mut scratch = ScratchArena::new();
             crate::voronoi::run(
                 comm,
                 &chan,
@@ -173,6 +179,7 @@ mod tests {
                 &mut st,
                 seeds_ref,
                 struntime::traversal::TraversalOptions::new(struntime::QueueKind::Priority),
+                &mut scratch,
             );
             st.owned_labels().collect::<Vec<_>>()
         });
@@ -196,7 +203,8 @@ mod tests {
             let chan = comm.open_channels::<Vec<VoronoiMsg>>("bsp");
             let rg = &pg.ranks[comm.rank()];
             let mut st = VertexStates::new(rg);
-            run_bsp(comm, &chan, rg, &pg.partition, &mut st, &[0])
+            let mut scratch = ScratchArena::new();
+            run_bsp(comm, &chan, rg, &pg.partition, &mut st, &[0], &mut scratch)
         });
         // 9 propagation supersteps + the final empty confirming one.
         assert!(out.results[0].supersteps >= 9);

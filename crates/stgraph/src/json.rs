@@ -469,13 +469,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Copy one UTF-8 scalar (input is a &str, so this is
-                    // always a valid boundary walk).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("empty slice"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the run of plain characters up to the next
+                    // quote, backslash, or end of input. The input is a
+                    // &str and `"` / `\` are ASCII (never UTF-8
+                    // continuation bytes), so the run is always a valid
+                    // slice. Decoding one scalar at a time re-validated
+                    // the entire remaining input per character, which made
+                    // string-heavy documents (multi-MB trace exports)
+                    // parse quadratically.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
                 }
             }
         }
@@ -588,6 +596,17 @@ mod tests {
         assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
         // Non-escaped multi-byte UTF-8 passes through.
         assert_eq!(parse("\"héllo\"").unwrap(), Json::Str("héllo".into()));
+    }
+
+    #[test]
+    fn long_mixed_string_roundtrips() {
+        // Exercises the bulk-copy fast path: long plain runs interleaved
+        // with escapes and multi-byte scalars (the shape of a multi-MB
+        // trace export, which must parse in linear time).
+        let chunk = "plain ascii run 0123456789 … déjà 😀 \" \\ \n end";
+        let original: String = std::iter::repeat_n(chunk, 500).collect();
+        let doc = Json::Str(original);
+        assert_eq!(parse(&doc.to_string()).unwrap(), doc);
     }
 
     #[test]

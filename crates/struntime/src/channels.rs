@@ -68,6 +68,7 @@ use crate::faults::{FaultAction, FaultInjector};
 use crate::perturb::{SchedulePerturber, SyncPoint};
 use crate::shared::Shared;
 use crate::trace::{TraceBuffer, TraceEventKind};
+use crate::wire::DeepBytes;
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashSet};
@@ -582,14 +583,19 @@ impl<T: Send + Clone + 'static> ChannelGroup<T> {
     /// the paper's per-phase message statistics. The traversal driver's
     /// local push remains the zero-copy path for self-delivery.
     ///
-    /// The byte charge is `size_of::<T>()`, which is only correct for
-    /// messages without heap payloads — sending a `Vec<_>` through here
-    /// would charge its 3-word header instead of its contents. Heap-
-    /// carrying messages must use [`ChannelGroup::send_batch`], whose
-    /// charge is deep; the `plain-send-vec` xtask lint enforces this at
-    /// the call sites.
-    pub fn send(&self, dest: usize, msg: T) {
-        self.charge(dest, 1, std::mem::size_of::<T>() as u64, 0);
+    /// The byte charge is deep: `size_of::<T>()` plus the payload's owned
+    /// heap bytes ([`DeepBytes`]), so a `Vec<_>` sent through here charges
+    /// its contents, not its 3-word header. Plain sends remain the
+    /// *unsequenced control-plane* traffic class — no retransmit/dedup
+    /// protocol under fault injection — so bulk visitor traffic must still
+    /// use [`ChannelGroup::send_batch`]; the `plain-send-vec` xtask lint
+    /// enforces that traffic-class split at the call sites.
+    pub fn send(&self, dest: usize, msg: T)
+    where
+        T: DeepBytes,
+    {
+        let bytes = std::mem::size_of::<T>() + msg.heap_bytes();
+        self.charge(dest, 1, bytes as u64, 0);
         self.pause(SyncPoint::ChannelSend);
         let wire = self.wrap(dest, msg, 1);
         self.ship(dest, wire, None, false);
@@ -690,7 +696,10 @@ impl<V: Send + Clone + 'static> ChannelGroup<Vec<V>> {
     /// counts as local traffic. Batches are the *sequenced* traffic class:
     /// under fault injection they carry sequence numbers and run the full
     /// retransmit/dedup protocol.
-    pub fn send_batch(&self, dest: usize, batch: Vec<V>) {
+    pub fn send_batch(&self, dest: usize, batch: Vec<V>)
+    where
+        V: DeepBytes,
+    {
         self.send_batch_traced(dest, batch, None);
     }
 
@@ -703,18 +712,64 @@ impl<V: Send + Clone + 'static> ChannelGroup<Vec<V>> {
         dest: usize,
         batch: Vec<V>,
         lineage: Option<LineageSidecar>,
+    ) where
+        V: DeepBytes,
+    {
+        // Deep payload size: the visitors themselves (including any heap
+        // bytes they own), not the Vec header.
+        let bytes = batch.len() * std::mem::size_of::<V>()
+            + batch.iter().map(DeepBytes::heap_bytes).sum::<usize>();
+        self.send_batch_wire(dest, batch, bytes as u64, lineage);
+    }
+
+    /// Ships a batch whose exact wire size the caller already knows —
+    /// the traversal driver's flat-coalescing flush encodes the batch
+    /// with the [`crate::wire`] codec and passes the encoded length here,
+    /// so the byte counters record what a real interconnect would move.
+    pub(crate) fn send_batch_wire(
+        &self,
+        dest: usize,
+        batch: Vec<V>,
+        payload_bytes: u64,
+        lineage: Option<LineageSidecar>,
     ) {
-        // Deep payload size: the visitors themselves, not the Vec header.
-        self.charge(
-            dest,
-            batch.len() as u64,
-            (batch.len() * std::mem::size_of::<V>()) as u64,
-            1,
-        );
+        self.charge(dest, batch.len() as u64, payload_bytes, 1);
         self.pause(SyncPoint::ChannelSend);
         let visitors = batch.len() as u64;
         let wire = self.wrap(dest, batch, visitors);
         self.ship(dest, wire, lineage, true);
+    }
+
+    /// Ships `batch` through the flat wire codec, leaving the caller's
+    /// buffers intact for reuse: `batch` is encoded into `scratch`
+    /// (cleared first, capacity retained), charged at its exact encoded
+    /// length, decoded back out, and shipped — then `batch` is cleared
+    /// with its capacity retained. This is the allocation-free-steady-
+    /// state send for BSP-style outbox loops; the asynchronous traversal
+    /// driver has its own internal equivalent.
+    pub fn send_batch_encoded(&self, dest: usize, batch: &mut Vec<V>, scratch: &mut Vec<u8>)
+    where
+        V: crate::wire::Wire,
+    {
+        if batch.is_empty() {
+            return;
+        }
+        scratch.clear();
+        crate::wire::encode_batch(batch, scratch);
+        let shipped = match crate::wire::decode_batch::<V>(scratch, batch.len()) {
+            Some(v) => v,
+            None => panic!(
+                "wire codec violation: phase \"{phase}\": encode_batch produced \
+                 {len} bytes that decode_batch could not round-trip for visitor \
+                 type `{ty}` (the Wire impl's encoded_len/encode_into/decode_from \
+                 disagree)",
+                phase = self.phase(),
+                len = scratch.len(),
+                ty = std::any::type_name::<V>(),
+            ),
+        };
+        batch.clear();
+        self.send_batch_wire(dest, shipped, scratch.len() as u64, None);
     }
 }
 

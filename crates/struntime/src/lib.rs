@@ -47,6 +47,7 @@ pub mod queue;
 pub mod shared;
 pub mod trace;
 pub mod traversal;
+pub mod wire;
 
 pub use audit::AuditViolation;
 pub use channels::ChannelGroup;
@@ -60,8 +61,10 @@ pub use trace::{TraceConfig, TraceDump, TraceEvent, TraceEventKind, TraceSpan};
 #[cfg(feature = "check")]
 pub use traversal::run_traversal_mutant_premature;
 pub use traversal::{
-    run_traversal, run_traversal_config, Pusher, TraversalOptions, TraversalStats,
+    run_traversal, run_traversal_config, run_traversal_filtered, Pusher, TraversalOptions,
+    TraversalStats,
 };
+pub use wire::{DeepBytes, Wire};
 
 use channels::GroupCtx;
 use counters::RankCounters;

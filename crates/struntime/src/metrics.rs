@@ -1,13 +1,15 @@
 //! Streaming latency metrics with a lock-free hot path.
 //!
 //! Every [`crate::Comm`] optionally carries a [`RankMetrics`]: per-phase
-//! sets of log-bucketed (HDR-style) histograms for the four traversal
+//! sets of log-bucketed (HDR-style) histograms for the five traversal
 //! signals —
 //!
 //! - **message latency**: channel flush → drain on the receiving rank,
 //! - **queue residency**: local enqueue → dequeue,
 //! - **batch size**: visitors per flushed remote batch,
-//! - **visit service time**: one visit-callback invocation.
+//! - **visit service time**: one visit-callback invocation,
+//! - **stale-drop age**: local enqueue → stale-filter drop for dominated
+//!   relaxations the filter kills unvisited.
 //!
 //! Recording a sample is a single relaxed `fetch_add` on an atomic
 //! bucket counter — no locks, no allocation — so the instrumentation can
@@ -44,7 +46,7 @@ pub enum MetricsConfig {
     /// No metrics: ranks carry no registry, record sites are a null check.
     #[default]
     Off,
-    /// Record all four histogram families per rank x phase.
+    /// Record all five histogram families per rank x phase.
     On,
 }
 
@@ -109,7 +111,7 @@ impl Histogram {
     }
 }
 
-/// The four signals a traversal records per phase.
+/// The five signals a traversal records per phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MetricKind {
     /// Channel flush -> drain, microseconds (remote batches only).
@@ -120,15 +122,20 @@ pub enum MetricKind {
     BatchSize,
     /// One visit-callback invocation, microseconds.
     VisitServiceUs,
+    /// Enqueue -> stale-filter drop, microseconds: how long a dominated
+    /// relaxation sat queued before the filter killed it unvisited (see
+    /// `run_traversal_filtered`).
+    StaleDropAgeUs,
 }
 
 impl MetricKind {
     /// All kinds, in the order snapshots store them.
-    pub const ALL: [MetricKind; 4] = [
+    pub const ALL: [MetricKind; 5] = [
         MetricKind::MsgLatencyUs,
         MetricKind::QueueResidencyUs,
         MetricKind::BatchSize,
         MetricKind::VisitServiceUs,
+        MetricKind::StaleDropAgeUs,
     ];
 
     /// Stable key used in JSON output.
@@ -138,15 +145,16 @@ impl MetricKind {
             MetricKind::QueueResidencyUs => "queue_residency_us",
             MetricKind::BatchSize => "batch_size",
             MetricKind::VisitServiceUs => "visit_service_us",
+            MetricKind::StaleDropAgeUs => "stale_drop_age_us",
         }
     }
 }
 
-/// The four histograms for one rank x phase. The traversal fetches the
+/// The five histograms for one rank x phase. The traversal fetches the
 /// `Arc` once at loop entry, so the hot path never touches the registry
 /// lock.
 pub struct PhaseMetrics {
-    hists: [Histogram; 4],
+    hists: [Histogram; 5],
 }
 
 impl PhaseMetrics {

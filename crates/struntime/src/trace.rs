@@ -90,8 +90,10 @@ pub enum TraceEventKind {
     /// rank; exported as a Chrome flow start (`ph: "s"`) so Perfetto draws
     /// an arrow from the push to the matching [`TraceEventKind::Visit`].
     Spawn,
-    /// Message `arg` was dequeued and its visit began on this rank.
-    /// Exported as a Chrome flow finish (`ph: "f"`, `bp: "e"`).
+    /// Message `arg` was dequeued and consumed on this rank: visited when
+    /// `arg2` is 0, dropped unvisited by the stale-relaxation filter when
+    /// `arg2` is 1. Exported as a Chrome flow finish (`ph: "f"`,
+    /// `bp: "e"`) carrying `args.stale`.
     Visit,
 }
 
@@ -99,7 +101,8 @@ pub enum TraceEventKind {
 /// epoch (shared by all ranks, so lanes align). `arg` is a free numeric
 /// payload for instants (queue depth, batch size, target vertex) and the
 /// message id for lineage events; `arg2` is the parent message id of a
-/// [`TraceEventKind::Spawn`]; both zero for spans.
+/// [`TraceEventKind::Spawn`] and the stale flag of a
+/// [`TraceEventKind::Visit`]; both zero for spans.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Static label; span begin/end pairs share it, lineage events carry
@@ -342,6 +345,7 @@ impl TraceDump {
                         e.insert("cat", "lineage");
                         e.insert("id", ev.arg);
                         e.insert("bp", "e"); // bind to enclosing slice
+                        e.insert("args", Json::obj().with("stale", ev.arg2));
                     }
                     TraceEventKind::SpanBegin | TraceEventKind::SpanEnd => {}
                 }

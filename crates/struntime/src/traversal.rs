@@ -1,23 +1,38 @@
 //! Asynchronous vertex-centric traversal driver with message aggregation.
 //!
 //! This is the runtime's equivalent of HavoqGT's `do_traversal()`: every
-//! rank drains its inbound channel into a local [`VisitorQueue`] (FIFO or
-//! priority), invokes the user's `visit` callback on each dequeued visitor,
-//! and forwards the visitors the callback pushes — locally for owned
-//! destinations, over the channel group otherwise. Computation and
-//! communication overlap freely; there is no superstep barrier.
+//! rank drains its inbound channel into a local [`VisitorQueue`] (FIFO,
+//! priority, or bucketed), invokes the user's `visit` callback on each
+//! dequeued visitor, and forwards the visitors the callback pushes —
+//! locally for owned destinations, over the channel group otherwise.
+//! Computation and communication overlap freely; there is no superstep
+//! barrier.
 //!
 //! ## Aggregation
 //!
 //! Like HavoqGT, outgoing visitors are *aggregated*: per-destination
-//! buffers fill up to [`TraversalOptions::batch_size`] and ship as one
-//! network message; whatever remains is flushed before a rank declares
-//! itself idle, so aggregation never delays quiescence indefinitely.
-//! Counters still count individual visitors, so Fig 6-style message
-//! statistics are batch-size independent. Aggregation slightly loosens the
-//! priority discipline across ranks (visitors inside a batch arrive
-//! together) — the same "light-weight and best-effort only" caveat the
-//! paper attaches to its prioritization.
+//! buffers fill up to [`TraversalOptions::batch_size`], are coalesced into
+//! one flat byte buffer via the [`crate::wire`] codec (the encoded length
+//! is what the channel layer charges as the batch's payload bytes — exact
+//! wire size, no container headers), and ship as one network message;
+//! whatever remains is flushed before a rank declares itself idle, so
+//! aggregation never delays quiescence indefinitely. Counters still count
+//! individual visitors, so Fig 6-style message statistics are batch-size
+//! independent. Aggregation slightly loosens the priority discipline
+//! across ranks (visitors inside a batch arrive together) — the same
+//! "light-weight and best-effort only" caveat the paper attaches to its
+//! prioritization.
+//!
+//! ## Stale-entry filtering
+//!
+//! [`run_traversal_filtered`] threads a staleness predicate down to the
+//! queue's lazy decrease-key emulation
+//! ([`crate::queue::VisitorQueue::pop_stale_filtered`]): under the ordered
+//! disciplines (priority, bucketed) an entry the predicate marks as
+//! dominated is dropped at pop time — counted in
+//! [`TraversalStats::stale_dropped`], never visited, never re-forwarded.
+//! The plain entry points use a constant-`false` predicate, so their exact
+//! processed counts (which several tests pin) are unchanged.
 //!
 //! ## Termination
 //!
@@ -73,6 +88,7 @@ use crate::metrics::{MetricKind, PhaseMetrics};
 use crate::perturb::SyncPoint;
 use crate::queue::{QueueKind, VisitorQueue};
 use crate::trace::TraceEventKind;
+use crate::wire::{decode_batch, encode_batch, DeepBytes, Wire};
 use crate::Comm;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
@@ -111,11 +127,19 @@ struct VisitMeta {
     enq_us: u64,
 }
 
-/// Per-destination aggregation buffer: the visitor batch plus (when
-/// observability is on) the parallel lineage-id list that ships as the
-/// batch's [`LineageSidecar`].
+impl DeepBytes for VisitMeta {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Per-destination aggregation buffer: the visitor batch, a reusable
+/// wire-encoding scratch buffer (capacity retained across flushes so the
+/// steady state allocates nothing), plus (when observability is on) the
+/// parallel lineage-id list that ships as the batch's [`LineageSidecar`].
 struct OutBuf<V> {
     batch: Vec<V>,
+    wire: Vec<u8>,
     ids: Vec<u64>,
 }
 
@@ -123,6 +147,7 @@ impl<V> Default for OutBuf<V> {
     fn default() -> Self {
         OutBuf {
             batch: Vec::new(),
+            wire: Vec::new(),
             ids: Vec::new(),
         }
     }
@@ -181,7 +206,7 @@ pub struct Pusher<'a, V: Send + 'static> {
     metrics: &'a Option<Arc<PhaseMetrics>>,
 }
 
-impl<'a, V: Send + Clone + 'static> Pusher<'a, V> {
+impl<'a, V: Send + Clone + Wire + DeepBytes + 'static> Pusher<'a, V> {
     /// Routes visitor `v` to `dest`: the local queue when `dest` is this
     /// rank, a (buffered) network batch otherwise. When observability is
     /// on, the push also records a causal edge from the visitor being
@@ -223,7 +248,7 @@ impl<'a, V: Send + Clone + 'static> Pusher<'a, V> {
     }
 }
 
-fn flush_one<V: Send + Clone + 'static>(
+fn flush_one<V: Send + Clone + Wire + DeepBytes + 'static>(
     comm: &Comm,
     chan: &ChannelGroup<Vec<V>>,
     buffer: &mut OutBuf<V>,
@@ -259,7 +284,28 @@ fn flush_one<V: Send + Clone + 'static>(
     } else {
         None
     };
-    chan.send_batch_traced(dest, std::mem::take(&mut buffer.batch), lineage);
+    // Coalesce the batch into one flat byte buffer: the encoded length is
+    // the batch's *exact* wire size (what the channel layer charges), and
+    // decoding it back before delivery makes the round-trip the wire
+    // model — a lossy codec would corrupt the trees the tier-1 tests pin.
+    // Both scratch buffers (`wire` here, `batch` via `clear`) keep their
+    // capacity, so a steady-state flush allocates only the shipped Vec.
+    buffer.wire.clear();
+    encode_batch(&buffer.batch, &mut buffer.wire);
+    let shipped = match decode_batch::<V>(&buffer.wire, buffer.batch.len()) {
+        Some(v) => v,
+        None => panic!(
+            "wire codec violation: phase \"{phase}\": encode_batch produced \
+             {len} bytes that decode_batch could not round-trip for visitor \
+             type `{ty}` (the Wire impl's encoded_len/encode_into/decode_from \
+             disagree)",
+            phase = chan.phase(),
+            len = buffer.wire.len(),
+            ty = std::any::type_name::<V>(),
+        ),
+    };
+    buffer.batch.clear();
+    chan.send_batch_wire(dest, shipped, buffer.wire.len() as u64, lineage);
 }
 
 /// Per-rank statistics returned by [`run_traversal`].
@@ -267,6 +313,10 @@ fn flush_one<V: Send + Clone + 'static>(
 pub struct TraversalStats {
     /// Visitors this rank processed (local + remote).
     pub processed: u64,
+    /// Queued visitors dropped unvisited by the stale-entry filter of
+    /// [`run_traversal_filtered`] (always 0 for the plain entry points
+    /// and for the full-delivery disciplines).
+    pub stale_dropped: u64,
     /// Peak length of this rank's local queue.
     pub peak_queue_len: usize,
     /// Peak bytes held by this rank's local queue buffers.
@@ -287,7 +337,7 @@ pub fn run_traversal<V, P, F>(
     visit: F,
 ) -> TraversalStats
 where
-    V: Send + Clone + 'static,
+    V: Send + Clone + Wire + DeepBytes + 'static,
     P: Fn(&V) -> u64,
     F: FnMut(V, &mut Pusher<'_, V>),
 {
@@ -311,11 +361,59 @@ pub fn run_traversal_config<V, P, F>(
     visit: F,
 ) -> TraversalStats
 where
-    V: Send + Clone + 'static,
+    V: Send + Clone + Wire + DeepBytes + 'static,
     P: Fn(&V) -> u64,
     F: FnMut(V, &mut Pusher<'_, V>),
 {
-    traversal_loop::<false, V, P, F>(comm, chan, options, priority, init, visit, Duration::ZERO)
+    traversal_loop::<false, V, P, _, F>(
+        comm,
+        chan,
+        options,
+        priority,
+        |_: &V| false,
+        init,
+        visit,
+        Duration::ZERO,
+    )
+}
+
+/// [`run_traversal_config`] with a staleness predicate: under the ordered
+/// disciplines ([`QueueKind::filters_stale`]), a queued visitor for which
+/// `stale` returns true when it reaches the head of the queue is dropped
+/// unvisited and counted in [`TraversalStats::stale_dropped`] — the lazy
+/// decrease-key emulation of delta-stepping, generalized to a callback.
+///
+/// `stale` must be *monotone*: once a visitor is stale it stays stale
+/// (labels only improve), so dropping it can never lose work that a later
+/// state would have needed. Under FIFO and adversarial disciplines the
+/// predicate is ignored and every visitor is delivered (those are the
+/// full-delivery baselines the chaos matrix compares against).
+#[allow(clippy::too_many_arguments)]
+pub fn run_traversal_filtered<V, P, S, F>(
+    comm: &Comm,
+    chan: &ChannelGroup<Vec<V>>,
+    options: TraversalOptions,
+    priority: P,
+    stale: S,
+    init: impl IntoIterator<Item = V>,
+    visit: F,
+) -> TraversalStats
+where
+    V: Send + Clone + Wire + DeepBytes + 'static,
+    P: Fn(&V) -> u64,
+    S: FnMut(&V) -> bool,
+    F: FnMut(V, &mut Pusher<'_, V>),
+{
+    traversal_loop::<false, V, P, S, F>(
+        comm,
+        chan,
+        options,
+        priority,
+        stale,
+        init,
+        visit,
+        Duration::ZERO,
+    )
 }
 
 /// **Mutation-check variant, `check` builds only — never use for real
@@ -337,29 +435,41 @@ pub fn run_traversal_mutant_premature<V, P, F>(
     delay: Duration,
 ) -> TraversalStats
 where
-    V: Send + Clone + 'static,
+    V: Send + Clone + Wire + DeepBytes + 'static,
     P: Fn(&V) -> u64,
     F: FnMut(V, &mut Pusher<'_, V>),
 {
-    traversal_loop::<true, V, P, F>(comm, chan, options, priority, init, visit, delay)
+    traversal_loop::<true, V, P, _, F>(
+        comm,
+        chan,
+        options,
+        priority,
+        |_: &V| false,
+        init,
+        visit,
+        delay,
+    )
 }
 
 /// The traversal loop. `PREMATURE_MUTANT` selects the intentionally broken
 /// drain ordering used by the audit mutation check (see
 /// [`run_traversal_mutant_premature`]); production entry points
 /// monomorphize with `false`, so the mutant branch compiles away.
-fn traversal_loop<const PREMATURE_MUTANT: bool, V, P, F>(
+#[allow(clippy::too_many_arguments)]
+fn traversal_loop<const PREMATURE_MUTANT: bool, V, P, S, F>(
     comm: &Comm,
     chan: &ChannelGroup<Vec<V>>,
     options: TraversalOptions,
     priority: P,
+    mut stale: S,
     init: impl IntoIterator<Item = V>,
     mut visit: F,
     mutant_delay: Duration,
 ) -> TraversalStats
 where
-    V: Send + Clone + 'static,
+    V: Send + Clone + Wire + DeepBytes + 'static,
     P: Fn(&V) -> u64,
+    S: FnMut(&V) -> bool,
     F: FnMut(V, &mut Pusher<'_, V>),
 {
     assert!(options.batch_size >= 1, "batch size must be positive");
@@ -450,7 +560,30 @@ where
         stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
         stats.peak_queue_bytes = stats.peak_queue_bytes.max(queue.memory_bytes());
 
-        if let Some((meta, v)) = queue.pop() {
+        // Pop through the stale filter: entries the predicate marks as
+        // dominated die here without a visit (the decrease-key emulation
+        // of the bucketed/priority hot path). Their queue residency is
+        // recorded as StaleDropAgeUs so the latency histograms show how
+        // long dead relaxations sat in the queue.
+        let (popped, dropped) = queue.pop_stale_filtered(|(meta, v)| {
+            if !stale(v) {
+                return false;
+            }
+            // The drop is the message's terminal consumption: record it as
+            // a Visit lineage event with arg2 = 1 (stale) so the causality
+            // DAG stays covered — every spawn still meets its end — while
+            // analyzers can tell drops from real visits.
+            if lineage.enabled {
+                comm.trace_event2(TraceEventKind::Visit, chan.phase(), meta.id, 1);
+            }
+            if let Some(m) = metrics.as_deref() {
+                let now = lineage.now_us(comm);
+                m.record(MetricKind::StaleDropAgeUs, now.saturating_sub(meta.enq_us));
+            }
+            true
+        });
+        stats.stale_dropped += dropped;
+        if let Some((meta, v)) = popped {
             debug_assert!(!idle, "queue cannot be non-empty while idle");
             let visit_start = lineage.now_us(comm);
             if lineage.enabled {

@@ -23,10 +23,12 @@
 //!    viewers group events by label, so two modules reusing one label
 //!    silently merge unrelated timelines.
 //! 6. `plain-send-vec` — `send` on a channel group opened with a
-//!    `Vec<_>` payload charges the shallow `size_of::<Vec<_>>()` (24
-//!    bytes) to the byte counters regardless of length; batch payloads
-//!    must go through `send_batch`/`send_batch_traced`, whose accounting
-//!    hook deep-counts `len * size_of::<element>()`.
+//!    `Vec<_>` payload routes batch traffic down the unsequenced
+//!    control-plane path: no sequence number, no retransmission
+//!    coverage, and no flat wire-codec round-trip. Batch payloads must
+//!    go through `send_batch`/`send_batch_traced`/`send_batch_encoded`,
+//!    which ride the reliable sequenced protocol and charge exact
+//!    deep/wire byte counts through the single accounting hook.
 //!
 //! The scanner blanks comment bodies and string/char-literal contents
 //! before matching (so prose and fixtures never trip a rule) and tracks
@@ -391,8 +393,9 @@ fn plain_send_vec(
                     rule: RULE_PLAIN_SEND,
                     message: format!(
                         "plain send on Vec-payload channel group `{name}` (opened on line \
-                         {bound_line}); send charges shallow size_of::<Vec<_>>() — use \
-                         send_batch/send_batch_traced so bytes are deep-counted"
+                         {bound_line}); send is the unsequenced control-plane path — use \
+                         send_batch/send_batch_traced/send_batch_encoded so batches ride \
+                         the sequenced reliable protocol with exact wire-byte accounting"
                     ),
                 });
             }

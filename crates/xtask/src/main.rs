@@ -5,6 +5,7 @@
 //! cargo run -p xtask -- check-reports [dir] [--stlint-only]
 //! cargo run -p xtask -- analyze <trace.json>
 //! cargo run -p xtask -- chaos
+//! cargo run -p xtask -- bench-guard [dir] [--update-baseline]
 //! ```
 //!
 //! `lint` is a thin driver over two passes run on every non-vendored
@@ -45,6 +46,21 @@
 //! the fault path (nonzero injection counters). Exit code 0 means every
 //! combination matched; 1 means a divergence or a plan that injected
 //! nothing; 2 means usage error.
+//!
+//! `bench-guard` compares the freshly generated
+//! `BENCH_fig3_strong_scaling.json` in the given directory (default:
+//! `bench_results/`) against the checked-in
+//! `fig3_guard_baseline.json`: per scale point it bounds the drift of
+//! the voronoi phase's share of total time, the visit count (visitors
+//! processed), and the stale-drop counter within the baseline's recorded
+//! tolerances. Visit counts in the asynchronous runtime are
+//! schedule-dependent, so the tolerances are generous — the guard exists
+//! to catch order-of-magnitude regressions (stale churn returning, the
+//! voronoi phase losing its dominance shape), not single-percent noise.
+//! `--update-baseline` rewrites the baseline from the current report.
+//! Exit code 0 means every point within tolerance; 1 means drift or a
+//! scale point missing from the fresh report; 2 means usage or I/O
+//! error.
 
 mod lint;
 mod stlint_report;
@@ -94,10 +110,21 @@ fn main() -> ExitCode {
             }
         },
         Some("chaos") => chaos(),
+        Some("bench-guard") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            let dir = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .unwrap_or_else(|| workspace_root().join("bench_results"));
+            bench_guard(&dir, update)
+        }
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- lint [root] [--update-baseline] | \
-                 check-reports [dir] [--stlint-only] | analyze <trace.json> | chaos"
+                 check-reports [dir] [--stlint-only] | analyze <trace.json> | chaos | \
+                 bench-guard [dir] [--update-baseline]"
             );
             ExitCode::from(2)
         }
@@ -232,6 +259,7 @@ fn chaos() -> ExitCode {
         ("fifo", steiner::QueueKind::Fifo),
         ("priority", steiner::QueueKind::Priority),
         ("adversarial", steiner::QueueKind::Adversarial { seed: 7 }),
+        ("bucketed", steiner::QueueKind::Bucketed { delta: 3 }),
     ];
     let ranks = [1usize, 2, 4];
 
@@ -304,6 +332,244 @@ fn chaos() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask chaos: {failures} failing combination(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// One fig3 scale point's guarded quantities, extracted from a `"solve"`
+/// entry of `BENCH_fig3_strong_scaling.json`.
+struct GuardPoint {
+    label: String,
+    /// Voronoi phase time as a fraction of total time-to-solution.
+    voronoi_share: f64,
+    /// Visitors processed across all ranks (sum of `rank_work`).
+    visits: u64,
+    /// Stale relaxations dropped unvisited (`stale_drops.total`).
+    stale: u64,
+}
+
+fn guard_points(doc: &stgraph::json::Json) -> Result<Vec<GuardPoint>, String> {
+    let entries = doc
+        .get("entries")
+        .and_then(|v| v.as_arr())
+        .ok_or("entries must be an array")?;
+    let mut points = Vec::new();
+    for entry in entries {
+        if entry.get("kind").and_then(|v| v.as_str()) != Some("solve") {
+            continue;
+        }
+        let label = entry
+            .get("label")
+            .and_then(|v| v.as_str())
+            .ok_or("entry missing label")?
+            .to_string();
+        let run = entry.get("run").ok_or("solve entry missing run")?;
+        let voronoi_us = run
+            .get("phase_times_us")
+            .and_then(|p| p.get("voronoi"))
+            .and_then(|v| v.as_u64())
+            .ok_or("missing phase_times_us.voronoi")?;
+        let total_us = run
+            .get("total_time_us")
+            .and_then(|v| v.as_u64())
+            .filter(|&t| t > 0)
+            .ok_or("missing or zero total_time_us")?;
+        let visits = run
+            .get("rank_work")
+            .and_then(|v| v.as_arr())
+            .map(|a| a.iter().filter_map(|w| w.as_u64()).sum::<u64>())
+            .ok_or("missing rank_work")?;
+        let stale = run
+            .get("stale_drops")
+            .and_then(|s| s.get("total"))
+            .and_then(|v| v.as_u64())
+            .ok_or("missing stale_drops.total")?;
+        points.push(GuardPoint {
+            label,
+            voronoi_share: voronoi_us as f64 / total_us as f64,
+            visits,
+            stale,
+        });
+    }
+    if points.is_empty() {
+        return Err("no solve entries in report".to_string());
+    }
+    Ok(points)
+}
+
+/// Default drift bounds written into a fresh baseline. Phase shares move
+/// with host timing and visit counts are schedule-dependent in the
+/// asynchronous runtime, so these are sized for regression-catching, not
+/// noise-chasing.
+const GUARD_SHARE_ABS: f64 = 0.25;
+const GUARD_VISITS_REL: f64 = 0.25;
+const GUARD_STALE_REL: f64 = 0.5;
+const GUARD_STALE_ABS: u64 = 500;
+
+fn bench_guard(dir: &std::path::Path, update_baseline: bool) -> ExitCode {
+    use stgraph::json::Json;
+    let report_path = dir.join("BENCH_fig3_strong_scaling.json");
+    let baseline_path = dir.join("fig3_guard_baseline.json");
+    let fresh = match std::fs::read_to_string(&report_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| stgraph::json::parse(&text).map_err(|e| e.to_string()))
+        .and_then(|doc| guard_points(&doc))
+    {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!(
+                "xtask bench-guard: cannot load {}: {e} (run ./run_experiments.sh --quick first)",
+                report_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        let entries: Vec<Json> = fresh
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .with("label", p.label.as_str())
+                    .with("voronoi_share", p.voronoi_share)
+                    .with("visits", p.visits)
+                    .with("stale", p.stale)
+            })
+            .collect();
+        let doc = Json::obj()
+            .with("schema_version", 1u64)
+            .with("bench", "fig3_strong_scaling")
+            .with(
+                "tolerance",
+                Json::obj()
+                    .with("voronoi_share_abs", GUARD_SHARE_ABS)
+                    .with("visits_rel", GUARD_VISITS_REL)
+                    .with("stale_rel", GUARD_STALE_REL)
+                    .with("stale_abs", GUARD_STALE_ABS),
+            )
+            .with("entries", Json::Arr(entries));
+        if let Err(e) = std::fs::write(&baseline_path, doc.to_pretty()) {
+            eprintln!(
+                "xtask bench-guard: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "xtask bench-guard: baseline rewritten with {} scale point(s) at {}",
+            fresh.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| stgraph::json::parse(&text).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!(
+                "xtask bench-guard: cannot load {}: {e} \
+                 (run `cargo run -p xtask -- bench-guard --update-baseline` to create it)",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let tol = |key: &str, default: f64| {
+        baseline
+            .get("tolerance")
+            .and_then(|t| t.get(key))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(default)
+    };
+    let share_abs = tol("voronoi_share_abs", GUARD_SHARE_ABS);
+    let visits_rel = tol("visits_rel", GUARD_VISITS_REL);
+    let stale_rel = tol("stale_rel", GUARD_STALE_REL);
+    let stale_abs = tol("stale_abs", GUARD_STALE_ABS as f64) as u64;
+    let base_entries = match baseline.get("entries").and_then(|v| v.as_arr()) {
+        Some(entries) if !entries.is_empty() => entries,
+        _ => {
+            eprintln!(
+                "xtask bench-guard: {} has no entries",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    for base in base_entries {
+        let (Some(label), Some(b_share), Some(b_visits), Some(b_stale)) = (
+            base.get("label").and_then(|v| v.as_str()),
+            base.get("voronoi_share").and_then(|v| v.as_f64()),
+            base.get("visits").and_then(|v| v.as_u64()),
+            base.get("stale").and_then(|v| v.as_u64()),
+        ) else {
+            eprintln!("xtask bench-guard: malformed baseline entry: {base:?}");
+            return ExitCode::from(2);
+        };
+        let Some(now) = fresh.iter().find(|p| p.label == label) else {
+            eprintln!("  FAIL {label}: scale point missing from fresh report");
+            failures += 1;
+            continue;
+        };
+        let mut bad = Vec::new();
+        if (now.voronoi_share - b_share).abs() > share_abs {
+            bad.push(format!(
+                "voronoi share {:.2} drifted from {:.2} (tol ±{share_abs:.2})",
+                now.voronoi_share, b_share
+            ));
+        }
+        let visits_slack = (b_visits as f64 * visits_rel).max(1.0);
+        if (now.visits as f64 - b_visits as f64).abs() > visits_slack {
+            bad.push(format!(
+                "visits {} drifted from {} (tol ±{visits_slack:.0})",
+                now.visits, b_visits
+            ));
+        }
+        let stale_slack = (b_stale as f64 * stale_rel).max(stale_abs as f64);
+        if (now.stale as f64 - b_stale as f64).abs() > stale_slack {
+            bad.push(format!(
+                "stale drops {} drifted from {} (tol ±{stale_slack:.0})",
+                now.stale, b_stale
+            ));
+        }
+        if bad.is_empty() {
+            println!(
+                "  ok {label}: voronoi share {:.2}, {} visits, {} stale drops",
+                now.voronoi_share, now.visits, now.stale
+            );
+        } else {
+            for b in bad {
+                eprintln!("  FAIL {label}: {b}");
+            }
+            failures += 1;
+        }
+    }
+    let new_points = fresh
+        .iter()
+        .filter(|p| {
+            !base_entries
+                .iter()
+                .any(|b| b.get("label").and_then(|v| v.as_str()) == Some(p.label.as_str()))
+        })
+        .count();
+    if new_points > 0 {
+        println!(
+            "xtask bench-guard: note: {new_points} scale point(s) not in baseline \
+             (rerun with --update-baseline to track them)"
+        );
+    }
+    if failures == 0 {
+        println!(
+            "xtask bench-guard: {} scale point(s) within tolerance",
+            base_entries.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask bench-guard: {failures} scale point(s) drifted");
         ExitCode::FAILURE
     }
 }

@@ -4,8 +4,8 @@
 //! steiner-cli generate --dataset LVJ --out graph.bin [--tiny] [--seed N]
 //! steiner-cli stats    --graph graph.bin
 //! steiner-cli solve    --graph graph.bin (--seeds 1,2,3 | --select K[:STRATEGY])
-//!                      [--ranks P] [--queue fifo|priority] [--refine]
-//!                      [--improve ROUNDS] [--dot out.dot]
+//!                      [--ranks P] [--queue fifo|priority|bucketed[:DELTA]]
+//!                      [--refine] [--improve ROUNDS] [--dot out.dot]
 //!                      [--faults drop=0.1,dup=0.05,seed=7]
 //!                      [--trace trace.json] [--report report.json] [--analyze]
 //! steiner-cli compare  --graph graph.bin --select K[:STRATEGY]
@@ -43,14 +43,22 @@ const USAGE: &str = "usage:
   steiner-cli generate --dataset NAME --out FILE [--tiny] [--seed N]
   steiner-cli stats    --graph FILE
   steiner-cli solve    --graph FILE (--seeds A,B,C | --select K[:STRATEGY])
-                       [--ranks P] [--queue fifo|priority] [--refine]
-                       [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
+                       [--ranks P] [--queue fifo|priority|bucketed[:DELTA]]
+                       [--refine] [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
                        [--faults SPEC] [--trace FILE] [--report FILE] [--analyze]
+
+--queue picks the visitor-queue discipline: `priority` (default) settles
+in Dijkstra order, `fifo` is the unordered baseline, `bucketed` is
+delta-stepping (cheap bucket pops instead of a binary heap, plus the
+same stale-relaxation filter as priority). `bucketed` / `bucketed:auto`
+derive the bucket width from the graph's mean edge weight;
+`bucketed:DELTA` pins it explicitly (DELTA >= 1).
 
 --trace writes a Chrome-trace/Perfetto JSON timeline of the solve (one
 lane per simulated rank); --report writes the machine-readable RunReport
-(schema v3, with latency quantiles from the runtime's histograms and the
-fault/retransmit counters); --analyze turns on tracing and prints the
+(schema v4, with latency quantiles from the runtime's histograms, the
+fault/retransmit counters, and per-rank stale-relaxation drop counts);
+--analyze turns on tracing and prints the
 causality-DAG readout (critical path, load imbalance) after the solve.
 --faults injects deterministic message faults, e.g.
 `drop=0.1,dup=0.05,delay=0.1,delay_us=200,stall=0.05,seed=7` (probs in
@@ -58,7 +66,7 @@ causality-DAG readout (critical path, load imbalance) after the solve.
 bit-identical to a fault-free solve.
   steiner-cli compare  --graph FILE --select K[:STRATEGY]
   steiner-cli repl     --graph FILE [--select K[:STRATEGY]] [--ranks P]
-                       [--faults SPEC] [--trace FILE] [--report FILE]
+                       [--queue KIND] [--faults SPEC] [--trace FILE] [--report FILE]
 
 repl commands: add V | remove V | seeds | tree | solve | dot FILE | help | quit
 (`solve` runs the distributed solver on the current seeds; with the repl's
@@ -253,14 +261,35 @@ fn write_solve_artifacts(
     Ok(())
 }
 
+/// Parses `--queue` into a discipline. `bucketed` and `bucketed:auto`
+/// derive the bucket width from the graph's mean edge weight (the same
+/// heuristic as the sequential delta-stepping baseline); `bucketed:N`
+/// pins it explicitly.
+fn queue_kind(flags: &HashMap<String, String>, g: &CsrGraph) -> Result<QueueKind, String> {
+    match flags.get("queue").map(String::as_str) {
+        None | Some("priority") => Ok(QueueKind::Priority),
+        Some("fifo") => Ok(QueueKind::Fifo),
+        Some("bucketed" | "bucketed:auto") => Ok(QueueKind::Bucketed {
+            delta: steiner::auto_delta(g),
+        }),
+        Some(spec) if spec.starts_with("bucketed:") => {
+            let raw = &spec["bucketed:".len()..];
+            let delta: u64 = raw
+                .parse()
+                .map_err(|_| format!("bad bucket width {raw:?} (want a number or `auto`)"))?;
+            if delta == 0 {
+                return Err("bucket width must be at least 1".into());
+            }
+            Ok(QueueKind::Bucketed { delta })
+        }
+        Some(other) => Err(format!("unknown queue {other:?}")),
+    }
+}
+
 fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     let g = load_graph(flags)?;
     let seeds = seeds_from_flags(&g, flags)?;
-    let queue = match flags.get("queue").map(String::as_str) {
-        None | Some("priority") => QueueKind::Priority,
-        Some("fifo") => QueueKind::Fifo,
-        Some(other) => return Err(format!("unknown queue {other:?}")),
-    };
+    let queue = queue_kind(flags, &g)?;
     let (trace, metrics) = observability_config(flags);
     let config = SolverConfig {
         num_ranks: rank_count(flags)?,
@@ -466,6 +495,7 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
                 // batch `solve` subcommand (PR 2 wired only that path).
                 let config = SolverConfig {
                     num_ranks: rank_count(flags)?,
+                    queue: queue_kind(flags, &g)?,
                     trace: obs_trace,
                     metrics: obs_metrics,
                     faults: obs_faults,

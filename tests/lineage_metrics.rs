@@ -198,7 +198,7 @@ fn metrics_quantiles_describe_the_solve() {
 }
 
 /// A fully observed solve must embed into a bench report that passes the
-/// same validation `xtask check-reports` applies in CI (schema v3 with
+/// same validation `xtask check-reports` applies in CI (schema v4 with
 /// populated observability fields), and survive a JSON round-trip.
 #[test]
 fn observed_solve_round_trips_through_bench_validation() {

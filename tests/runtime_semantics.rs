@@ -5,7 +5,7 @@
 use baselines::shortest_path::dijkstra;
 use stgraph::datasets::Dataset;
 use stgraph::partition::partition_graph;
-use struntime::{run_traversal, QueueKind, World};
+use struntime::{run_traversal, DeepBytes, QueueKind, Wire, World};
 
 /// A distributed SSSP written directly against the runtime (not through
 /// the steiner crate) — exercises channels, owner routing, queue
@@ -15,6 +15,26 @@ fn distributed_sssp(g: &stgraph::CsrGraph, source: u32, p: usize, queue: QueueKi
     struct Relax {
         target: u32,
         dist: u64,
+    }
+    impl Wire for Relax {
+        fn encoded_len(&self) -> usize {
+            4 + 8
+        }
+        fn encode_into(&self, out: &mut Vec<u8>) {
+            self.target.encode_into(out);
+            self.dist.encode_into(out);
+        }
+        fn decode_from(buf: &[u8], pos: &mut usize) -> Option<Self> {
+            Some(Relax {
+                target: u32::decode_from(buf, pos)?,
+                dist: u64::decode_from(buf, pos)?,
+            })
+        }
+    }
+    impl DeepBytes for Relax {
+        fn heap_bytes(&self) -> usize {
+            0
+        }
     }
     let pg = partition_graph(g, p, None);
     let pg = &pg;
@@ -69,7 +89,11 @@ fn distributed_sssp_matches_dijkstra() {
     let g = Dataset::Cts.generate_tiny(8);
     let reference = dijkstra(&g, 0).dist;
     for p in [1usize, 2, 4] {
-        for queue in [QueueKind::Fifo, QueueKind::Priority] {
+        for queue in [
+            QueueKind::Fifo,
+            QueueKind::Priority,
+            QueueKind::Bucketed { delta: 4 },
+        ] {
             let got = distributed_sssp(&g, 0, p, queue);
             assert_eq!(got, reference, "p={p}, queue={}", queue.name());
         }
