@@ -138,7 +138,7 @@ fn validate_entry(entry: &Json) -> Result<(), String> {
     match entry.get("kind").and_then(|v| v.as_str()) {
         Some("solve") => {
             let run = entry.get("run").ok_or("solve entry missing run")?;
-            validate_run(run).map_err(|e| format!("run: {e}"))
+            steiner::report::validate_run(run).map_err(|e| format!("run: {e}"))
         }
         Some("metrics") => entry
             .get("metrics")
@@ -149,140 +149,9 @@ fn validate_entry(entry: &Json) -> Result<(), String> {
     }
 }
 
-fn validate_run(run: &Json) -> Result<(), String> {
-    match run.get("schema_version").and_then(|v| v.as_u64()) {
-        Some(v) if v == steiner::report::SCHEMA_VERSION => {}
-        Some(1) => {
-            return Err(
-                "schema_version 1 report found; v2 adds imbalance_ratio, critical_path, \
-                 and latency_quantiles (no v1 key was removed or renamed) — regenerate \
-                 the report with current binaries to migrate"
-                    .to_string(),
-            );
-        }
-        Some(2) => {
-            return Err(
-                "schema_version 2 report found; v3 adds the faults object (injection and \
-                 reliability-protocol counters) and config.faults (no v2 key was removed \
-                 or renamed) — regenerate the report with current binaries to migrate"
-                    .to_string(),
-            );
-        }
-        Some(3) => {
-            return Err(
-                "schema_version 3 report found; v4 adds the stale_drops object (total plus \
-                 per_rank relaxations dropped by the ordered queues' pop-time filter) and \
-                 the bucketed:DELTA form of config.queue (no v3 key was removed or renamed) \
-                 — regenerate the report with current binaries to migrate"
-                    .to_string(),
-            );
-        }
-        _ => {
-            return Err(format!(
-                "schema_version must be {}",
-                steiner::report::SCHEMA_VERSION
-            ));
-        }
-    }
-    let config = run.get("config").ok_or("missing config")?;
-    config
-        .get("num_ranks")
-        .and_then(|v| v.as_u64())
-        .filter(|&p| p >= 1)
-        .ok_or("config.num_ranks must be a positive integer")?;
-    config
-        .get("queue")
-        .and_then(|v| v.as_str())
-        .ok_or("config.queue must be a string")?;
-    let phases = run.get("phase_times_us").ok_or("missing phase_times_us")?;
-    for p in steiner::Phase::ALL {
-        phases
-            .get(p.name())
-            .and_then(|v| v.as_u64())
-            .ok_or_else(|| format!("phase_times_us.{} must be integer microseconds", p.name()))?;
-    }
-    run.get("total_time_us")
-        .and_then(|v| v.as_u64())
-        .ok_or("total_time_us must be integer microseconds")?;
-    run.get("message_counts")
-        .and_then(|v| v.as_obj())
-        .ok_or("message_counts must be an object")?;
-    for key in ["graph_bytes", "state_peak_bytes", "distance_graph_edges"] {
-        run.get(key)
-            .and_then(|v| v.as_u64())
-            .ok_or_else(|| format!("{key} must be an integer"))?;
-    }
-    let work = run
-        .get("rank_work")
-        .and_then(|v| v.as_arr())
-        .ok_or("rank_work must be an array")?;
-    if work.iter().any(|w| w.as_u64().is_none()) {
-        return Err("rank_work elements must be integers".to_string());
-    }
-    let stale = run.get("stale_drops").ok_or("missing stale_drops")?;
-    stale
-        .get("total")
-        .and_then(|v| v.as_u64())
-        .ok_or("stale_drops.total must be an integer")?;
-    let per_rank = stale
-        .get("per_rank")
-        .and_then(|v| v.as_arr())
-        .ok_or("stale_drops.per_rank must be an array")?;
-    if per_rank.iter().any(|w| w.as_u64().is_none()) {
-        return Err("stale_drops.per_rank elements must be integers".to_string());
-    }
-    run.get("simulated_speedup")
-        .and_then(|v| v.as_f64())
-        .ok_or("simulated_speedup must be a number")?;
-    run.get("imbalance_ratio")
-        .and_then(|v| v.as_f64())
-        .filter(|&r| r >= 1.0)
-        .ok_or("imbalance_ratio must be a number >= 1.0")?;
-    let cp = run.get("critical_path").ok_or("missing critical_path")?;
-    if !cp.is_null() {
-        for key in ["visits", "span_us", "total_visits"] {
-            cp.get(key)
-                .and_then(|v| v.as_u64())
-                .ok_or_else(|| format!("critical_path.{key} must be an integer"))?;
-        }
-        cp.get("acyclic")
-            .and_then(|v| v.as_bool())
-            .ok_or("critical_path.acyclic must be a bool")?;
-    }
-    let lq = run
-        .get("latency_quantiles")
-        .ok_or("missing latency_quantiles")?;
-    if !lq.is_null() && lq.as_obj().is_none() {
-        return Err("latency_quantiles must be null or an object".to_string());
-    }
-    let faults = run.get("faults").ok_or("missing faults")?;
-    for key in [
-        "drops",
-        "dups",
-        "delays",
-        "stalls",
-        "retransmits",
-        "dedup_discards",
-        "acks",
-        "retries",
-    ] {
-        faults
-            .get(key)
-            .and_then(|v| v.as_u64())
-            .ok_or_else(|| format!("faults.{key} must be an integer"))?;
-    }
-    config
-        .get("faults")
-        .and_then(|v| v.as_str())
-        .ok_or("config.faults must be a string (a fault-plan spec or \"off\")")?;
-    let tree = run.get("tree").ok_or("missing tree")?;
-    for key in ["num_seeds", "num_edges", "total_distance"] {
-        tree.get(key)
-            .and_then(|v| v.as_u64())
-            .ok_or_else(|| format!("tree.{key} must be an integer"))?;
-    }
-    Ok(())
-}
+// The per-run schema contract (`validate_run`) lives in
+// `steiner::report`, next to the writer — this module only validates
+// the bench envelope around it.
 
 #[cfg(test)]
 mod tests {
@@ -463,7 +332,7 @@ mod tests {
         let doc = r.to_json();
         let entries = doc.get("entries").and_then(|v| v.as_arr()).unwrap();
         let run = entries[0].get("run").unwrap();
-        assert!(validate_run(run).is_ok());
+        assert!(steiner::report::validate_run(run).is_ok());
         assert_eq!(
             run.get("tree")
                 .and_then(|t| t.get("num_edges"))

@@ -54,8 +54,8 @@ pub mod voronoi_bsp;
 pub use phases::{Phase, PhaseTimes};
 pub use report::{ConfigFingerprint, RunReport};
 pub use struntime::{
-    FaultPlan, FaultSnapshot, MetricKind, MetricsConfig, MetricsDump, QueueKind, TraceConfig,
-    TraceDump,
+    FaultPlan, FaultSnapshot, Gauge, MetricKind, MetricsConfig, MetricsDump, QueueKind,
+    TelemetryConfig, TelemetryDump, TraceConfig, TraceDump,
 };
 
 use distance_graph::ReduceMode;
@@ -144,6 +144,12 @@ pub struct SolverConfig {
     /// from the plan's (`seed + attempt`). Ignored when `faults` is
     /// `None` or inert.
     pub fault_retries: usize,
+    /// Gauge time-series sampling for the solve's world (off by default;
+    /// see [`struntime::telemetry`]). Sampling is keyed to executed
+    /// visits, never wall clock, so enabling it leaves the tree and every
+    /// counter bit-identical; the dump lands in [`SolveReport::telemetry`]
+    /// and doubles as the flight recorder's payload on failure.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SolverConfig {
@@ -159,6 +165,7 @@ impl Default for SolverConfig {
             metrics: MetricsConfig::Off,
             faults: None,
             fault_retries: 2,
+            telemetry: TelemetryConfig::Off,
         }
     }
 }
@@ -201,6 +208,11 @@ pub struct SolveReport {
     /// delays, stalls, retransmits, dedup discards, acks, solve retries).
     /// All-zero when [`SolverConfig::faults`] is off.
     pub fault_stats: FaultSnapshot,
+    /// Per-rank gauge time series (empty unless
+    /// [`SolverConfig::telemetry`] was enabled). Feeds the
+    /// [`RunReport`]'s `timeseries` section and per-phase peak-memory
+    /// watermarks.
+    pub telemetry: TelemetryDump,
 }
 
 impl SolveReport {
@@ -324,6 +336,7 @@ pub fn solve_partitioned(
             trace: config.trace,
             metrics: config.metrics,
             faults: config.faults,
+            telemetry: config.telemetry,
             ..WorldConfig::default()
         };
         if retries > 0 {
@@ -362,10 +375,12 @@ pub fn solve_partitioned(
 /// Event tracing on a persistent world is configured when the world is
 /// built ([`struntime::WorldConfig::trace`]) and accumulates across
 /// jobs; drain it with [`PersistentWorld::finish_trace`]. The same
-/// holds for metrics ([`PersistentWorld::finish_metrics`]). The returned
-/// report's [`SolveReport::trace`] and [`SolveReport::metrics`] are
-/// therefore always empty here, and [`SolverConfig::trace`] /
-/// [`SolverConfig::metrics`] are ignored.
+/// holds for metrics ([`PersistentWorld::finish_metrics`]) and telemetry
+/// ([`PersistentWorld::finish_telemetry`]). The returned report's
+/// [`SolveReport::trace`], [`SolveReport::metrics`], and
+/// [`SolveReport::telemetry`] are therefore always empty here, and
+/// [`SolverConfig::trace`] / [`SolverConfig::metrics`] /
+/// [`SolverConfig::telemetry`] are ignored.
 pub fn solve_on(
     world: &PersistentWorld,
     pg: &Arc<PartitionedGraph>,
@@ -412,8 +427,15 @@ fn assemble_report(
     out: RunOutput<RankOutcome>,
     retries: u64,
 ) -> Result<SolveReport, SteinerError> {
+    // Flight recorder: a failed solve dumps its telemetry ring (when
+    // `FLIGHT_RECORDER_DIR` is set and telemetry was on) so the last
+    // sampled gauge states survive for post-mortem analysis.
+    if !out.audit_violations.is_empty() {
+        struntime::write_flight_dump_env(&out.telemetry, "audit_failure");
+    }
     let connected = out.results.iter().all(|r| r.connected);
     if !connected {
+        struntime::write_flight_dump_env(&out.telemetry, "phase_failure");
         // Identify a concrete pair for the error message.
         return Err(first_disconnected_pair_of(pg, &seeds));
     }
@@ -455,6 +477,7 @@ fn assemble_report(
         trace: out.trace,
         metrics: out.metrics,
         fault_stats,
+        telemetry: out.telemetry,
     })
 }
 
@@ -495,6 +518,8 @@ fn rank_main(
     // Step 1: Voronoi cells (Alg 4).
     let t = Instant::now();
     let span = comm.trace_span(Phase::Voronoi.name());
+    comm.telemetry_phase(Phase::Voronoi.index() as u64);
+    comm.telemetry_gauge("vertex_state_bytes", states.memory_bytes() as u64);
     let voronoi_stats = voronoi::run(
         comm,
         &chan_voronoi,
@@ -505,12 +530,14 @@ fn rank_main(
         struntime::traversal::TraversalOptions { queue, batch_size },
         &mut scratch,
     );
+    comm.telemetry_set(Gauge::ArenaBytes, scratch.memory_bytes() as u64);
     drop(span);
     times[Phase::Voronoi] = t.elapsed();
 
     // Step 2: local min-distance cross-cell edges (Alg 5, async part).
     let t = Instant::now();
     let span = comm.trace_span(Phase::LocalMinEdge.name());
+    comm.telemetry_phase(Phase::LocalMinEdge.index() as u64);
     let (local, probe_stats) =
         distance_graph::local_min_edges(comm, &chan_probe, rg, partition, &states, seed_index);
     drop(span);
@@ -519,13 +546,16 @@ fn rank_main(
     // Step 3: global reduction (Alg 5, collective part).
     let t = Instant::now();
     let span = comm.trace_span(Phase::GlobalMinEdge.name());
+    comm.telemetry_phase(Phase::GlobalMinEdge.index() as u64);
     let dg = distance_graph::global_min_edges(comm, local, seeds.len(), reduce_mode);
+    comm.telemetry_gauge("distance_graph_edges", dg.len() as u64);
     drop(span);
     times[Phase::GlobalMinEdge] = t.elapsed();
 
     // Step 4: sequential MST of G_1', replicated per rank.
     let t = Instant::now();
     let span = comm.trace_span(Phase::Mst.name());
+    comm.telemetry_phase(Phase::Mst.index() as u64);
     let chosen = mst::mst_of_distance_graph(seeds.len(), &dg);
     comm.barrier();
     drop(span);
@@ -545,6 +575,7 @@ fn rank_main(
     // Step 5: global edge pruning — keep only MST bridges.
     let t = Instant::now();
     let span = comm.trace_span(Phase::EdgePruning.name());
+    comm.telemetry_phase(Phase::EdgePruning.index() as u64);
     let bridges = tree_edges::active_bridges(&dg, &chosen);
     comm.barrier();
     drop(span);
@@ -553,6 +584,7 @@ fn rank_main(
     // Step 6: Steiner tree edges by predecessor tracing (Alg 6).
     let t = Instant::now();
     let span = comm.trace_span(Phase::TreeEdge.name());
+    comm.telemetry_phase(Phase::TreeEdge.index() as u64);
     let (edges, trace_stats) = tree_edges::run(comm, &chan_trace, partition, &mut states, &bridges);
     drop(span);
     times[Phase::TreeEdge] = t.elapsed();
@@ -663,6 +695,56 @@ mod tests {
             solve(&g, &[0, 3], &config(2)),
             Err(SteinerError::SeedsDisconnected(_, _))
         ));
+    }
+
+    #[test]
+    fn failed_solve_dumps_flight_recorder() {
+        // Disconnected seeds under an active fault plan, with telemetry
+        // on and FLIGHT_RECORDER_DIR pointed at a scratch dir: the solve
+        // fails, and the telemetry ring must land on disk as a
+        // schema-valid flight dump (what CI uploads on chaos failures).
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
+        let g = b.build();
+        let dir = std::env::temp_dir().join(format!("flight_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var(struntime::telemetry::FLIGHT_RECORDER_DIR_ENV, &dir);
+        let cfg = SolverConfig {
+            telemetry: TelemetryConfig::Ring {
+                sample_every: 1,
+                monitor: false,
+            },
+            faults: Some(FaultPlan::from_spec("drop=0.2,seed=5").unwrap()),
+            ..config(2)
+        };
+        let outcome = solve(&g, &[0, 5], &cfg);
+        std::env::remove_var(struntime::telemetry::FLIGHT_RECORDER_DIR_ENV);
+        assert!(matches!(
+            outcome,
+            Err(SteinerError::SeedsDisconnected(_, _))
+        ));
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("FLIGHT_") && n.ends_with(".json"))
+            })
+            .collect();
+        // The fault budget retries the solve, and every failed attempt
+        // leaves its own numbered dump — at least one, each schema-valid.
+        assert!(!dumps.is_empty(), "no flight dump in {dir:?}");
+        for dump in &dumps {
+            let doc = stgraph::json::parse(&std::fs::read_to_string(dump).unwrap()).unwrap();
+            assert_eq!(report::validate_flight(&doc), Ok(2));
+            assert_eq!(
+                doc.get("reason").and_then(|v| v.as_str()),
+                Some("phase_failure")
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -48,8 +48,16 @@ impl Phase {
         }
     }
 
-    fn index(&self) -> usize {
+    /// Position in [`Phase::ALL`] — the stable numeric id used as the
+    /// telemetry sampler's phase marker and in [`crate::RunReport`]'s
+    /// per-phase peak-memory keys.
+    pub fn index(&self) -> usize {
         Phase::ALL.iter().position(|p| p == self).expect("in ALL")
+    }
+
+    /// Inverse of [`Phase::index`].
+    pub fn from_index(i: usize) -> Option<Phase> {
+        Phase::ALL.get(i).copied()
     }
 }
 

@@ -134,6 +134,45 @@ proptest! {
         }
     }
 
+    /// Observation never perturbs the result: with telemetry sampling at
+    /// the most aggressive cadence (every visit), the tree and the
+    /// deterministic derived outputs (distance-graph size, fault
+    /// counters) are bit-identical to the telemetry-off run at every
+    /// rank count and queue discipline. Per-rank visit counts stay out
+    /// of the comparison — they are schedule-dependent between any two
+    /// runs of the asynchronous runtime, telemetry or not (the same
+    /// reason bench-guard carries generous visit tolerances).
+    #[test]
+    fn telemetry_on_and_off_solves_are_bit_identical(
+        (g, seeds) in arb_connected_instance(14, 16, 5),
+        chaos_seed in 0..u64::MAX,
+    ) {
+        use crate::TelemetryConfig;
+        for p in [1usize, 2, 4] {
+            for queue in [
+                QueueKind::Fifo,
+                QueueKind::Priority,
+                QueueKind::Adversarial { seed: chaos_seed },
+                QueueKind::Bucketed { delta: crate::auto_delta(&g) },
+            ] {
+                let base = SolverConfig { num_ranks: p, queue, ..SolverConfig::default() };
+                let off = solve(&g, &seeds, &base).unwrap();
+                let on = solve(&g, &seeds, &SolverConfig {
+                    telemetry: TelemetryConfig::Ring { sample_every: 1, monitor: false },
+                    ..base
+                }).unwrap();
+                prop_assert_eq!(&on.tree, &off.tree,
+                    "tree differs at p={} queue={:?}", p, queue);
+                prop_assert_eq!(on.distance_graph_edges, off.distance_graph_edges,
+                    "distance graph differs at p={} queue={:?}", p, queue);
+                prop_assert_eq!(on.fault_stats.injected(), off.fault_stats.injected());
+                prop_assert!(off.telemetry.is_empty());
+                prop_assert!(!on.telemetry.is_empty(),
+                    "sampler recorded nothing at p={} queue={:?}", p, queue);
+            }
+        }
+    }
+
     /// With refinement on, the distributed tree's distance matches the
     /// sequential Mehlhorn implementation (both are MST-of-G_1' expansions
     /// with the same finalization and tie-breaking data).

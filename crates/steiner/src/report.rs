@@ -23,7 +23,7 @@
 use crate::phases::Phase;
 use crate::{ReduceModeConfig, SolveReport, SolverConfig};
 use stgraph::json::Json;
-use struntime::QueueKind;
+use struntime::{Gauge, QueueKind, TelemetryDump};
 
 /// Version of the report JSON layout; see the module docs for the
 /// stability rules.
@@ -49,7 +49,15 @@ use struntime::QueueKind;
 /// `config.queue`. Strict superset once more, and breaking for the same
 /// reason: v3 readers comparing visit counts across disciplines would
 /// silently miss that part of the work was filtered, not performed.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// **v4 → v5**: adds `timeseries` (the per-rank columnar gauge time
+/// series from [`struntime::telemetry`], `null` when the solve ran with
+/// telemetry off) and `peak_memory` (per-phase peak-memory watermarks
+/// attributing the high-water mark to queue vs arena vs reliability
+/// buffers, `null` likewise). Strict superset, and breaking for the
+/// usual reason: v4 readers diffing memory across runs would silently
+/// miss that the peaks are now attributable per phase.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The configuration a solve ran with, reduced to plain strings and
 /// numbers for the report.
@@ -191,6 +199,12 @@ pub struct RunReport {
     /// Fault-injection and reliability-protocol counters; all-zero for a
     /// fault-free run (the v3 schema always emits the object).
     pub fault_stats: struntime::FaultSnapshot,
+    /// Columnar per-rank gauge time series (`null` when the solve ran
+    /// with telemetry off; v5).
+    pub timeseries: Option<Json>,
+    /// Per-phase peak-memory watermarks with attribution (`null` when
+    /// the solve ran with telemetry off; v5).
+    pub peak_memory: Option<Json>,
     /// Number of seed (terminal) vertices in the tree.
     pub tree_num_seeds: usize,
     /// Number of edges in the tree.
@@ -206,7 +220,7 @@ impl RunReport {
     /// `graph_bytes`, `state_peak_bytes`, `distance_graph_edges`,
     /// `rank_work`, `stale_drops`, `simulated_speedup`,
     /// `imbalance_ratio`, `critical_path`, `latency_quantiles`, `faults`,
-    /// `tree`.
+    /// `timeseries`, `peak_memory`, `tree`.
     pub fn to_json(&self) -> Json {
         let mut phase_times = Json::obj();
         for &(name, us) in &self.phase_times_us {
@@ -267,6 +281,11 @@ impl RunReport {
                     .with("acks", self.fault_stats.acks)
                     .with("retries", self.fault_stats.retries),
             )
+            .with("timeseries", self.timeseries.clone().unwrap_or(Json::Null))
+            .with(
+                "peak_memory",
+                self.peak_memory.clone().unwrap_or(Json::Null),
+            )
             .with(
                 "tree",
                 Json::obj()
@@ -275,6 +294,31 @@ impl RunReport {
                     .with("total_distance", self.tree_total_distance),
             )
     }
+}
+
+/// Renders the per-phase peak-memory watermarks from a telemetry dump:
+/// one object per phase (keyed by phase name), attributing the peak to
+/// `queue_bytes` (visitor queue), `arena_bytes` (scratch arena),
+/// `reliability_bytes` (unacked retransmission buffers), and the rank's
+/// tracked `total_bytes` high-water mark. Phase ids outside
+/// [`Phase::ALL`] (a runtime user's custom marks) render as
+/// `"phase_<id>"`.
+pub fn peak_memory_json(dump: &TelemetryDump) -> Json {
+    let mut out = Json::obj();
+    for (phase, peaks) in dump.phase_peaks() {
+        let name = Phase::from_index(phase as usize)
+            .map(|p| p.name().to_string())
+            .unwrap_or_else(|| format!("phase_{phase}"));
+        out.insert(
+            &name,
+            Json::obj()
+                .with("queue_bytes", peaks[Gauge::QueueBytes as usize])
+                .with("arena_bytes", peaks[Gauge::ArenaBytes as usize])
+                .with("reliability_bytes", peaks[Gauge::ReliabilityBytes as usize])
+                .with("total_bytes", peaks[Gauge::MemTotalBytes as usize]),
+        );
+    }
+    out
 }
 
 impl SolveReport {
@@ -320,6 +364,14 @@ impl SolveReport {
         } else {
             Some(self.metrics.quantiles_json())
         };
+        let (timeseries, peak_memory) = if self.telemetry.is_empty() {
+            (None, None)
+        } else {
+            (
+                Some(self.telemetry.to_json()),
+                Some(peak_memory_json(&self.telemetry)),
+            )
+        };
         let total_work: u64 = self.rank_work.iter().sum();
         let max_work = self.rank_work.iter().copied().max().unwrap_or(0);
         let imbalance_ratio = if total_work == 0 || self.rank_work.is_empty() {
@@ -342,11 +394,267 @@ impl SolveReport {
             critical_path,
             latency_quantiles,
             fault_stats: self.fault_stats,
+            timeseries,
+            peak_memory,
             tree_num_seeds: self.tree.seeds.len(),
             tree_num_edges: self.tree.num_edges(),
             tree_total_distance: self.tree.total_distance(),
         }
     }
+}
+
+/// Validates one `RunReport` JSON document against the current schema.
+/// This is the single definition of the v5 contract — the bench
+/// envelope validator and `xtask check-reports` both call it — kept
+/// next to the writer ([`RunReport::to_json`]) so the two cannot drift.
+/// Historical versions are rejected with a migration note.
+pub fn validate_run(run: &Json) -> Result<(), String> {
+    match run.get("schema_version").and_then(|v| v.as_u64()) {
+        Some(v) if v == SCHEMA_VERSION => {}
+        Some(1) => {
+            return Err(
+                "schema_version 1 report found; v2 adds imbalance_ratio, critical_path, \
+                 and latency_quantiles (no v1 key was removed or renamed) — regenerate \
+                 the report with current binaries to migrate"
+                    .to_string(),
+            );
+        }
+        Some(2) => {
+            return Err(
+                "schema_version 2 report found; v3 adds the faults object (injection and \
+                 reliability-protocol counters) and config.faults (no v2 key was removed \
+                 or renamed) — regenerate the report with current binaries to migrate"
+                    .to_string(),
+            );
+        }
+        Some(3) => {
+            return Err(
+                "schema_version 3 report found; v4 adds the stale_drops object (total plus \
+                 per_rank relaxations dropped by the ordered queues' pop-time filter) and \
+                 the bucketed:DELTA form of config.queue (no v3 key was removed or renamed) \
+                 — regenerate the report with current binaries to migrate"
+                    .to_string(),
+            );
+        }
+        Some(4) => {
+            return Err(
+                "schema_version 4 report found; v5 adds timeseries (per-rank gauge time \
+                 series, null when telemetry was off) and peak_memory (per-phase \
+                 peak-memory watermarks attributed to queue/arena/reliability buffers) \
+                 (no v4 key was removed or renamed) — regenerate the report with current \
+                 binaries to migrate"
+                    .to_string(),
+            );
+        }
+        _ => {
+            return Err(format!("schema_version must be {SCHEMA_VERSION}"));
+        }
+    }
+    let config = run.get("config").ok_or("missing config")?;
+    config
+        .get("num_ranks")
+        .and_then(|v| v.as_u64())
+        .filter(|&p| p >= 1)
+        .ok_or("config.num_ranks must be a positive integer")?;
+    config
+        .get("queue")
+        .and_then(|v| v.as_str())
+        .ok_or("config.queue must be a string")?;
+    let phases = run.get("phase_times_us").ok_or("missing phase_times_us")?;
+    for p in Phase::ALL {
+        phases
+            .get(p.name())
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("phase_times_us.{} must be integer microseconds", p.name()))?;
+    }
+    run.get("total_time_us")
+        .and_then(|v| v.as_u64())
+        .ok_or("total_time_us must be integer microseconds")?;
+    run.get("message_counts")
+        .and_then(|v| v.as_obj())
+        .ok_or("message_counts must be an object")?;
+    for key in ["graph_bytes", "state_peak_bytes", "distance_graph_edges"] {
+        run.get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("{key} must be an integer"))?;
+    }
+    let work = run
+        .get("rank_work")
+        .and_then(|v| v.as_arr())
+        .ok_or("rank_work must be an array")?;
+    if work.iter().any(|w| w.as_u64().is_none()) {
+        return Err("rank_work elements must be integers".to_string());
+    }
+    let stale = run.get("stale_drops").ok_or("missing stale_drops")?;
+    stale
+        .get("total")
+        .and_then(|v| v.as_u64())
+        .ok_or("stale_drops.total must be an integer")?;
+    let per_rank = stale
+        .get("per_rank")
+        .and_then(|v| v.as_arr())
+        .ok_or("stale_drops.per_rank must be an array")?;
+    if per_rank.iter().any(|w| w.as_u64().is_none()) {
+        return Err("stale_drops.per_rank elements must be integers".to_string());
+    }
+    run.get("simulated_speedup")
+        .and_then(|v| v.as_f64())
+        .ok_or("simulated_speedup must be a number")?;
+    run.get("imbalance_ratio")
+        .and_then(|v| v.as_f64())
+        .filter(|&r| r >= 1.0)
+        .ok_or("imbalance_ratio must be a number >= 1.0")?;
+    let cp = run.get("critical_path").ok_or("missing critical_path")?;
+    if !cp.is_null() {
+        for key in ["visits", "span_us", "total_visits"] {
+            cp.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("critical_path.{key} must be an integer"))?;
+        }
+        cp.get("acyclic")
+            .and_then(|v| v.as_bool())
+            .ok_or("critical_path.acyclic must be a bool")?;
+    }
+    let lq = run
+        .get("latency_quantiles")
+        .ok_or("missing latency_quantiles")?;
+    if !lq.is_null() && lq.as_obj().is_none() {
+        return Err("latency_quantiles must be null or an object".to_string());
+    }
+    let faults = run.get("faults").ok_or("missing faults")?;
+    for key in [
+        "drops",
+        "dups",
+        "delays",
+        "stalls",
+        "retransmits",
+        "dedup_discards",
+        "acks",
+        "retries",
+    ] {
+        faults
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("faults.{key} must be an integer"))?;
+    }
+    config
+        .get("faults")
+        .and_then(|v| v.as_str())
+        .ok_or("config.faults must be a string (a fault-plan spec or \"off\")")?;
+    let ts = run.get("timeseries").ok_or("missing timeseries")?;
+    if !ts.is_null() {
+        validate_timeseries(ts).map_err(|e| format!("timeseries: {e}"))?;
+    }
+    let pm = run.get("peak_memory").ok_or("missing peak_memory")?;
+    if !pm.is_null() {
+        let phases = pm.as_obj().ok_or("peak_memory must be null or an object")?;
+        for (phase, peaks) in phases {
+            for key in [
+                "queue_bytes",
+                "arena_bytes",
+                "reliability_bytes",
+                "total_bytes",
+            ] {
+                peaks
+                    .get(key)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| format!("peak_memory.{phase}.{key} must be an integer"))?;
+            }
+        }
+    }
+    let tree = run.get("tree").ok_or("missing tree")?;
+    for key in ["num_seeds", "num_edges", "total_distance"] {
+        tree.get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("tree.{key} must be an integer"))?;
+    }
+    Ok(())
+}
+
+/// Validates a [`struntime::telemetry`] columnar time-series object (the
+/// `timeseries` section of a v5 report and of a flight-recorder dump):
+/// `sample_every` plus per-rank columns of equal length.
+fn validate_timeseries(ts: &Json) -> Result<(), String> {
+    ts.get("sample_every")
+        .and_then(|v| v.as_u64())
+        .ok_or("sample_every must be an integer")?;
+    let ranks = ts
+        .get("ranks")
+        .and_then(|v| v.as_arr())
+        .ok_or("ranks must be an array")?;
+    for (i, rank) in ranks.iter().enumerate() {
+        let check = |e: String| format!("ranks[{i}]: {e}");
+        rank.get("rank")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| check("rank must be an integer".into()))?;
+        rank.get("dropped")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| check("dropped must be an integer".into()))?;
+        let steps = rank
+            .get("steps")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| check("steps must be an array".into()))?;
+        let phases = rank
+            .get("phases")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| check("phases must be an array".into()))?;
+        if phases.len() != steps.len() {
+            return Err(check("phases and steps lengths differ".into()));
+        }
+        let gauges = rank
+            .get("gauges")
+            .and_then(|v| v.as_obj())
+            .ok_or_else(|| check("gauges must be an object".into()))?;
+        for (name, col) in gauges {
+            let col = col
+                .as_arr()
+                .ok_or_else(|| check(format!("gauges.{name} must be an array")))?;
+            if col.len() != steps.len() {
+                return Err(check(format!(
+                    "gauges.{name} length {} != steps length {}",
+                    col.len(),
+                    steps.len()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a flight-recorder dump (`FLIGHT_<reason>_<n>.json`, written
+/// by [`struntime::write_flight_dump`] when a solve panics, fails a
+/// phase, or trips the audit ledger). Returns the number of ranks in the
+/// dump on success.
+pub fn validate_flight(doc: &Json) -> Result<usize, String> {
+    let want = struntime::telemetry::FLIGHT_SCHEMA_VERSION;
+    match doc.get("schema_version").and_then(|v| v.as_u64()) {
+        Some(v) if v == want => {}
+        _ => return Err(format!("schema_version must be {want}")),
+    }
+    if doc.get("kind").and_then(|v| v.as_str()) != Some("flight_recorder") {
+        return Err("kind must be \"flight_recorder\"".to_string());
+    }
+    doc.get("reason")
+        .and_then(|v| v.as_str())
+        .filter(|s| !s.is_empty())
+        .ok_or("reason must be a non-empty string")?;
+    let num_ranks = doc
+        .get("num_ranks")
+        .and_then(|v| v.as_u64())
+        .ok_or("num_ranks must be an integer")?;
+    let ts = doc.get("timeseries").ok_or("missing timeseries")?;
+    validate_timeseries(ts).map_err(|e| format!("timeseries: {e}"))?;
+    let got = ts
+        .get("ranks")
+        .and_then(|v| v.as_arr())
+        .map(|a| a.len())
+        .unwrap_or(0);
+    if got as u64 != num_ranks {
+        return Err(format!(
+            "num_ranks {num_ranks} disagrees with {got} timeseries ranks"
+        ));
+    }
+    Ok(got)
 }
 
 #[cfg(test)]
@@ -424,7 +732,7 @@ mod tests {
         assert!(report.latency_quantiles.is_none());
         assert!(report.imbalance_ratio >= 1.0);
         let doc = report.to_json();
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
         assert!(doc.get("critical_path").expect("key present").is_null());
         assert!(doc.get("latency_quantiles").expect("key present").is_null());
         assert!(doc
@@ -551,6 +859,88 @@ mod tests {
             sd.get("per_rank").and_then(|v| v.as_arr()).map(|a| a.len()),
             Some(2)
         );
+    }
+
+    #[test]
+    fn v5_telemetry_fields_null_without_telemetry() {
+        let report = sample_report().run_report();
+        assert!(report.timeseries.is_none());
+        assert!(report.peak_memory.is_none());
+        let doc = report.to_json();
+        assert!(doc.get("timeseries").expect("key present").is_null());
+        assert!(doc.get("peak_memory").expect("key present").is_null());
+        assert!(validate_run(&doc).is_ok());
+    }
+
+    #[test]
+    fn v5_telemetry_fields_populated_and_validate() {
+        let mut b = GraphBuilder::new(12);
+        for i in 0..11 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, 2);
+        }
+        let g = b.build();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            telemetry: crate::TelemetryConfig::Ring {
+                sample_every: 1,
+                monitor: false,
+            },
+            ..SolverConfig::default()
+        };
+        let report = solve(&g, &[0, 11], &cfg).unwrap().run_report();
+        let doc = report.to_json();
+        validate_run(&doc).expect("v5 report with telemetry validates");
+        let ts = doc.get("timeseries").unwrap();
+        assert!(!ts.is_null());
+        assert_eq!(
+            ts.get("ranks").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(2)
+        );
+        let pm = doc.get("peak_memory").unwrap();
+        // Every phase was marked, so every phase name keys a watermark.
+        let voronoi = pm.get("voronoi").expect("voronoi watermark");
+        assert!(voronoi
+            .get("total_bytes")
+            .and_then(|v| v.as_u64())
+            .is_some());
+        assert!(voronoi
+            .get("queue_bytes")
+            .and_then(|v| v.as_u64())
+            .is_some());
+        // Round-trips through the parser and still validates.
+        let reparsed = stgraph::json::parse(&doc.to_pretty()).unwrap();
+        assert!(validate_run(&reparsed).is_ok());
+    }
+
+    #[test]
+    fn v4_run_report_rejected_with_migration_note() {
+        let mut doc = sample_report().run_report().to_json();
+        doc.insert("schema_version", 4u64);
+        let err = validate_run(&doc).unwrap_err();
+        assert!(err.contains("schema_version 4"), "{err}");
+        assert!(err.contains("timeseries"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn flight_dump_validates() {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, 2);
+        }
+        let g = b.build();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            telemetry: crate::TelemetryConfig::ring(),
+            ..SolverConfig::default()
+        };
+        let solved = solve(&g, &[0, 7], &cfg).unwrap();
+        let doc = solved.telemetry.flight_json("unit_test");
+        assert_eq!(validate_flight(&doc), Ok(2));
+        let reparsed = stgraph::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(validate_flight(&reparsed), Ok(2));
+        // A run report is not a flight dump.
+        assert!(validate_flight(&solved.run_report().to_json()).is_err());
     }
 
     #[test]

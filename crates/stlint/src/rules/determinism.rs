@@ -383,6 +383,22 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_module_needs_a_justified_allow_per_clock_read() {
+        // The telemetry sampler is NOT in the sanctioned-module list: its
+        // sampling cadence must stay step-keyed, so a bare clock read in
+        // telemetry.rs is a finding…
+        let bare = "fn monitor() { let t = Instant::now(); }\n";
+        let f = analyze_raw(&[("crates/struntime/src/telemetry.rs", bare)]);
+        assert_eq!(rules_of(&f), vec![RULE_WALLCLOCK]);
+        // …and the heartbeat renderer's one sanctioned read carries a
+        // line-scoped justified allow, exactly as the shipped code does.
+        let justified = "fn monitor() {\n\
+                             let t = Instant::now(); // stcheck: allow(wallclock): heartbeat rendering only; never feeds sampling.\n\
+                         }\n";
+        assert!(analyze_raw(&[("crates/struntime/src/telemetry.rs", justified)]).is_empty());
+    }
+
+    #[test]
     fn file_scoped_allow_covers_every_site() {
         let src =
             "//! stcheck: allow-file(wallclock): retransmission timers are wall-clock by design.\n\

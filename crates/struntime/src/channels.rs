@@ -67,6 +67,7 @@ use crate::counters::PhaseStats;
 use crate::faults::{FaultAction, FaultInjector};
 use crate::perturb::{SchedulePerturber, SyncPoint};
 use crate::shared::Shared;
+use crate::telemetry::{Gauge, TelemetrySampler};
 use crate::trace::{TraceBuffer, TraceEventKind};
 use crate::wire::DeepBytes;
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
@@ -136,6 +137,9 @@ pub(crate) enum WireMsg<T> {
 struct Unacked<T> {
     payload: Wire<T>,
     lineage: Option<LineageSidecar>,
+    /// Deep wire size of the payload, so the telemetry gauges can release
+    /// exactly what they charged when the ack lands.
+    bytes: u64,
     /// Transmissions so far (1 after the original send).
     attempts: u32,
     /// When the next retransmission fires.
@@ -213,6 +217,7 @@ pub(crate) struct GroupCtx {
     pub perturb: Option<Arc<SchedulePerturber>>,
     pub faults: Option<Arc<FaultInjector>>,
     pub trace: Option<Arc<TraceBuffer>>,
+    pub telemetry: Option<Arc<TelemetrySampler>>,
     pub phase: &'static str,
 }
 
@@ -225,6 +230,7 @@ impl GroupCtx {
             perturb: None,
             faults: None,
             trace: None,
+            telemetry: None,
             phase,
         }
     }
@@ -356,6 +362,7 @@ impl<T: Send + Clone + 'static> ChannelGroup<T> {
         dest: usize,
         payload: Wire<T>,
         lineage: Option<LineageSidecar>,
+        bytes: u64,
         sequenced: bool,
     ) {
         let (rel, inj) = match (&self.reliable, &self.ctx.faults) {
@@ -415,10 +422,15 @@ impl<T: Send + Clone + 'static> ChannelGroup<T> {
             Unacked {
                 payload,
                 lineage,
+                bytes,
                 attempts: 1,
                 deadline: backoff_deadline(now, 1),
             },
         );
+        if let Some(t) = &self.ctx.telemetry {
+            t.add(Gauge::UnackedBatches, 1);
+            t.add(Gauge::ReliabilityBytes, bytes);
+        }
         match inj.draw(0) {
             FaultAction::Deliver => self.raw_send(dest, msg),
             FaultAction::Drop => {}
@@ -598,7 +610,7 @@ impl<T: Send + Clone + 'static> ChannelGroup<T> {
         self.charge(dest, 1, bytes as u64, 0);
         self.pause(SyncPoint::ChannelSend);
         let wire = self.wrap(dest, msg, 1);
-        self.ship(dest, wire, None, false);
+        self.ship(dest, wire, None, bytes as u64, false);
     }
 
     /// Non-blocking receive from this rank's inbound queue.
@@ -637,8 +649,13 @@ impl<T: Send + Clone + 'static> ChannelGroup<T> {
         loop {
             match self.receiver.try_recv() {
                 Ok(WireMsg::Ack { from, seq }) => {
-                    if rel.lock().unacked[from].remove(&seq).is_some() {
+                    if let Some(entry) = rel.lock().unacked[from].remove(&seq) {
                         inj.stats().acks.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = &self.ctx.telemetry {
+                            t.sub(Gauge::UnackedBatches, 1);
+                            t.sub(Gauge::ReliabilityBytes, entry.bytes);
+                            t.add(Gauge::AckedBatches, 1);
+                        }
                     }
                 }
                 Ok(WireMsg::Data {
@@ -737,7 +754,7 @@ impl<V: Send + Clone + 'static> ChannelGroup<Vec<V>> {
         self.pause(SyncPoint::ChannelSend);
         let visitors = batch.len() as u64;
         let wire = self.wrap(dest, batch, visitors);
-        self.ship(dest, wire, lineage, true);
+        self.ship(dest, wire, lineage, payload_bytes, true);
     }
 
     /// Ships `batch` through the flat wire codec, leaving the caller's

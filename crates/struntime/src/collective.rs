@@ -271,7 +271,8 @@ mod tests {
         // A standalone rank-1 endpoint of a 2-rank world: the lockstep
         // check fires before the first barrier, so no peer thread is
         // needed and the panic cannot deadlock the test.
-        let comm = Comm::new_for_persistent(1, Arc::new(Shared::new(2)), None, None, None, None);
+        let comm =
+            Comm::new_for_persistent(1, Arc::new(Shared::new(2)), None, None, None, None, None);
         let _ = comm.broadcast(0, Some(7u32));
     }
 }

@@ -45,6 +45,7 @@ pub mod persistent;
 pub mod perturb;
 pub mod queue;
 pub mod shared;
+pub mod telemetry;
 pub mod trace;
 pub mod traversal;
 pub mod wire;
@@ -57,6 +58,10 @@ pub use metrics::{HistogramSnapshot, MetricKind, MetricsConfig, MetricsDump};
 pub use persistent::PersistentWorld;
 pub use perturb::{stress_schedules, PerturbAction, SchedulePerturber, SyncPoint, TraceEntry};
 pub use queue::QueueKind;
+pub use telemetry::{
+    write_flight_dump, write_flight_dump_env, Gauge, TelemetryConfig, TelemetryDump,
+    TelemetrySample, TelemetrySampler,
+};
 pub use trace::{TraceConfig, TraceDump, TraceEvent, TraceEventKind, TraceSpan};
 #[cfg(feature = "check")]
 pub use traversal::run_traversal_mutant_premature;
@@ -73,7 +78,7 @@ use memory::MemoryTracker;
 use metrics::{PhaseMetrics, RankMetrics};
 use shared::{ChannelSlot, Shared};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use trace::TraceBuffer;
 
@@ -88,6 +93,7 @@ pub struct Comm {
     trace: Option<Arc<TraceBuffer>>,
     metrics: Option<Arc<RankMetrics>>,
     faults: Option<Arc<FaultInjector>>,
+    telemetry: Option<Arc<TelemetrySampler>>,
     /// Monotone per-rank lineage sequence; world-unique ids are
     /// `rank << 40 | seq` with seq starting at 1 (0 = "no message").
     /// The packing survives a round-trip through JSON's f64 numbers for
@@ -103,6 +109,7 @@ impl Comm {
         trace: Option<Arc<TraceBuffer>>,
         metrics: Option<Arc<RankMetrics>>,
         faults: Option<Arc<FaultInjector>>,
+        telemetry: Option<Arc<TelemetrySampler>>,
     ) -> Comm {
         Comm {
             rank,
@@ -114,6 +121,7 @@ impl Comm {
             trace,
             metrics,
             faults,
+            telemetry,
             lineage_seq: AtomicU64::new(0),
         }
     }
@@ -235,6 +243,74 @@ impl Comm {
         self.metrics.as_ref().map(|m| m.phase(phase))
     }
 
+    /// This rank's telemetry sampler, when the world samples telemetry
+    /// (see [`telemetry`]).
+    pub fn telemetry(&self) -> Option<&Arc<TelemetrySampler>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Marks a solver phase transition on the telemetry time series and
+    /// forces a boundary sample, so the Gantt view sees every phase even
+    /// when it executes few visits. A null check when telemetry is off.
+    pub fn telemetry_phase(&self, phase: u64) {
+        if let Some(t) = &self.telemetry {
+            t.set_phase(phase);
+        }
+    }
+
+    /// Sets a fixed telemetry gauge's live value (solvers report arena
+    /// bytes this way). A null check when telemetry is off.
+    pub fn telemetry_set(&self, gauge: Gauge, v: u64) {
+        if let Some(t) = &self.telemetry {
+            t.set(gauge, v);
+        }
+    }
+
+    /// Sets a labelled extension gauge: a final value surfaced in the
+    /// dump, not a time series. Labels are static and must be unique
+    /// across the workspace (the `gauge-label-dup` lint enforces it). A
+    /// null check when telemetry is off.
+    pub fn telemetry_gauge(&self, label: &'static str, v: u64) {
+        if let Some(t) = &self.telemetry {
+            t.set_named(label, v);
+        }
+    }
+
+    /// Per-visit telemetry hook (the traversal drain loop calls this
+    /// after every executed visit): updates the queue gauges, advances
+    /// the step counter, and — on the step-keyed sampling cadence —
+    /// refreshes the memory-ledger and fault gauges and snapshots the
+    /// ring. Deterministic: cadence depends only on the visit count.
+    pub(crate) fn telemetry_visit(&self, queue_len: usize, queue_bytes: usize) {
+        let Some(t) = &self.telemetry else { return };
+        t.set(Gauge::QueueDepth, queue_len as u64);
+        t.set(Gauge::QueueBytes, queue_bytes as u64);
+        t.add(Gauge::Visits, 1);
+        if t.step_tick() {
+            t.set(Gauge::MemTotalBytes, self.memory.current_total() as u64);
+            t.set(
+                Gauge::CollectiveBytes,
+                (self.memory.current("collective_slot") + self.memory.current("collective_buffer"))
+                    as u64,
+            );
+            if self.faults.is_some() {
+                t.set(
+                    Gauge::FaultsInjected,
+                    self.shared.faults.snapshot().injected(),
+                );
+            }
+            t.record_sample();
+        }
+    }
+
+    /// Telemetry hook for stale-filter drops (see
+    /// [`traversal::run_traversal_filtered`]).
+    pub(crate) fn telemetry_stale_drop(&self, n: u64) {
+        if let Some(t) = &self.telemetry {
+            t.add(Gauge::StaleDrops, n);
+        }
+    }
+
     /// Collectively opens a typed all-to-all channel group. Every rank must
     /// call this in the same program order (tags are assigned from a local
     /// counter that advances identically on all ranks). Messages sent
@@ -314,6 +390,7 @@ impl Comm {
             perturb: self.perturb.clone(),
             faults: self.faults.clone(),
             trace: self.trace.clone(),
+            telemetry: self.telemetry.clone(),
             phase,
         };
         ChannelGroup::new(
@@ -360,6 +437,9 @@ pub struct RunOutput<T> {
     /// Fault-injection and reliability-protocol counters summed over all
     /// ranks; all-zero when the world ran without a [`FaultPlan`].
     pub fault_stats: FaultSnapshot,
+    /// Gauge time series drained from every rank at teardown. Empty
+    /// unless the world ran with [`TelemetryConfig::Ring`].
+    pub telemetry: TelemetryDump,
 }
 
 impl<T> RunOutput<T> {
@@ -374,6 +454,12 @@ impl<T> RunOutput<T> {
     /// [`MetricsDump::quantiles_json`].
     pub fn finish_metrics(&self) -> MetricsDump {
         self.metrics.clone()
+    }
+
+    /// The drained gauge time series, ready for
+    /// [`TelemetryDump::to_json`] or a flight-recorder dump.
+    pub fn finish_telemetry(&self) -> TelemetryDump {
+        self.telemetry.clone()
     }
     /// Cluster-wide per-phase message counts (sum over ranks).
     pub fn merged_counters(&self) -> BTreeMap<&'static str, PhaseSnapshot> {
@@ -406,6 +492,11 @@ pub struct WorldConfig {
     /// [`faults::FaultInjector`] seeded from the plan, and the channel
     /// layer runs its reliability protocol (see [`channels`]).
     pub faults: Option<FaultPlan>,
+    /// Gauge time-series sampling (off by default; see [`telemetry`]).
+    /// Sampling is step-keyed, so enabling it leaves results and
+    /// counters bit-identical; `monitor: true` additionally renders a
+    /// live per-rank heartbeat line to stderr.
+    pub telemetry: TelemetryConfig,
 }
 
 /// The simulated cluster.
@@ -443,8 +534,18 @@ impl World {
         let trace_buffers = trace::make_buffers(p, config.trace, shared.epoch);
         let metric_regs = metrics::make_registries(p, config.metrics);
         let injectors = faults::make_injectors(p, config.faults, &shared.faults);
+        let samplers = telemetry::make_samplers(p, config.telemetry);
+        let monitor_stop = AtomicBool::new(false);
 
         let results: Vec<T> = std::thread::scope(|scope| {
+            let monitor = match &samplers {
+                Some(s) if config.telemetry.monitor_enabled() => {
+                    let s = s.clone();
+                    let stop = &monitor_stop;
+                    Some(scope.spawn(move || telemetry::monitor_loop(&s, stop)))
+                }
+                _ => None,
+            };
             let handles: Vec<_> = (0..p)
                 .map(|rank| {
                     let mut comm = Comm {
@@ -457,19 +558,33 @@ impl World {
                         trace: trace_buffers.as_ref().map(|b| Arc::clone(&b[rank])),
                         metrics: metric_regs.as_ref().map(|m| Arc::clone(&m[rank])),
                         faults: injectors.as_ref().map(|i| Arc::clone(&i[rank])),
+                        telemetry: samplers.as_ref().map(|t| Arc::clone(&t[rank])),
                         lineage_seq: AtomicU64::new(0),
                     };
                     let f = &f;
                     scope.spawn(move || f(&mut comm))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .collect()
+            // Join every rank before propagating a panic: the scope would
+            // wait for the stragglers anyway, and a full join means the
+            // telemetry rings are quiescent and safe to drain for the
+            // flight recorder.
+            let joined: Vec<std::thread::Result<T>> =
+                handles.into_iter().map(|h| h.join()).collect();
+            monitor_stop.store(true, Ordering::Release);
+            if let Some(m) = monitor {
+                let _ = m.join();
+            }
+            match joined.into_iter().collect::<std::thread::Result<Vec<T>>>() {
+                Ok(results) => results,
+                Err(payload) => {
+                    telemetry::write_flight_dump_env(
+                        &telemetry::drain_samplers(&samplers),
+                        "panic",
+                    );
+                    std::panic::resume_unwind(payload)
+                }
+            }
         });
 
         let reports = (0..p)
@@ -490,6 +605,7 @@ impl World {
             trace: trace::drain_buffers(&trace_buffers),
             metrics: metrics::drain_registries(&metric_regs),
             fault_stats: shared.faults.snapshot(),
+            telemetry: telemetry::drain_samplers(&samplers),
         }
     }
 }
@@ -1113,6 +1229,68 @@ mod tests {
         // The drain-time sample sees all 8; the old after-a-visit sample
         // could only ever see 7.
         assert_eq!(out.results[1].peak_queue_len, 8);
+    }
+
+    #[test]
+    fn telemetry_world_records_samples_and_visits() {
+        let config = WorldConfig {
+            telemetry: TelemetryConfig::Ring {
+                sample_every: 1,
+                monitor: false,
+            },
+            ..WorldConfig::default()
+        };
+        let out = World::run_config(2, config, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("telemetry_world");
+            comm.telemetry_phase(7);
+            let init: Vec<u32> = if comm.rank() == 0 {
+                (0..16).collect()
+            } else {
+                vec![]
+            };
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Fifo,
+                |_| 0,
+                init,
+                |v, pusher| {
+                    if v < 100 {
+                        pusher.push((v as usize + 1) % 2, v + 100);
+                    }
+                },
+            );
+            comm.telemetry_gauge("finished", 1);
+        });
+        let dump = &out.telemetry;
+        assert_eq!(dump.ranks.len(), 2);
+        assert!(dump.num_samples() > 0, "every-step cadence must sample");
+        for rt in &dump.ranks {
+            assert!(
+                rt.samples.iter().any(|s| s.phase == 7),
+                "rank {} never sampled inside phase 7",
+                rt.rank
+            );
+            assert!(
+                rt.samples
+                    .iter()
+                    .any(|s| s.values[Gauge::Visits as usize] > 0),
+                "rank {} recorded no visit gauge",
+                rt.rank
+            );
+            assert_eq!(rt.named.get("finished"), Some(&1));
+        }
+    }
+
+    #[test]
+    fn telemetry_off_world_dump_is_empty() {
+        let out = World::run(2, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("telemetry_off");
+            comm.telemetry_phase(1);
+            let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+            run_traversal(comm, &chan, QueueKind::Fifo, |_| 0, init, |_, _| {})
+        });
+        assert!(out.telemetry.is_empty());
     }
 }
 

@@ -54,6 +54,13 @@ impl MemoryTracker {
         self.inner.lock().total
     }
 
+    /// Current bytes under one label (0 if never recorded). The
+    /// telemetry sampler uses this to attribute live memory to
+    /// categories (queue vs arena vs collective buffers).
+    pub fn current(&self, label: &str) -> usize {
+        self.inner.lock().current.get(label).copied().unwrap_or(0)
+    }
+
     /// Highest total ever observed.
     pub fn peak_total(&self) -> usize {
         self.inner.lock().peak_total
@@ -75,8 +82,11 @@ mod tests {
         t.record("state", 100);
         t.record("buffer", 50);
         assert_eq!(t.current_total(), 150);
+        assert_eq!(t.current("buffer"), 50);
         t.release("buffer", 50);
         assert_eq!(t.current_total(), 100);
+        assert_eq!(t.current("buffer"), 0);
+        assert_eq!(t.current("never_recorded"), 0);
         assert_eq!(t.peak_total(), 150);
     }
 

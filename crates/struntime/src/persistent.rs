@@ -14,6 +14,7 @@ use crate::memory::MemoryTracker;
 use crate::metrics::{self, MetricsDump};
 use crate::perturb::SchedulePerturber;
 use crate::shared::Shared;
+use crate::telemetry::{self, TelemetryDump};
 use crate::trace::{self, TraceDump};
 use crate::{Comm, RankReport, RunOutput, WorldConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -36,6 +37,7 @@ pub struct PersistentWorld {
     perturbers: Vec<Option<Arc<SchedulePerturber>>>,
     trace_buffers: Option<Vec<Arc<crate::trace::TraceBuffer>>>,
     metric_regs: Option<Vec<Arc<crate::metrics::RankMetrics>>>,
+    telemetry_samplers: Option<Vec<Arc<crate::telemetry::TelemetrySampler>>>,
     job_senders: Vec<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -63,6 +65,7 @@ impl PersistentWorld {
         let trace_buffers = trace::make_buffers(p, config.trace, shared.epoch);
         let metric_regs = metrics::make_registries(p, config.metrics);
         let injectors = faults::make_injectors(p, config.faults, &shared.faults);
+        let telemetry_samplers = telemetry::make_samplers(p, config.telemetry);
         let mut job_senders = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
         for (rank, perturb) in perturbers.iter().enumerate() {
@@ -73,6 +76,7 @@ impl PersistentWorld {
             let trace = trace_buffers.as_ref().map(|b| Arc::clone(&b[rank]));
             let rank_metrics = metric_regs.as_ref().map(|m| Arc::clone(&m[rank]));
             let rank_faults = injectors.as_ref().map(|i| Arc::clone(&i[rank]));
+            let rank_telemetry = telemetry_samplers.as_ref().map(|t| Arc::clone(&t[rank]));
             handles.push(std::thread::spawn(move || {
                 let mut comm = Comm::new_for_persistent(
                     rank,
@@ -81,6 +85,7 @@ impl PersistentWorld {
                     trace,
                     rank_metrics,
                     rank_faults,
+                    rank_telemetry,
                 );
                 while let Ok(job) = rx.recv() {
                     comm.install_observers(Arc::clone(&job.counters), Arc::clone(&job.memory));
@@ -97,6 +102,7 @@ impl PersistentWorld {
             perturbers,
             trace_buffers,
             metric_regs,
+            telemetry_samplers,
             job_senders,
             handles,
         }
@@ -128,6 +134,15 @@ impl PersistentWorld {
     /// contract as [`PersistentWorld::finish_trace`].
     pub fn finish_metrics(&self) -> MetricsDump {
         metrics::drain_registries(&self.metric_regs)
+    }
+
+    /// Drains every rank's gauge time series accumulated since the last
+    /// drain (or construction). Like [`PersistentWorld::finish_trace`],
+    /// a persistent world's telemetry spans jobs; same between-jobs
+    /// calling contract. Empty unless the world was built with
+    /// [`crate::telemetry::TelemetryConfig::Ring`].
+    pub fn finish_telemetry(&self) -> TelemetryDump {
+        telemetry::drain_samplers(&self.telemetry_samplers)
     }
 
     /// Runs `f` on every rank concurrently and returns the per-rank
@@ -205,6 +220,8 @@ impl PersistentWorld {
             // Fault counters also accumulate across jobs; the snapshot is
             // cumulative, like `finish_metrics`.
             fault_stats: self.shared.faults.snapshot(),
+            // Telemetry also accumulates; drain with `finish_telemetry`.
+            telemetry: TelemetryDump::default(),
         }
     }
 }

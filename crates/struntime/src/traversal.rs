@@ -583,6 +583,9 @@ where
             true
         });
         stats.stale_dropped += dropped;
+        if dropped > 0 {
+            comm.telemetry_stale_drop(dropped);
+        }
         if let Some((meta, v)) = popped {
             debug_assert!(!idle, "queue cannot be non-empty while idle");
             let visit_start = lineage.now_us(comm);
@@ -629,6 +632,10 @@ where
             }
             stats.peak_queue_len = stats.peak_queue_len.max(queue.len());
             stats.peak_queue_bytes = stats.peak_queue_bytes.max(queue.memory_bytes());
+            // Telemetry step hook: advances the step-keyed sampling
+            // cadence once per executed visit (a null check when
+            // telemetry is off, like the sparse trace sample above).
+            comm.telemetry_visit(queue.len(), queue.memory_bytes());
             continue;
         }
 

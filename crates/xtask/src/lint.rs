@@ -1,7 +1,7 @@
 //! Custom lint pass for the simulated-runtime workspace.
 //!
 //! `cargo run -p xtask -- lint` walks every non-vendored `.rs` file and
-//! enforces six rules that `rustc`/`clippy` cannot express because they
+//! enforces seven rules that `rustc`/`clippy` cannot express because they
 //! encode *this* codebase's concurrency discipline:
 //!
 //! 1. `relaxed-quiescence` — the double-read termination protocol is only
@@ -29,6 +29,11 @@
 //!    go through `send_batch`/`send_batch_traced`/`send_batch_encoded`,
 //!    which ride the reliable sequenced protocol and charge exact
 //!    deep/wire byte counts through the single accounting hook.
+//! 7. `gauge-label-dup` — named-gauge labels (`telemetry_gauge`/
+//!    `set_named` literals) must not collide across modules; the
+//!    telemetry dump keys its `named` section by label, so two modules
+//!    reusing one silently merge unrelated time series (same failure
+//!    mode as `trace-label-dup`, on the sampler instead of the tracer).
 //!
 //! The scanner blanks comment bodies and string/char-literal contents
 //! before matching (so prose and fixtures never trip a rule) and tracks
@@ -65,6 +70,7 @@ pub const RULE_UNWRAP: &str = "unwrap-expect";
 pub const RULE_PHASE_DUP: &str = "phase-label-dup";
 pub const RULE_TRACE_DUP: &str = "trace-label-dup";
 pub const RULE_PLAIN_SEND: &str = "plain-send-vec";
+pub const RULE_GAUGE_DUP: &str = "gauge-label-dup";
 
 /// Directories never descended into.
 const SKIP_DIRS: &[&str] = &["vendored", "target", ".git"];
@@ -104,8 +110,9 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
 pub fn run_lints(files: &[(String, String)]) -> Vec<LintError> {
     let test_modules = collect_test_module_files(files);
     let mut errors = Vec::new();
-    // label -> first (path, line) that used it, for the cross-file rule.
+    // label -> first (path, line) that used it, for the cross-file rules.
     let mut trace_labels: Vec<(String, String, usize)> = Vec::new();
+    let mut gauge_labels: Vec<(String, String, usize)> = Vec::new();
     for (path, content) in files {
         lint_file(
             path,
@@ -113,6 +120,7 @@ pub fn run_lints(files: &[(String, String)]) -> Vec<LintError> {
             test_modules.contains(path),
             &mut errors,
             &mut trace_labels,
+            &mut gauge_labels,
         );
     }
     errors
@@ -188,6 +196,7 @@ fn lint_file(
     declared_test_module: bool,
     errors: &mut Vec<LintError>,
     trace_labels: &mut Vec<(String, String, usize)>,
+    gauge_labels: &mut Vec<(String, String, usize)>,
 ) {
     let blanked = blank(content);
     let raw_lines: Vec<&str> = content.lines().collect();
@@ -260,6 +269,15 @@ fn lint_file(
         &raw_lines,
         errors,
         trace_labels,
+    );
+    gauge_label_dups(
+        path,
+        content,
+        &blanked,
+        &is_test_line,
+        &raw_lines,
+        errors,
+        gauge_labels,
     );
 }
 
@@ -474,6 +492,50 @@ fn trace_label_dups(
                             "trace label {label:?} already used in {first_path}:{first_line}; \
                              the analyzer and trace viewers group events by label, so \
                              cross-module reuse merges unrelated timelines"
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => seen.push((label, path.to_string(), lineno)),
+            }
+        }
+    }
+}
+
+/// Flags named-gauge labels (`telemetry_gauge` / `set_named` literals)
+/// reused across modules — the telemetry dump keys its `named` section by
+/// label, so cross-module reuse merges unrelated time series. Like
+/// `trace-label-dup`, repeats within one file are fine (a module may
+/// update its own gauge at several points).
+#[allow(clippy::too_many_arguments)]
+fn gauge_label_dups(
+    path: &str,
+    content: &str,
+    blanked: &str,
+    is_test_line: &dyn Fn(usize) -> bool,
+    raw_lines: &[&str],
+    errors: &mut Vec<LintError>,
+    seen: &mut Vec<(String, String, usize)>,
+) {
+    for needle in ["telemetry_gauge", "set_named"] {
+        for (label, lineno) in literal_label_sites(
+            content,
+            blanked,
+            needle,
+            is_test_line,
+            raw_lines,
+            RULE_GAUGE_DUP,
+        ) {
+            match seen.iter().find(|(l, _, _)| *l == label) {
+                Some((_, first_path, first_line)) if first_path != path => {
+                    errors.push(LintError {
+                        path: path.to_string(),
+                        line: lineno,
+                        rule: RULE_GAUGE_DUP,
+                        message: format!(
+                            "named gauge {label:?} already used in {first_path}:{first_line}; \
+                             the telemetry dump keys its named section by label, so \
+                             cross-module reuse merges unrelated time series"
                         ),
                     });
                 }
@@ -922,6 +984,53 @@ mod tests {
         let suppressed = "let g = comm.open_channels::<Vec<u8>>(\"p\");\n\
                           g.send(0, vec![1]); // stcheck: allow(plain-send-vec)\n";
         assert!(lint_one("crates/steiner/src/lib.rs", suppressed).is_empty());
+    }
+
+    #[test]
+    fn gauge_labels_colliding_across_modules_are_flagged() {
+        let a = "fn f(c: &Comm) { c.telemetry_gauge(\"arena\", 1); }\n";
+        let b = "fn g(s: &TelemetrySampler) { s.set_named(\"arena\", 2); }\n";
+        let files = vec![
+            ("crates/steiner/src/a.rs".to_string(), a.to_string()),
+            ("crates/steiner/src/b.rs".to_string(), b.to_string()),
+        ];
+        let hit = run_lints(&files);
+        assert_eq!(rules(&hit), vec![RULE_GAUGE_DUP]);
+        assert_eq!(hit[0].path, "crates/steiner/src/b.rs");
+        assert!(hit[0].message.contains("a.rs:1"), "{}", hit[0].message);
+    }
+
+    #[test]
+    fn gauge_labels_may_repeat_within_one_module_and_suppress() {
+        let same = "fn f(c: &Comm) {\n\
+                        c.telemetry_gauge(\"frontier\", 1);\n\
+                        c.telemetry_gauge(\"frontier\", 2);\n\
+                    }\n";
+        assert!(lint_one("crates/steiner/src/a.rs", same).is_empty());
+        let a = "fn f(c: &Comm) { c.telemetry_gauge(\"x\", 1); }\n";
+        let b =
+            "fn g(c: &Comm) { c.telemetry_gauge(\"x\", 2); } // stcheck: allow(gauge-label-dup)\n";
+        let files = vec![
+            ("crates/steiner/src/a.rs".to_string(), a.to_string()),
+            ("crates/steiner/src/b.rs".to_string(), b.to_string()),
+        ];
+        assert!(run_lints(&files).is_empty());
+    }
+
+    #[test]
+    fn gauge_definition_site_and_dynamic_labels_are_skipped() {
+        let a = "pub fn set_named(&self, name: &'static str, value: u64) {\n\
+                     self.store(name, value)\n\
+                 }\n";
+        let b = "fn g(c: &Comm) { c.telemetry_gauge(gauge_name(), 1); }\n";
+        let files = vec![
+            (
+                "crates/struntime/src/telemetry.rs".to_string(),
+                a.to_string(),
+            ),
+            ("crates/steiner/src/b.rs".to_string(), b.to_string()),
+        ];
+        assert!(run_lints(&files).is_empty());
     }
 
     #[test]

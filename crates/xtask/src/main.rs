@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p xtask -- lint [root] [--update-baseline]
 //! cargo run -p xtask -- check-reports [dir] [--stlint-only]
-//! cargo run -p xtask -- analyze <trace.json>
+//! cargo run -p xtask -- analyze <file.json>
+//! cargo run -p xtask -- perf-diff <A.json> <B.json> [--counters-only]
 //! cargo run -p xtask -- chaos
 //! cargo run -p xtask -- bench-guard [dir] [--update-baseline]
 //! ```
@@ -24,7 +25,9 @@
 //!
 //! `check-reports` parses every `BENCH_*.json` in the given directory
 //! (default: `bench_results/` under the workspace root) and validates it
-//! against the envelope schema in `bench::report`; it also validates the
+//! against the envelope schema in `bench::report`; any `FLIGHT_*.json`
+//! flight-recorder dumps alongside them are validated against
+//! `steiner::report::validate_flight`. It also validates the
 //! workspace-root `stlint.json` against [`stlint_report`]'s schema when
 //! present. With `--stlint-only` the bench envelopes are skipped and the
 //! stlint report becomes mandatory (CI's lint job runs this form — it has
@@ -32,20 +35,31 @@
 //! schema-valid; 1 means violations (or no reports at all); 2 means
 //! usage or I/O error.
 //!
-//! `analyze` loads an exported Chrome-trace JSON (from
-//! `steiner-cli solve --trace` or any `TraceDump::to_chrome_trace`
-//! output), reconstructs the causality DAG with `stanalyze`, and prints
-//! the critical-path / load-imbalance readout. Exit code 0 means the DAG
-//! verified (acyclic, covered, non-empty critical path when visits
-//! exist); 1 means a verification failure; 2 means usage or I/O error.
+//! `analyze` inspects a machine-readable JSON by shape: a Chrome-trace
+//! export (from `steiner-cli solve --trace`) gets the `stanalyze`
+//! critical-path / load-imbalance readout; a v5 `RunReport` with a
+//! `timeseries` section, or a flight-recorder dump, gets the ASCII phase
+//! Gantt and per-rank utilization view. Exit code 0 means the analysis
+//! verified; 1 means a verification failure (or a RunReport recorded
+//! with telemetry off); 2 means usage or I/O error.
+//!
+//! `perf-diff` compares two run documents (bare `RunReport`s or whole
+//! `BENCH_*.json` envelopes, solve entries matched by label) and flags
+//! per-phase time / visit / byte / memory regressions beyond the noise
+//! thresholds in [`perfdiff`]. `--counters-only` skips the wall-clock
+//! metrics — the form CI runs against the checked-in `bench_results/`
+//! baseline, where timings come from different hosts. Exit code 0 means
+//! no regressions; 1 means at least one; 2 means usage or I/O error.
 //!
 //! `chaos` runs a quick fault sweep: it solves a small deterministic
 //! graph under seeded drop/dup/delay/stall plans across queue
 //! disciplines and rank counts, asserting every faulted solve recovers a
 //! tree bit-identical to the fault-free baseline and actually exercised
-//! the fault path (nonzero injection counters). Exit code 0 means every
-//! combination matched; 1 means a divergence or a plan that injected
-//! nothing; 2 means usage error.
+//! the fault path (nonzero injection counters). The faulted solves run
+//! with telemetry sampling on while the baselines keep it off, so the
+//! sweep doubles as the proof that observation never perturbs the
+//! result. Exit code 0 means every combination matched; 1 means a
+//! divergence or a plan that injected nothing; 2 means usage error.
 //!
 //! `bench-guard` compares the freshly generated
 //! `BENCH_fig3_strong_scaling.json` in the given directory (default:
@@ -63,6 +77,7 @@
 //! error.
 
 mod lint;
+mod perfdiff;
 mod stlint_report;
 
 use std::path::PathBuf;
@@ -109,6 +124,21 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("perf-diff") => {
+            let counters_only = args.iter().any(|a| a == "--counters-only");
+            let mut paths = args.iter().skip(1).filter(|a| !a.starts_with("--"));
+            match (paths.next(), paths.next()) {
+                (Some(a), Some(b)) => perf_diff(
+                    std::path::Path::new(a),
+                    std::path::Path::new(b),
+                    counters_only,
+                ),
+                _ => {
+                    eprintln!("xtask perf-diff: need a baseline and a candidate report");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some("chaos") => chaos(),
         Some("bench-guard") => {
             let update = args.iter().any(|a| a == "--update-baseline");
@@ -123,7 +153,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- lint [root] [--update-baseline] | \
-                 check-reports [dir] [--stlint-only] | analyze <trace.json> | chaos | \
+                 check-reports [dir] [--stlint-only] | analyze <file.json> | \
+                 perf-diff <A.json> <B.json> [--counters-only] | chaos | \
                  bench-guard [dir] [--update-baseline]"
             );
             ExitCode::from(2)
@@ -209,7 +240,8 @@ fn lint_cmd(root: &std::path::Path, update_baseline: bool) -> ExitCode {
                 lint::RULE_UNWRAP,
                 lint::RULE_PHASE_DUP,
                 lint::RULE_TRACE_DUP,
-                lint::RULE_PLAIN_SEND
+                lint::RULE_PLAIN_SEND,
+                lint::RULE_GAUGE_DUP
             ]
             .len(),
             stlint::RULE_CATALOG.len(),
@@ -289,8 +321,12 @@ fn chaos() -> ExitCode {
                         return ExitCode::from(2);
                     }
                 };
+                // Telemetry on for the faulted run only: the tree-equality
+                // check below then also proves sampling never perturbs the
+                // solve (the step-keyed cadence is deterministic).
                 let cfg = steiner::SolverConfig {
                     faults: Some(plan),
+                    telemetry: steiner::TelemetryConfig::ring(),
                     ..base_cfg
                 };
                 match steiner::solve(&g, &seeds, &cfg) {
@@ -308,6 +344,10 @@ fn chaos() -> ExitCode {
                             "  FAIL {qname} p={p} {spec}: plan injected nothing \
                              (fault path not exercised)"
                         );
+                        failures += 1;
+                    }
+                    Ok(r) if r.telemetry.is_empty() => {
+                        eprintln!("  FAIL {qname} p={p} {spec}: telemetry ring sampled nothing");
                         failures += 1;
                     }
                     Ok(r) => println!(
@@ -574,6 +614,32 @@ fn bench_guard(dir: &std::path::Path, update_baseline: bool) -> ExitCode {
     }
 }
 
+/// Maps the sampler's numeric phase marker back to the solver's phase
+/// names for Gantt legends (`steiner::rank_main` marks phases with
+/// `Phase::index()`); ids outside the solver's range stay numeric.
+fn phase_name_of(id: u64) -> Option<String> {
+    usize::try_from(id)
+        .ok()
+        .and_then(steiner::Phase::from_index)
+        .map(|p| p.name().to_string())
+}
+
+/// Renders the Gantt / utilization view for a timeseries section pulled
+/// out of a run report or flight dump.
+fn analyze_timeseries(ts: &stgraph::json::Json, origin: &str) -> ExitCode {
+    match stanalyze::gantt_from_timeseries(ts, &phase_name_of) {
+        Ok(text) => {
+            print!("{text}");
+            println!("xtask analyze: ok ({origin})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask analyze: FAIL: {origin}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn analyze_trace(path: &std::path::Path) -> ExitCode {
     let doc = match std::fs::read_to_string(path)
         .map_err(|e| e.to_string())
@@ -585,6 +651,38 @@ fn analyze_trace(path: &std::path::Path) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Dispatch on document shape: flight-recorder dump and v5 RunReport
+    // get the telemetry Gantt, anything with traceEvents the DAG readout.
+    if doc.get("kind").and_then(|v| v.as_str()) == Some("flight_recorder") {
+        if let Err(e) = steiner::report::validate_flight(&doc) {
+            eprintln!("xtask analyze: FAIL: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let reason = doc
+            .get("reason")
+            .and_then(|v| v.as_str())
+            .unwrap_or("unknown");
+        let Some(ts) = doc.get("timeseries") else {
+            eprintln!("xtask analyze: FAIL: flight dump missing timeseries");
+            return ExitCode::FAILURE;
+        };
+        return analyze_timeseries(ts, &format!("flight recorder, reason: {reason}"));
+    }
+    if doc.get("traceEvents").is_none() && doc.get("phase_times_us").is_some() {
+        match doc.get("timeseries") {
+            Some(ts) if !ts.is_null() => {
+                return analyze_timeseries(ts, "run report timeseries");
+            }
+            _ => {
+                eprintln!(
+                    "xtask analyze: FAIL: {} has no timeseries \
+                     (re-run the solve with --telemetry)",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let model = match stanalyze::model_from_chrome(&doc) {
         Ok(model) => model,
         Err(e) => {
@@ -609,6 +707,53 @@ fn analyze_trace(path: &std::path::Path) -> ExitCode {
         analysis.total_visits, analysis.critical_path.visits
     );
     ExitCode::SUCCESS
+}
+
+/// Loads baseline and candidate documents and prints their perf diff;
+/// exit code 1 iff at least one metric regressed beyond its threshold.
+fn perf_diff(a_path: &std::path::Path, b_path: &std::path::Path, counters_only: bool) -> ExitCode {
+    let load = |path: &std::path::Path| {
+        std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| stgraph::json::parse(&text).map_err(|e| e.to_string()))
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) => {
+            eprintln!("xtask perf-diff: cannot load {}: {e}", a_path.display());
+            return ExitCode::from(2);
+        }
+        (_, Err(e)) => {
+            eprintln!("xtask perf-diff: cannot load {}: {e}", b_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match perfdiff::diff(&a, &b, counters_only) {
+        Ok(d) => {
+            for line in &d.lines {
+                if line.starts_with("REGRESSION") {
+                    eprintln!("  {line}");
+                } else {
+                    println!("  {line}");
+                }
+            }
+            if d.regressions == 0 {
+                println!(
+                    "xtask perf-diff: no regressions ({} metric(s) compared{})",
+                    d.lines.len(),
+                    if counters_only { ", counters only" } else { "" }
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask perf-diff: {} regression(s)", d.regressions);
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask perf-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Validates machine-readable reports. With `stlint_only`, skips the
@@ -657,6 +802,37 @@ fn check_reports(dir: &std::path::Path, stlint_only: bool) -> ExitCode {
             }
         }
         checked += paths.len();
+        // Flight-recorder dumps share the directory when a chaos run was
+        // kill-switched with FLIGHT_RECORDER_DIR set; validate any present
+        // so CI artifacts are known-parseable before upload.
+        let mut flights: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("FLIGHT_") && n.ends_with(".json"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        flights.sort();
+        for path in &flights {
+            let outcome = std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| stgraph::json::parse(&text).map_err(|e| e.to_string()))
+                .and_then(|doc| steiner::report::validate_flight(&doc));
+            match outcome {
+                Ok(n) => println!("  ok {} (flight dump, {n} rank(s))", path.display()),
+                Err(e) => {
+                    eprintln!("  FAIL {}: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+        checked += flights.len();
     }
     // The static-analysis report shares the machine-readable contract:
     // validate the workspace-root stlint.json whenever it exists.

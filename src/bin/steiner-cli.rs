@@ -8,9 +8,11 @@
 //!                      [--refine] [--improve ROUNDS] [--dot out.dot]
 //!                      [--faults drop=0.1,dup=0.05,seed=7]
 //!                      [--trace trace.json] [--report report.json] [--analyze]
+//!                      [--telemetry] [--monitor]
 //! steiner-cli compare  --graph graph.bin --select K[:STRATEGY]
 //! steiner-cli repl     --graph graph.bin [--select K[:STRATEGY]]
 //!                      [--ranks P] [--trace trace.json] [--report report.json]
+//!                      [--telemetry] [--monitor]
 //! ```
 //!
 //! Strategies: bfs-level (default), uniform-random, eccentric, proximate.
@@ -22,7 +24,10 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 use steiner::interactive::InteractiveSession;
-use steiner::{solve, FaultPlan, MetricsConfig, QueueKind, SolveReport, SolverConfig, TraceConfig};
+use steiner::{
+    solve, FaultPlan, MetricsConfig, QueueKind, SolveReport, SolverConfig, TelemetryConfig,
+    TraceConfig,
+};
 use stgraph::csr::{CsrGraph, Vertex};
 use stgraph::datasets::Dataset;
 
@@ -46,6 +51,7 @@ const USAGE: &str = "usage:
                        [--ranks P] [--queue fifo|priority|bucketed[:DELTA]]
                        [--refine] [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
                        [--faults SPEC] [--trace FILE] [--report FILE] [--analyze]
+                       [--telemetry] [--monitor]
 
 --queue picks the visitor-queue discipline: `priority` (default) settles
 in Dijkstra order, `fifo` is the unordered baseline, `bucketed` is
@@ -56,10 +62,17 @@ derive the bucket width from the graph's mean edge weight;
 
 --trace writes a Chrome-trace/Perfetto JSON timeline of the solve (one
 lane per simulated rank); --report writes the machine-readable RunReport
-(schema v4, with latency quantiles from the runtime's histograms, the
-fault/retransmit counters, and per-rank stale-relaxation drop counts);
---analyze turns on tracing and prints the
+(schema v5, with latency quantiles from the runtime's histograms, the
+fault/retransmit counters, per-rank stale-relaxation drop counts, and —
+when telemetry is on — the sampled timeseries plus per-phase peak-memory
+watermarks); --analyze turns on tracing and prints the
 causality-DAG readout (critical path, load imbalance) after the solve.
+--telemetry samples the runtime gauges into bounded per-rank rings on a
+deterministic step-keyed cadence (observation never changes the tree);
+--monitor additionally renders a live per-rank heartbeat to stderr while
+the solve runs (implies --telemetry). On a failed solve or audit
+violation, set FLIGHT_RECORDER_DIR=DIR to get the ring dumped as a
+FLIGHT_*.json flight-recorder file for `xtask analyze`.
 --faults injects deterministic message faults, e.g.
 `drop=0.1,dup=0.05,delay=0.1,delay_us=200,stall=0.05,seed=7` (probs in
 [0, 0.5]); the runtime's reliability protocol recovers and the tree is
@@ -67,6 +80,7 @@ bit-identical to a fault-free solve.
   steiner-cli compare  --graph FILE --select K[:STRATEGY]
   steiner-cli repl     --graph FILE [--select K[:STRATEGY]] [--ranks P]
                        [--queue KIND] [--faults SPEC] [--trace FILE] [--report FILE]
+                       [--telemetry] [--monitor]
 
 repl commands: add V | remove V | seeds | tree | solve | dot FILE | help | quit
 (`solve` runs the distributed solver on the current seeds; with the repl's
@@ -84,7 +98,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument {a:?}"));
         };
-        let boolean = matches!(name, "tiny" | "refine" | "analyze");
+        let boolean = matches!(
+            name,
+            "tiny" | "refine" | "analyze" | "telemetry" | "monitor"
+        );
         if boolean {
             flags.insert(name.to_string(), String::new());
             i += 1;
@@ -221,8 +238,11 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
 /// Observability settings shared by batch solve and the repl: tracing
 /// when the user asked for a timeline or an analysis, metrics when a
 /// machine-readable report (which embeds latency quantiles) was
-/// requested.
-fn observability_config(flags: &HashMap<String, String>) -> (TraceConfig, MetricsConfig) {
+/// requested, and time-series telemetry when sampling (`--telemetry`)
+/// or the live heartbeat (`--monitor`, which implies sampling) is on.
+fn observability_config(
+    flags: &HashMap<String, String>,
+) -> (TraceConfig, MetricsConfig, TelemetryConfig) {
     let trace = if flags.contains_key("trace") || flags.contains_key("analyze") {
         TraceConfig::ring()
     } else {
@@ -233,7 +253,20 @@ fn observability_config(flags: &HashMap<String, String>) -> (TraceConfig, Metric
     } else {
         MetricsConfig::Off
     };
-    (trace, metrics)
+    let telemetry = if flags.contains_key("monitor") {
+        match TelemetryConfig::ring() {
+            TelemetryConfig::Ring { sample_every, .. } => TelemetryConfig::Ring {
+                sample_every,
+                monitor: true,
+            },
+            off => off,
+        }
+    } else if flags.contains_key("telemetry") {
+        TelemetryConfig::ring()
+    } else {
+        TelemetryConfig::Off
+    };
+    (trace, metrics, telemetry)
 }
 
 /// Writes the `--trace`/`--report` artifacts and prints the `--analyze`
@@ -290,13 +323,14 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     let g = load_graph(flags)?;
     let seeds = seeds_from_flags(&g, flags)?;
     let queue = queue_kind(flags, &g)?;
-    let (trace, metrics) = observability_config(flags);
+    let (trace, metrics, telemetry) = observability_config(flags);
     let config = SolverConfig {
         num_ranks: rank_count(flags)?,
         queue,
         refine: flags.contains_key("refine"),
         trace,
         metrics,
+        telemetry,
         faults: fault_plan(flags)?,
         ..SolverConfig::default()
     };
@@ -323,6 +357,14 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("phase breakdown (max across {} ranks):", config.num_ranks);
     for (phase, time) in report.phase_times.iter() {
         println!("  {:<16} {time:?}", phase.name());
+    }
+    if config.telemetry.is_enabled() {
+        println!(
+            "telemetry      {} sample(s) across {} rank(s) (every {} visits)",
+            report.telemetry.num_samples(),
+            report.telemetry.ranks.len(),
+            report.telemetry.sample_every,
+        );
     }
     if config.faults.is_some_and(|pl| pl.is_active()) {
         let fs = report.fault_stats;
@@ -417,7 +459,7 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Vec::new()
     };
-    let (obs_trace, obs_metrics) = observability_config(flags);
+    let (obs_trace, obs_metrics, obs_telemetry) = observability_config(flags);
     let obs_faults = fault_plan(flags)?;
     let mut session = InteractiveSession::new(&g, &initial).map_err(|e| e.to_string())?;
     println!(
@@ -498,6 +540,7 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
                     queue: queue_kind(flags, &g)?,
                     trace: obs_trace,
                     metrics: obs_metrics,
+                    telemetry: obs_telemetry,
                     faults: obs_faults,
                     ..SolverConfig::default()
                 };
