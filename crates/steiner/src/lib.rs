@@ -44,6 +44,7 @@ pub mod kernels;
 pub mod messages;
 pub mod mst;
 pub mod phases;
+pub mod recovery;
 pub mod refine;
 pub mod report;
 pub mod state;
@@ -52,21 +53,23 @@ pub mod voronoi;
 pub mod voronoi_bsp;
 
 pub use phases::{Phase, PhaseTimes};
+pub use recovery::{CheckpointStore, RecoveryStats};
 pub use report::{ConfigFingerprint, RunReport};
 pub use struntime::{
     FaultPlan, FaultSnapshot, Gauge, MetricKind, MetricsConfig, MetricsDump, QueueKind,
     TelemetryConfig, TelemetryDump, TraceConfig, TraceDump,
 };
 
-use distance_graph::ReduceMode;
+use distance_graph::{MinEdge, PairKey, ReduceMode};
 use state::VertexStates;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use stgraph::csr::{CsrGraph, Vertex, Weight};
 use stgraph::error::SteinerError;
 use stgraph::partition::{partition_graph, PartitionedGraph};
 use stgraph::steiner_tree::SteinerTree;
+use struntime::FailureReason;
 use struntime::{Comm, PersistentWorld, PhaseSnapshot, RunOutput, World, WorldConfig};
 
 /// How the distance-graph reduction buffer is organized.
@@ -150,6 +153,21 @@ pub struct SolverConfig {
     /// counter bit-identical; the dump lands in [`SolveReport::telemetry`]
     /// and doubles as the flight recorder's payload on failure.
     pub telemetry: TelemetryConfig,
+    /// Wall-clock deadline for the whole solve. When it expires, the
+    /// ranks abort cooperatively at their next sync points and the solve
+    /// returns [`SteinerError::DeadlineExceeded`]; with telemetry on and
+    /// `FLIGHT_RECORDER_DIR` set, a flight dump preserves the partial
+    /// progress record. `None` (the default) means no deadline.
+    pub deadline: Option<Duration>,
+    /// Snapshot per-rank state at every phase barrier so an injected
+    /// crash-stop can be recovered by replaying from the last completed
+    /// phase (see [`recovery`]). Snapshots are only actually taken when
+    /// the fault plan is capable of crashing a rank, so fault-free solves
+    /// pay nothing. Default true.
+    pub checkpoints: bool,
+    /// Restarts from a phase checkpoint the supervisor may perform before
+    /// giving up with [`SteinerError::Unrecoverable`]. Default 2.
+    pub max_restores: usize,
 }
 
 impl Default for SolverConfig {
@@ -166,6 +184,9 @@ impl Default for SolverConfig {
             faults: None,
             fault_retries: 2,
             telemetry: TelemetryConfig::Off,
+            deadline: None,
+            checkpoints: true,
+            max_restores: 2,
         }
     }
 }
@@ -213,6 +234,10 @@ pub struct SolveReport {
     /// [`RunReport`]'s `timeseries` section and per-phase peak-memory
     /// watermarks.
     pub telemetry: TelemetryDump,
+    /// Crash-recovery counters: injected crashes, checkpoints taken and
+    /// their bytes, restores, replayed phases, cooperative aborts.
+    /// All-zero for an undisturbed solve.
+    pub recovery: RecoveryStats,
 }
 
 impl SolveReport {
@@ -330,13 +355,24 @@ pub fn solve_partitioned(
     // runs, so this is defense in depth — the counter stays at zero
     // unless something slipped past the reliability layer.
     let faults_active = config.faults.is_some_and(|pl| pl.is_active());
+    // Crash-stop supervision: checkpoints are only taken when a restore
+    // could consume them — recovery enabled and a plan that can actually
+    // crash-stop a rank — so fault-free solves skip the snapshot work.
+    let recovery_armed = config.checkpoints
+        && config.max_restores > 0
+        && config.faults.is_some_and(|pl| pl.crash_armed());
+    let store = CheckpointStore::new(p);
+    let mut recovery = RecoveryStats::default();
+    let mut resume: Option<usize> = None;
+    let mut plan = config.faults;
     let mut retries = 0u64;
     loop {
         let mut world_config = WorldConfig {
             trace: config.trace,
             metrics: config.metrics,
-            faults: config.faults,
+            faults: plan,
             telemetry: config.telemetry,
+            deadline: config.deadline,
             ..WorldConfig::default()
         };
         if retries > 0 {
@@ -344,7 +380,7 @@ pub fn solve_partitioned(
                 plan.seed = plan.seed.wrapping_add(retries);
             }
         }
-        let out = World::run_config(p, world_config, |comm: &mut Comm| {
+        let run = World::try_run_config(p, world_config, |comm: &mut Comm| {
             rank_main(
                 comm,
                 pg,
@@ -353,14 +389,68 @@ pub fn solve_partitioned(
                 config.queue,
                 reduce_mode,
                 config.batch_size,
+                if recovery_armed {
+                    Some((&store, resume))
+                } else {
+                    None
+                },
             )
         });
-        match assemble_report(pg, seeds.clone(), config, out, retries) {
+        recovery.checkpoints_taken = store.taken();
+        recovery.checkpoint_bytes = recovery.checkpoint_bytes.max(store.resident_bytes() as u64);
+        let out = match run {
+            Ok(out) => out,
+            Err(failure) => {
+                recovery.aborted_ranks += failure.aborted_ranks as u64;
+                recovery.crashes_injected += failure.injected_crashes() as u64;
+                if failure.deadline_exceeded {
+                    // The runtime already wrote the flight dump; that is
+                    // the partial-progress record for this solve.
+                    return Err(SteinerError::DeadlineExceeded {
+                        deadline_ms: config.deadline.map_or(0, |d| d.as_millis() as u64),
+                    });
+                }
+                if failure
+                    .failures
+                    .iter()
+                    .any(|f| f.reason != FailureReason::InjectedCrash)
+                {
+                    // A genuine bug (assertion, lockstep violation):
+                    // restoring would deterministically replay it, so
+                    // re-raise the original payload — the legacy panic
+                    // propagation contract callers and tests rely on.
+                    std::panic::resume_unwind(failure.into_panic_payload());
+                }
+                let restore_from = if recovery.restores < config.max_restores as u64 {
+                    store.latest_complete()
+                } else {
+                    None
+                };
+                let Some(completed) = restore_from else {
+                    return Err(SteinerError::Unrecoverable {
+                        restores: recovery.restores,
+                    });
+                };
+                recovery.restores += 1;
+                recovery.replayed_phases += (Phase::ALL.len() - completed) as u64;
+                resume = Some(completed);
+                // Replay with the crash trigger disarmed; the message-level
+                // perturbations keep running, so the replayed phases still
+                // have to reach the fault-free tree through the
+                // reliability layer.
+                plan = plan.map(|pl| pl.disarm_crash());
+                continue;
+            }
+        };
+        match assemble_report(pg, seeds.clone(), config, out, retries, recovery) {
             Err(SteinerError::SeedsDisconnected(a, b))
                 if faults_active && (retries as usize) < config.fault_retries =>
             {
                 let _ = (a, b);
                 retries += 1;
+                // A solve-level retry is a fresh attempt, not a restore.
+                resume = None;
+                store.clear();
             }
             other => return other,
         }
@@ -412,12 +502,15 @@ pub fn solve_on(
             queue,
             reduce_mode,
             batch_size,
+            None,
         )
     });
     // No retry loop here: a persistent world's fault plan is fixed at
     // construction, so the solve-level retry policy applies to
-    // `solve` / `solve_partitioned` only.
-    assemble_report(pg, seeds, config, out, 0)
+    // `solve` / `solve_partitioned` only — and likewise no crash
+    // supervision: a crash on resident rank threads is a panic, as
+    // before.
+    assemble_report(pg, seeds, config, out, 0, RecoveryStats::default())
 }
 
 fn assemble_report(
@@ -426,6 +519,7 @@ fn assemble_report(
     config: &SolverConfig,
     out: RunOutput<RankOutcome>,
     retries: u64,
+    recovery: RecoveryStats,
 ) -> Result<SolveReport, SteinerError> {
     // Flight recorder: a failed solve dumps its telemetry ring (when
     // `FLIGHT_RECORDER_DIR` is set and telemetry was on) so the last
@@ -478,6 +572,7 @@ fn assemble_report(
         metrics: out.metrics,
         fault_stats,
         telemetry: out.telemetry,
+        recovery,
     })
 }
 
@@ -489,6 +584,46 @@ fn first_disconnected_pair_of(_pg: &PartitionedGraph, seeds: &[Vertex]) -> Stein
     SteinerError::SeedsDisconnected(seeds[0], *seeds.last().expect("non-empty"))
 }
 
+/// Serializes this rank's snapshot for the `completed`-phases boundary
+/// into `store`, charging the blob to the rank's `"checkpoint"` memory
+/// label. Called in straight-line code right after a phase's closing sync
+/// point, so when a crash in phase `k+1` aborts the world, every rank has
+/// already written (or will write before its next sync point) the level-k
+/// snapshot — the store's level `k` is always restorable.
+#[allow(clippy::too_many_arguments)]
+fn put_checkpoint(
+    comm: &Comm,
+    store: &CheckpointStore,
+    completed: usize,
+    states: &VertexStates,
+    times: &PhaseTimes,
+    processed: u64,
+    stale_dropped: u64,
+    local: Option<&[(PairKey, MinEdge)]>,
+    dg: Option<&[(PairKey, MinEdge)]>,
+    chosen: Option<&[usize]>,
+    dg_len: usize,
+    bridges: Option<&[MinEdge]>,
+) {
+    let blob = recovery::RankCheckpoint::encode(
+        states,
+        times,
+        processed,
+        stale_dropped,
+        local,
+        dg,
+        chosen,
+        dg_len,
+        bridges,
+    );
+    let new_len = blob.len();
+    let old_len = store.put(completed, comm.rank(), blob);
+    comm.memory().record("checkpoint", new_len);
+    if old_len > 0 {
+        comm.memory().release("checkpoint", old_len);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn rank_main(
     comm: &mut Comm,
@@ -498,13 +633,14 @@ fn rank_main(
     queue: QueueKind,
     reduce_mode: ReduceMode,
     batch_size: usize,
+    recovery: Option<(&CheckpointStore, Option<usize>)>,
 ) -> RankOutcome {
     let rg = &pg.ranks[comm.rank()];
     let partition = &pg.partition;
-    let mut times = PhaseTimes::default();
 
     // Channel groups for the three asynchronous phases, opened up front in
-    // identical order on every rank.
+    // identical order on every rank (also on a resumed run, so the channel
+    // id space is identical to a fresh one).
     let chan_voronoi = comm.open_channels::<Vec<messages::VoronoiMsg>>(Phase::Voronoi.name());
     let chan_probe = comm.open_channels::<Vec<messages::ProbeMsg>>(Phase::LocalMinEdge.name());
     let chan_trace = comm.open_channels::<Vec<messages::TraceMsg>>(Phase::TreeEdge.name());
@@ -515,87 +651,269 @@ fn rank_main(
     // kernels so the hot path's steady state allocates nothing.
     let mut scratch = state::ScratchArena::new();
 
+    let (store, resume) = match recovery {
+        Some((store, resume)) => (Some(store), resume),
+        None => (None, None),
+    };
+    // Phases already completed by a previous (crashed) attempt; every
+    // rank gets the same value from the supervisor, so the skipped
+    // barriers and collectives stay in lockstep.
+    let completed = resume.unwrap_or(0);
+
+    let mut times = PhaseTimes::default();
+    let mut processed = 0u64;
+    let mut stale_dropped = 0u64;
+    let mut local: Option<BTreeMap<PairKey, MinEdge>> = None;
+    let mut dg: Option<Vec<(PairKey, MinEdge)>> = None;
+    let mut chosen: Option<Vec<usize>> = None;
+    let mut dg_len = 0usize;
+    let mut bridges: Option<Vec<MinEdge>> = None;
+
+    if let Some(c) = resume {
+        let store = store.expect("resume implies a checkpoint store");
+        let blob = store
+            .get(c, comm.rank())
+            .expect("supervisor restores only complete checkpoint levels");
+        let ck = recovery::RankCheckpoint::decode(&blob, &mut states)
+            .expect("checkpoint taken under the same partitioning decodes");
+        times = ck.times();
+        processed = ck.processed;
+        stale_dropped = ck.stale_dropped;
+        local = ck.local.map(|v| v.into_iter().collect());
+        dg_len = ck.dg_len;
+        dg = ck.dg;
+        chosen = ck.chosen;
+        bridges = ck.bridges;
+    } else if let Some(store) = store {
+        // Checkpoint 0: the initial state, so a crash inside the very
+        // first phase is still recoverable.
+        put_checkpoint(
+            comm,
+            store,
+            0,
+            &states,
+            &times,
+            processed,
+            stale_dropped,
+            None,
+            None,
+            None,
+            0,
+            None,
+        );
+    }
+
     // Step 1: Voronoi cells (Alg 4).
-    let t = Instant::now();
-    let span = comm.trace_span(Phase::Voronoi.name());
-    comm.telemetry_phase(Phase::Voronoi.index() as u64);
-    comm.telemetry_gauge("vertex_state_bytes", states.memory_bytes() as u64);
-    let voronoi_stats = voronoi::run(
-        comm,
-        &chan_voronoi,
-        rg,
-        partition,
-        &mut states,
-        seeds,
-        struntime::traversal::TraversalOptions { queue, batch_size },
-        &mut scratch,
-    );
-    comm.telemetry_set(Gauge::ArenaBytes, scratch.memory_bytes() as u64);
-    drop(span);
-    times[Phase::Voronoi] = t.elapsed();
+    if completed <= Phase::Voronoi.index() {
+        let t = Instant::now();
+        let span = comm.trace_span(Phase::Voronoi.name());
+        comm.set_phase(Phase::Voronoi.name(), Phase::Voronoi.index() as u64);
+        comm.telemetry_gauge("vertex_state_bytes", states.memory_bytes() as u64);
+        let voronoi_stats = voronoi::run(
+            comm,
+            &chan_voronoi,
+            rg,
+            partition,
+            &mut states,
+            seeds,
+            struntime::traversal::TraversalOptions { queue, batch_size },
+            &mut scratch,
+        );
+        comm.telemetry_set(Gauge::ArenaBytes, scratch.memory_bytes() as u64);
+        drop(span);
+        times[Phase::Voronoi] = t.elapsed();
+        processed += voronoi_stats.processed;
+        stale_dropped += voronoi_stats.stale_dropped;
+        if let Some(store) = store {
+            put_checkpoint(
+                comm,
+                store,
+                1,
+                &states,
+                &times,
+                processed,
+                stale_dropped,
+                None,
+                None,
+                None,
+                0,
+                None,
+            );
+        }
+    }
 
     // Step 2: local min-distance cross-cell edges (Alg 5, async part).
-    let t = Instant::now();
-    let span = comm.trace_span(Phase::LocalMinEdge.name());
-    comm.telemetry_phase(Phase::LocalMinEdge.index() as u64);
-    let (local, probe_stats) =
-        distance_graph::local_min_edges(comm, &chan_probe, rg, partition, &states, seed_index);
-    drop(span);
-    times[Phase::LocalMinEdge] = t.elapsed();
+    if completed <= Phase::LocalMinEdge.index() {
+        let t = Instant::now();
+        let span = comm.trace_span(Phase::LocalMinEdge.name());
+        comm.set_phase(
+            Phase::LocalMinEdge.name(),
+            Phase::LocalMinEdge.index() as u64,
+        );
+        let (l, probe_stats) =
+            distance_graph::local_min_edges(comm, &chan_probe, rg, partition, &states, seed_index);
+        drop(span);
+        times[Phase::LocalMinEdge] = t.elapsed();
+        processed += probe_stats.processed;
+        if let Some(store) = store {
+            let local_vec: Vec<(PairKey, MinEdge)> = l.iter().map(|(&k, &v)| (k, v)).collect();
+            put_checkpoint(
+                comm,
+                store,
+                2,
+                &states,
+                &times,
+                processed,
+                stale_dropped,
+                Some(&local_vec),
+                None,
+                None,
+                0,
+                None,
+            );
+        }
+        local = Some(l);
+    }
 
     // Step 3: global reduction (Alg 5, collective part).
-    let t = Instant::now();
-    let span = comm.trace_span(Phase::GlobalMinEdge.name());
-    comm.telemetry_phase(Phase::GlobalMinEdge.index() as u64);
-    let dg = distance_graph::global_min_edges(comm, local, seeds.len(), reduce_mode);
-    comm.telemetry_gauge("distance_graph_edges", dg.len() as u64);
-    drop(span);
-    times[Phase::GlobalMinEdge] = t.elapsed();
+    if completed <= Phase::GlobalMinEdge.index() {
+        let t = Instant::now();
+        let span = comm.trace_span(Phase::GlobalMinEdge.name());
+        comm.set_phase(
+            Phase::GlobalMinEdge.name(),
+            Phase::GlobalMinEdge.index() as u64,
+        );
+        let d = distance_graph::global_min_edges(
+            comm,
+            local.take().expect("local min edges computed or restored"),
+            seeds.len(),
+            reduce_mode,
+        );
+        comm.telemetry_gauge("distance_graph_edges", d.len() as u64);
+        drop(span);
+        times[Phase::GlobalMinEdge] = t.elapsed();
+        dg_len = d.len();
+        if let Some(store) = store {
+            put_checkpoint(
+                comm,
+                store,
+                3,
+                &states,
+                &times,
+                processed,
+                stale_dropped,
+                None,
+                Some(&d),
+                None,
+                dg_len,
+                None,
+            );
+        }
+        dg = Some(d);
+    }
 
     // Step 4: sequential MST of G_1', replicated per rank.
-    let t = Instant::now();
-    let span = comm.trace_span(Phase::Mst.name());
-    comm.telemetry_phase(Phase::Mst.index() as u64);
-    let chosen = mst::mst_of_distance_graph(seeds.len(), &dg);
-    comm.barrier();
-    drop(span);
-    times[Phase::Mst] = t.elapsed();
+    if completed <= Phase::Mst.index() {
+        let t = Instant::now();
+        let span = comm.trace_span(Phase::Mst.name());
+        comm.set_phase(Phase::Mst.name(), Phase::Mst.index() as u64);
+        let ch = mst::mst_of_distance_graph(
+            seeds.len(),
+            dg.as_deref().expect("distance graph computed or restored"),
+        );
+        comm.barrier();
+        drop(span);
+        times[Phase::Mst] = t.elapsed();
+        if let Some(store) = store {
+            put_checkpoint(
+                comm,
+                store,
+                4,
+                &states,
+                &times,
+                processed,
+                stale_dropped,
+                None,
+                dg.as_deref(),
+                Some(&ch),
+                dg_len,
+                None,
+            );
+        }
+        chosen = Some(ch);
+    }
 
-    if !mst::spans_all_seeds(seeds.len(), &chosen) {
-        return RankOutcome {
-            edges: Vec::new(),
-            times,
-            connected: false,
-            distance_graph_edges: dg.len(),
-            visitors_processed: voronoi_stats.processed + probe_stats.processed,
-            stale_dropped: voronoi_stats.stale_dropped,
-        };
+    // A resumed run past the MST phase already passed this check in the
+    // crashed attempt (a disconnected solve completes without crashing
+    // and never restores), so `chosen` being absent means spanning held.
+    if let Some(chosen) = chosen.as_deref() {
+        if !mst::spans_all_seeds(seeds.len(), chosen) {
+            return RankOutcome {
+                edges: Vec::new(),
+                times,
+                connected: false,
+                distance_graph_edges: dg_len,
+                visitors_processed: processed,
+                stale_dropped,
+            };
+        }
     }
 
     // Step 5: global edge pruning — keep only MST bridges.
-    let t = Instant::now();
-    let span = comm.trace_span(Phase::EdgePruning.name());
-    comm.telemetry_phase(Phase::EdgePruning.index() as u64);
-    let bridges = tree_edges::active_bridges(&dg, &chosen);
-    comm.barrier();
-    drop(span);
-    times[Phase::EdgePruning] = t.elapsed();
+    if completed <= Phase::EdgePruning.index() {
+        let t = Instant::now();
+        let span = comm.trace_span(Phase::EdgePruning.name());
+        comm.set_phase(Phase::EdgePruning.name(), Phase::EdgePruning.index() as u64);
+        let b = tree_edges::active_bridges(
+            dg.as_deref().expect("distance graph live through pruning"),
+            chosen.as_deref().expect("mst choices live through pruning"),
+        );
+        comm.barrier();
+        drop(span);
+        times[Phase::EdgePruning] = t.elapsed();
+        if let Some(store) = store {
+            // The distance graph and MST choices are consumed; only the
+            // bridges (and the edge count for the report) survive.
+            put_checkpoint(
+                comm,
+                store,
+                5,
+                &states,
+                &times,
+                processed,
+                stale_dropped,
+                None,
+                None,
+                None,
+                dg_len,
+                Some(&b),
+            );
+        }
+        bridges = Some(b);
+    }
 
     // Step 6: Steiner tree edges by predecessor tracing (Alg 6).
     let t = Instant::now();
     let span = comm.trace_span(Phase::TreeEdge.name());
-    comm.telemetry_phase(Phase::TreeEdge.index() as u64);
-    let (edges, trace_stats) = tree_edges::run(comm, &chan_trace, partition, &mut states, &bridges);
+    comm.set_phase(Phase::TreeEdge.name(), Phase::TreeEdge.index() as u64);
+    let (edges, trace_stats) = tree_edges::run(
+        comm,
+        &chan_trace,
+        partition,
+        &mut states,
+        bridges.as_deref().expect("bridges computed or restored"),
+    );
     drop(span);
     times[Phase::TreeEdge] = t.elapsed();
+    processed += trace_stats.processed;
 
     RankOutcome {
         edges,
         times,
         connected: true,
-        distance_graph_edges: dg.len(),
-        visitors_processed: voronoi_stats.processed + probe_stats.processed + trace_stats.processed,
-        stale_dropped: voronoi_stats.stale_dropped,
+        distance_graph_edges: dg_len,
+        visitors_processed: processed,
+        stale_dropped,
     }
 }
 
@@ -744,6 +1062,134 @@ mod tests {
                 Some("phase_failure")
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_mid_voronoi_recovers_bit_identical() {
+        // The issue's acceptance scenario: a seeded crash mid-`voronoi`
+        // on rank 1 of 4 must recover from the last phase checkpoint and
+        // produce a tree bit-identical to the fault-free run, with at
+        // least one restore on the books.
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(43);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 6).copied().collect();
+        let clean = solve(&g, &seeds, &config(4)).unwrap();
+
+        let cfg = SolverConfig {
+            faults: Some(
+                FaultPlan::from_spec("crash_rank=1,crash_after_visits=3,crash_phase=0,seed=7")
+                    .unwrap(),
+            ),
+            ..config(4)
+        };
+        let crashed = solve(&g, &seeds, &cfg).unwrap();
+        assert_eq!(
+            crashed.tree, clean.tree,
+            "recovered tree must be bit-identical"
+        );
+        assert_eq!(crashed.recovery.crashes_injected, 1);
+        assert!(crashed.recovery.restores >= 1, "{:?}", crashed.recovery);
+        assert!(
+            crashed.recovery.checkpoints_taken >= 4,
+            "{:?}",
+            crashed.recovery
+        );
+        assert!(crashed.recovery.checkpoint_bytes > 0);
+        assert!(crashed.recovery.replayed_phases >= 1);
+    }
+
+    #[test]
+    fn crash_at_every_phase_recovers_bit_identical() {
+        // One crash per solver phase (via the phase filter), each
+        // recovered from that phase's entry checkpoint.
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(47);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 5).copied().collect();
+        let clean = solve(&g, &seeds, &config(3)).unwrap();
+        for phase in Phase::ALL {
+            let spec = format!(
+                "crash_rank=1,crash_at_sync=2,crash_phase={},seed=19",
+                phase.index()
+            );
+            let cfg = SolverConfig {
+                faults: Some(FaultPlan::from_spec(&spec).unwrap()),
+                ..config(3)
+            };
+            let r = solve(&g, &seeds, &cfg).unwrap();
+            assert_eq!(r.tree, clean.tree, "phase {}", phase.name());
+            assert_eq!(r.recovery.crashes_injected, 1, "phase {}", phase.name());
+            assert_eq!(r.recovery.restores, 1, "phase {}", phase.name());
+        }
+    }
+
+    #[test]
+    fn crash_without_checkpoints_is_unrecoverable() {
+        // The no-checkpoint mutant: with snapshots disabled the
+        // supervisor must report the failure as unrecoverable instead of
+        // silently restarting from scratch.
+        let g = path_graph(12);
+        let cfg = SolverConfig {
+            faults: Some(FaultPlan::from_spec("crash_rank=0,crash_at_sync=3,seed=3").unwrap()),
+            checkpoints: false,
+            ..config(2)
+        };
+        assert_eq!(
+            solve(&g, &[0, 11], &cfg).unwrap_err(),
+            SteinerError::Unrecoverable { restores: 0 }
+        );
+        // Same with an exhausted restore budget.
+        let cfg = SolverConfig {
+            faults: Some(FaultPlan::from_spec("crash_rank=0,crash_at_sync=3,seed=3").unwrap()),
+            max_restores: 0,
+            ..config(2)
+        };
+        assert_eq!(
+            solve(&g, &[0, 11], &cfg).unwrap_err(),
+            SteinerError::Unrecoverable { restores: 0 }
+        );
+    }
+
+    #[test]
+    fn deadline_exceeded_is_structured_and_dumps_flight() {
+        // An unmeetable deadline trips the cooperative abort: every rank
+        // terminates (no hang), the error is structured, and the flight
+        // recorder preserves the partial progress record.
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(53);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 6).copied().collect();
+        let dir = std::env::temp_dir().join(format!("deadline_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var(struntime::telemetry::FLIGHT_RECORDER_DIR_ENV, &dir);
+        let cfg = SolverConfig {
+            deadline: Some(Duration::ZERO),
+            telemetry: TelemetryConfig::Ring {
+                sample_every: 1,
+                monitor: false,
+            },
+            ..config(3)
+        };
+        let outcome = solve(&g, &seeds, &cfg);
+        std::env::remove_var(struntime::telemetry::FLIGHT_RECORDER_DIR_ENV);
+        assert_eq!(
+            outcome.unwrap_err(),
+            SteinerError::DeadlineExceeded { deadline_ms: 0 }
+        );
+        let dump = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("FLIGHT_deadline") && n.ends_with(".json"))
+            });
+        assert!(dump.is_some(), "no deadline flight dump in {dir:?}");
+        let doc = stgraph::json::parse(&std::fs::read_to_string(dump.unwrap()).unwrap()).unwrap();
+        assert_eq!(report::validate_flight(&doc), Ok(3));
         std::fs::remove_dir_all(&dir).ok();
     }
 

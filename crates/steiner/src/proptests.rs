@@ -61,6 +61,61 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Crash-stop recovery is deterministic: a seeded rank death in every
+    /// phase, at ranks {2, 4} and under fifo/priority/bucketed queues,
+    /// restores from the last complete phase checkpoint and recovers a
+    /// tree bit-identical to the undisturbed solve — with exactly one
+    /// injected crash and one restore. The no-checkpoint mutant of the
+    /// same plan must instead surface the structured unrecoverable error,
+    /// never a wrong tree or a hang.
+    #[test]
+    fn crash_recovery_is_bit_identical_across_phases(
+        (g, seeds) in arb_connected_instance(12, 14, 4),
+    ) {
+        use crate::{FaultPlan, Phase};
+        for p in [2usize, 4] {
+            for queue in [
+                QueueKind::Fifo,
+                QueueKind::Priority,
+                QueueKind::Bucketed { delta: crate::auto_delta(&g) },
+            ] {
+                let base = SolverConfig { num_ranks: p, queue, ..SolverConfig::default() };
+                let reference = solve(&g, &seeds, &base).unwrap();
+                for phase in Phase::ALL {
+                    let plan = FaultPlan::from_spec(&format!(
+                        "crash_rank=1,crash_at_sync=1,crash_phase={},seed=19",
+                        phase.index()
+                    )).unwrap();
+                    let r = solve(&g, &seeds, &SolverConfig {
+                        faults: Some(plan),
+                        ..base
+                    }).unwrap();
+                    prop_assert_eq!(&r.tree, &reference.tree,
+                        "recovered tree differs at p={} queue={:?} crash in {}",
+                        p, queue, phase.name());
+                    prop_assert_eq!(r.recovery.crashes_injected, 1,
+                        "no crash fired at p={} queue={:?} phase {}", p, queue, phase.name());
+                    prop_assert_eq!(r.recovery.restores, 1,
+                        "expected one restore at p={} queue={:?} phase {}", p, queue, phase.name());
+                }
+                let plan = FaultPlan::from_spec("crash_rank=1,crash_at_sync=1,seed=19").unwrap();
+                let mutant = solve(&g, &seeds, &SolverConfig {
+                    faults: Some(plan),
+                    checkpoints: false,
+                    ..base
+                });
+                prop_assert!(
+                    matches!(mutant, Err(stgraph::error::SteinerError::Unrecoverable { .. })),
+                    "no-checkpoint mutant at p={} queue={:?} returned {:?}",
+                    p, queue, mutant.map(|r| r.tree.total_distance()));
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The distributed solve is a valid tree within the 2(1-1/|S|) bound.

@@ -57,7 +57,15 @@ use struntime::{Gauge, QueueKind, TelemetryDump};
 /// buffers, `null` likewise). Strict superset, and breaking for the
 /// usual reason: v4 readers diffing memory across runs would silently
 /// miss that the peaks are now attributable per phase.
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// **v5 → v6**: adds the `recovery` object (`crashes_injected`,
+/// `checkpoints_taken`, `checkpoint_bytes`, `restores`,
+/// `replayed_phases`, `aborted_ranks` — all-zero for an undisturbed
+/// solve; see [`crate::recovery`]). Strict superset, and breaking for
+/// the usual reason: v5 readers comparing phase times or work counters
+/// across runs would silently treat a crashed-and-replayed solve as
+/// comparable to an undisturbed one.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// The configuration a solve ran with, reduced to plain strings and
 /// numbers for the report.
@@ -205,6 +213,8 @@ pub struct RunReport {
     /// Per-phase peak-memory watermarks with attribution (`null` when
     /// the solve ran with telemetry off; v5).
     pub peak_memory: Option<Json>,
+    /// Crash-recovery counters (v6; all-zero for an undisturbed solve).
+    pub recovery: crate::RecoveryStats,
     /// Number of seed (terminal) vertices in the tree.
     pub tree_num_seeds: usize,
     /// Number of edges in the tree.
@@ -220,7 +230,7 @@ impl RunReport {
     /// `graph_bytes`, `state_peak_bytes`, `distance_graph_edges`,
     /// `rank_work`, `stale_drops`, `simulated_speedup`,
     /// `imbalance_ratio`, `critical_path`, `latency_quantiles`, `faults`,
-    /// `timeseries`, `peak_memory`, `tree`.
+    /// `timeseries`, `peak_memory`, `recovery`, `tree`.
     pub fn to_json(&self) -> Json {
         let mut phase_times = Json::obj();
         for &(name, us) in &self.phase_times_us {
@@ -285,6 +295,16 @@ impl RunReport {
             .with(
                 "peak_memory",
                 self.peak_memory.clone().unwrap_or(Json::Null),
+            )
+            .with(
+                "recovery",
+                Json::obj()
+                    .with("crashes_injected", self.recovery.crashes_injected)
+                    .with("checkpoints_taken", self.recovery.checkpoints_taken)
+                    .with("checkpoint_bytes", self.recovery.checkpoint_bytes)
+                    .with("restores", self.recovery.restores)
+                    .with("replayed_phases", self.recovery.replayed_phases)
+                    .with("aborted_ranks", self.recovery.aborted_ranks),
             )
             .with(
                 "tree",
@@ -396,6 +416,7 @@ impl SolveReport {
             fault_stats: self.fault_stats,
             timeseries,
             peak_memory,
+            recovery: self.recovery,
             tree_num_seeds: self.tree.seeds.len(),
             tree_num_edges: self.tree.num_edges(),
             tree_total_distance: self.tree.total_distance(),
@@ -404,7 +425,7 @@ impl SolveReport {
 }
 
 /// Validates one `RunReport` JSON document against the current schema.
-/// This is the single definition of the v5 contract — the bench
+/// This is the single definition of the v6 contract — the bench
 /// envelope validator and `xtask check-reports` both call it — kept
 /// next to the writer ([`RunReport::to_json`]) so the two cannot drift.
 /// Historical versions are rejected with a migration note.
@@ -442,6 +463,16 @@ pub fn validate_run(run: &Json) -> Result<(), String> {
                  series, null when telemetry was off) and peak_memory (per-phase \
                  peak-memory watermarks attributed to queue/arena/reliability buffers) \
                  (no v4 key was removed or renamed) — regenerate the report with current \
+                 binaries to migrate"
+                    .to_string(),
+            );
+        }
+        Some(5) => {
+            return Err(
+                "schema_version 5 report found; v6 adds the recovery object \
+                 (crashes_injected, checkpoints_taken, checkpoint_bytes, restores, \
+                 replayed_phases, aborted_ranks — all-zero for an undisturbed solve) \
+                 (no v5 key was removed or renamed) — regenerate the report with current \
                  binaries to migrate"
                     .to_string(),
             );
@@ -561,6 +592,20 @@ pub fn validate_run(run: &Json) -> Result<(), String> {
                     .ok_or_else(|| format!("peak_memory.{phase}.{key} must be an integer"))?;
             }
         }
+    }
+    let recovery = run.get("recovery").ok_or("missing recovery")?;
+    for key in [
+        "crashes_injected",
+        "checkpoints_taken",
+        "checkpoint_bytes",
+        "restores",
+        "replayed_phases",
+        "aborted_ranks",
+    ] {
+        recovery
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("recovery.{key} must be an integer"))?;
     }
     let tree = run.get("tree").ok_or("missing tree")?;
     for key in ["num_seeds", "num_edges", "total_distance"] {
@@ -732,7 +777,10 @@ mod tests {
         assert!(report.latency_quantiles.is_none());
         assert!(report.imbalance_ratio >= 1.0);
         let doc = report.to_json();
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_u64()),
+            Some(SCHEMA_VERSION)
+        );
         assert!(doc.get("critical_path").expect("key present").is_null());
         assert!(doc.get("latency_quantiles").expect("key present").is_null());
         assert!(doc
@@ -920,6 +968,49 @@ mod tests {
         assert!(err.contains("schema_version 4"), "{err}");
         assert!(err.contains("timeseries"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn v5_run_report_rejected_with_migration_note() {
+        let mut doc = sample_report().run_report().to_json();
+        doc.insert("schema_version", 5u64);
+        let err = validate_run(&doc).unwrap_err();
+        assert!(err.contains("schema_version 5"), "{err}");
+        assert!(err.contains("recovery"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn v6_recovery_section_emitted_and_required() {
+        let doc = sample_report().run_report().to_json();
+        let recovery = doc.get("recovery").expect("recovery object present");
+        for key in [
+            "crashes_injected",
+            "checkpoints_taken",
+            "checkpoint_bytes",
+            "restores",
+            "replayed_phases",
+            "aborted_ranks",
+        ] {
+            assert_eq!(
+                recovery.get(key).and_then(|v| v.as_u64()),
+                Some(0),
+                "undisturbed solve must report recovery.{key} = 0"
+            );
+        }
+        assert!(validate_run(&doc).is_ok());
+        // A report missing the section (or with a non-integer counter) is
+        // rejected — the section is mandatory even when all-zero.
+        let mut missing = sample_report().run_report().to_json();
+        if let Json::Obj(pairs) = &mut missing {
+            pairs.retain(|(k, _)| k != "recovery");
+        }
+        let err = validate_run(&missing).unwrap_err();
+        assert!(err.contains("recovery"), "{err}");
+        let mut bad = sample_report().run_report().to_json();
+        bad.insert("recovery", Json::from("nope"));
+        let err = validate_run(&bad).unwrap_err();
+        assert!(err.contains("recovery"), "{err}");
     }
 
     #[test]

@@ -98,6 +98,35 @@ impl StateArrays {
             + std::mem::size_of::<Weight>()
             + 1)
     }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.dist.len() as u64).encode_into(out);
+        for i in 0..self.dist.len() {
+            self.dist[i].encode_into(out);
+            self.src[i].encode_into(out);
+            self.pred[i].encode_into(out);
+            self.pred_weight[i].encode_into(out);
+            self.traced[i].encode_into(out);
+        }
+    }
+
+    /// Overwrites these arrays from a snapshot; `None` if the snapshot was
+    /// taken for a different vertex count (partitioning changed) or is
+    /// truncated.
+    fn decode_over(&mut self, buf: &[u8], pos: &mut usize) -> Option<()> {
+        let len = u64::decode_from(buf, pos)? as usize;
+        if len != self.dist.len() {
+            return None;
+        }
+        for i in 0..len {
+            self.dist[i] = Distance::decode_from(buf, pos)?;
+            self.src[i] = Vertex::decode_from(buf, pos)?;
+            self.pred[i] = Vertex::decode_from(buf, pos)?;
+            self.pred_weight[i] = Weight::decode_from(buf, pos)?;
+            self.traced[i] = bool::decode_from(buf, pos)?;
+        }
+        Some(())
+    }
 }
 
 /// Which storage a vertex's state lives in on this rank.
@@ -233,6 +262,23 @@ impl VertexStates {
             a.traced[i] = true;
             true
         }
+    }
+
+    /// Appends a snapshot of all vertex state (owned arrays plus delegate
+    /// replicas) to `out` via the wire codec, for the crash-recovery phase
+    /// checkpoints. The delegate list and ownership range are derived from
+    /// the partition and are not serialized.
+    pub fn encode_checkpoint(&self, out: &mut Vec<u8>) {
+        self.owned.encode_into(out);
+        self.replicas.encode_into(out);
+    }
+
+    /// Restores a snapshot taken by [`VertexStates::encode_checkpoint`]
+    /// over states freshly created for the same rank graph; `None` if the
+    /// array shapes do not line up or the buffer is truncated.
+    pub fn restore_checkpoint(&mut self, buf: &[u8], pos: &mut usize) -> Option<()> {
+        self.owned.decode_over(buf, pos)?;
+        self.replicas.decode_over(buf, pos)
     }
 
     /// Iterates the owned (non-delegate) vertices and their labels.
@@ -421,6 +467,48 @@ mod tests {
     fn accessing_remote_state_panics() {
         let st = make_states(false);
         st.label(7);
+    }
+
+    #[test]
+    fn checkpoint_snapshot_round_trips() {
+        let mut st = make_states(true);
+        st.init_seeds(&[1, 3]);
+        st.try_improve(
+            2,
+            Label {
+                dist: 4,
+                src: 1,
+                pred: 1,
+            },
+            4,
+        );
+        st.mark_traced(2);
+        let mut blob = Vec::new();
+        st.encode_checkpoint(&mut blob);
+
+        let mut fresh = make_states(true);
+        let mut pos = 0;
+        fresh
+            .restore_checkpoint(&blob, &mut pos)
+            .expect("snapshot restores over same-shape states");
+        assert_eq!(pos, blob.len(), "restore consumes the whole snapshot");
+        assert_eq!(fresh.label(2), st.label(2));
+        assert_eq!(fresh.pred_weight(2), st.pred_weight(2));
+        assert_eq!(fresh.label(1), Label::seed(1));
+        assert!(!fresh.mark_traced(2), "traced flags survive the snapshot");
+
+        // A snapshot for a different shape is rejected, not misapplied.
+        let mut other = {
+            let mut b = GraphBuilder::new(4);
+            b.add_edge(0, 1, 1);
+            b.add_edge(1, 2, 1);
+            b.add_edge(2, 3, 1);
+            let g = b.build();
+            let pg = partition_graph(&g, 2, None);
+            VertexStates::new(&pg.ranks[0])
+        };
+        let mut pos = 0;
+        assert!(other.restore_checkpoint(&blob, &mut pos).is_none());
     }
 
     #[test]

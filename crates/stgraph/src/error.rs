@@ -22,6 +22,20 @@ pub enum SteinerError {
         /// Number of DP states the instance would need.
         states: u128,
     },
+    /// The solve's wall-clock deadline expired before the tree was
+    /// assembled; the ranks were cooperatively aborted and a flight dump
+    /// holds the partial progress record.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A rank crashed and the supervisor could not restore: either no
+    /// complete phase checkpoint existed (checkpointing disabled, or the
+    /// crash predates the first barrier) or the restore budget ran out.
+    Unrecoverable {
+        /// Restores performed before giving up.
+        restores: u64,
+    },
 }
 
 impl std::fmt::Display for SteinerError {
@@ -38,6 +52,14 @@ impl std::fmt::Display for SteinerError {
             SteinerError::ExactTooLarge { states } => write!(
                 f,
                 "exact Dreyfus-Wagner needs {states} DP states, over budget"
+            ),
+            SteinerError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "solve deadline of {deadline_ms} ms exceeded")
+            }
+            SteinerError::Unrecoverable { restores } => write!(
+                f,
+                "rank failure unrecoverable after {restores} restore(s): \
+                 no usable phase checkpoint"
             ),
         }
     }

@@ -9,6 +9,7 @@
 //! * protocol safety — [`rules::protocol`]: `collective-lockstep`,
 //!   `send-after-quiescence`, `uncharged-send`
 //! * unsafe hygiene — [`rules::unsafety`]: `unsafe-safety` + inventory
+//! * unwind boundaries — [`rules::unwind`]: `catch-unwind-justify`
 //! * lock ordering — [`rules::locks`]: `lock-order`
 //!
 //! Suppressions are line-scoped `stcheck: allow(<rule>): <why>` comments
@@ -34,6 +35,7 @@ pub const RULE_LOCKSTEP: &str = "collective-lockstep";
 pub const RULE_SEND_AFTER_QUIESCENCE: &str = "send-after-quiescence";
 pub const RULE_UNCHARGED_SEND: &str = "uncharged-send";
 pub const RULE_UNSAFE_SAFETY: &str = "unsafe-safety";
+pub const RULE_CATCH_UNWIND_JUSTIFY: &str = "catch-unwind-justify";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_UNJUSTIFIED_ALLOW: &str = "unjustified-allow";
 
@@ -62,6 +64,10 @@ pub const RULE_CATALOG: &[(&str, &str)] = &[
     (
         RULE_UNSAFE_SAFETY,
         "unsafe item without an adjacent // SAFETY: comment",
+    ),
+    (
+        RULE_CATCH_UNWIND_JUSTIFY,
+        "catch_unwind/AssertUnwindSafe without an adjacent justification comment",
     ),
     (
         RULE_LOCK_ORDER,
@@ -129,6 +135,7 @@ pub fn analyze(files: &[(String, String)]) -> Analysis {
     rules::determinism::run(&ws, &mut findings);
     rules::protocol::run(&ws, &mut findings);
     rules::unsafety::run(&ws, &mut findings, &mut inventory);
+    rules::unwind::run(&ws, &mut findings);
     rules::locks::run(&ws, &mut findings);
 
     // Collect declared suppressions and flag unjustified ones.

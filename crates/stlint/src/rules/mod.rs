@@ -5,3 +5,4 @@ pub mod determinism;
 pub mod locks;
 pub mod protocol;
 pub mod unsafety;
+pub mod unwind;

@@ -4,8 +4,9 @@
 //! must prove it still bites.
 
 use stlint::{
-    analyze, Finding, RULE_LOCKSTEP, RULE_LOCK_ORDER, RULE_NONDET_ITER, RULE_SEND_AFTER_QUIESCENCE,
-    RULE_UNCHARGED_SEND, RULE_UNJUSTIFIED_ALLOW, RULE_UNSAFE_SAFETY, RULE_WALLCLOCK,
+    analyze, Finding, RULE_CATCH_UNWIND_JUSTIFY, RULE_LOCKSTEP, RULE_LOCK_ORDER, RULE_NONDET_ITER,
+    RULE_SEND_AFTER_QUIESCENCE, RULE_UNCHARGED_SEND, RULE_UNJUSTIFIED_ALLOW, RULE_UNSAFE_SAFETY,
+    RULE_WALLCLOCK,
 };
 
 /// A small clean workspace: solver crate + channel layer, every rule
@@ -69,6 +70,15 @@ fn clean_fixture() -> Vec<(String, String)> {
              // SAFETY: readers only observe slots after the epoch fence.\n\
              unsafe impl Sync for TraceBuffer {}\n"
                 .to_string(),
+        ),
+        (
+            "crates/struntime/src/worker.rs".to_string(),
+            "pub fn spawn_rank(f: impl FnOnce()) {\n\
+                 // stlint: catch-unwind-justify — rank isolation: the payload\n\
+                 // is classified into a RankFailure and the world aborts.\n\
+                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));\n\
+             }\n"
+            .to_string(),
         ),
     ]
 }
@@ -171,6 +181,22 @@ fn seeded_undocumented_unsafe_is_caught() {
             "// SAFETY: readers only observe slots after the epoch fence.\n",
             "",
         );
+    });
+}
+
+#[test]
+fn seeded_unjustified_catch_unwind_is_caught() {
+    assert_mutation_caught(RULE_CATCH_UNWIND_JUSTIFY, |files| {
+        files[5].1 = files[5]
+            .1
+            .replace(
+                "// stlint: catch-unwind-justify — rank isolation: the payload\n",
+                "",
+            )
+            .replace(
+                "// is classified into a RankFailure and the world aborts.\n",
+                "",
+            );
     });
 }
 

@@ -301,11 +301,13 @@ impl<T: Send + Clone + 'static> ChannelGroup<T> {
     }
 
     fn pause(&self, point: SyncPoint) {
+        self.ctx.shared.poll_abort(self.rank);
         if let Some(p) = &self.ctx.perturb {
             p.pause(point);
         }
         if let Some(f) = &self.ctx.faults {
             f.maybe_stall(point);
+            f.maybe_crash(point);
         }
     }
 
@@ -862,6 +864,22 @@ mod tests {
         (g1, g2, stats)
     }
 
+    /// Bounded wait for the reliability tests: pumps `step` until it
+    /// reports done, failing the test if the shared bound is exceeded.
+    /// The bound is the single timeout policy for every reliability
+    /// test — generous against a loaded CI machine, finite against a
+    /// genuine protocol stall (the old per-test 5–10s spins live here).
+    fn pump_until(what: &str, mut step: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !step() {
+            assert!(
+                Instant::now() < deadline,
+                "{what}: reliability layer stalled"
+            );
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn send_and_receive() {
         let (g1, g2) = group_pair();
@@ -969,16 +987,15 @@ mod tests {
             g1.send_batch(1, vec![i]);
         }
         let mut got = Vec::new();
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while got.len() < n as usize {
-            assert!(Instant::now() < deadline, "reliability layer stalled");
+        pump_until("dropped batches recovered", || {
             if let Some(batch) = g2.try_recv() {
                 got.extend(batch);
             }
             // Pump the sender's retransmit timer (in a real world the
             // sender's own drain loop does this).
             let _ = g1.try_recv();
-        }
+            got.len() >= n as usize
+        });
         got.sort_unstable();
         assert_eq!(got, (0..n).collect::<Vec<_>>());
         assert_eq!(g2.try_recv(), None, "no duplicate deliveries surface");
@@ -1002,14 +1019,13 @@ mod tests {
             g1.send_batch(1, vec![i]);
         }
         let mut got = Vec::new();
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while got.len() < n as usize {
-            assert!(Instant::now() < deadline, "reliability layer stalled");
+        pump_until("duplicated batches deduplicated", || {
             if let Some(batch) = g2.try_recv() {
                 got.extend(batch);
             }
             let _ = g1.try_recv();
-        }
+            got.len() >= n as usize
+        });
         got.sort_unstable();
         assert_eq!(got, (0..n).collect::<Vec<_>>());
         assert_eq!(g2.try_recv(), None);
@@ -1034,14 +1050,13 @@ mod tests {
             g1.send_batch(1, vec![i]);
         }
         let mut got = Vec::new();
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while got.len() < n as usize {
-            assert!(Instant::now() < deadline, "reliability layer stalled");
+        pump_until("delayed batches delivered", || {
             if let Some(batch) = g2.try_recv() {
                 got.extend(batch);
             }
             let _ = g1.try_recv();
-        }
+            got.len() >= n as usize
+        });
         got.sort_unstable();
         assert_eq!(got, (0..n).collect::<Vec<_>>());
         assert!(stats.snapshot().delays > 0);
@@ -1060,11 +1075,10 @@ mod tests {
         assert_eq!(g1.unacked_len(), 1);
         assert_eq!(g2.try_recv(), Some(vec![1, 2]));
         // The ack is in flight back to g1; its next poll absorbs it.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while g1.unacked_len() > 0 {
-            assert!(Instant::now() < deadline, "ack never arrived");
+        pump_until("ack clears the unacked buffer", || {
             let _ = g1.try_recv();
-        }
+            g1.unacked_len() == 0
+        });
         assert_eq!(stats.snapshot().acks, 1);
     }
 

@@ -88,6 +88,9 @@ impl Comm {
                 };
                 if entry.turn != self.rank() {
                     drop(slot);
+                    // A dead peer never takes its fold turn; the abort
+                    // epoch is the only exit from this spin.
+                    self.shared().poll_abort(self.rank());
                     std::thread::yield_now();
                     continue;
                 }

@@ -38,6 +38,7 @@ pub mod audit;
 pub mod channels;
 mod collective;
 pub mod counters;
+pub mod failure;
 pub mod faults;
 pub mod memory;
 pub mod metrics;
@@ -53,6 +54,9 @@ pub mod wire;
 pub use audit::AuditViolation;
 pub use channels::ChannelGroup;
 pub use counters::{merge_snapshots, PhaseSnapshot};
+pub use failure::{
+    panic_message, CooperativeAbort, FailureReason, InjectedCrash, RankFailure, WorldFailure,
+};
 pub use faults::{FaultPlan, FaultSnapshot, FaultStats};
 pub use metrics::{HistogramSnapshot, MetricKind, MetricsConfig, MetricsDump};
 pub use persistent::PersistentWorld;
@@ -149,10 +153,14 @@ impl Comm {
         &self.shared
     }
 
-    /// Blocks until every rank reaches the barrier.
+    /// Blocks until every rank reaches the barrier — or until the world's
+    /// abort epoch is raised, in which case this rank unwinds with a
+    /// [`CooperativeAbort`] instead of waiting for a dead peer.
     pub fn barrier(&self) {
         self.pause(SyncPoint::Barrier);
-        self.shared.barrier.wait();
+        if !self.shared.barrier.wait(&self.shared.abort) {
+            self.shared.poll_abort(self.rank);
+        }
     }
 
     /// This rank's schedule perturber, when the world runs under
@@ -161,15 +169,41 @@ impl Comm {
         self.perturb.as_ref()
     }
 
-    /// Consumes one perturbation decision at `point` (no-op when the world
-    /// is unperturbed), then gives the fault injector — when one is
-    /// installed — a chance to stall this rank transiently.
+    /// The runtime's sync-point chokepoint: polls the abort epoch and
+    /// deadline (unwinding cooperatively when either tripped), consumes
+    /// one perturbation decision at `point` (no-op when the world is
+    /// unperturbed), then gives the fault injector — when one is
+    /// installed — a chance to stall this rank transiently or crash-stop
+    /// it. The abort poll reads only atomics and never consumes a
+    /// perturber decision, so arming it leaves schedules bit-identical.
     pub(crate) fn pause(&self, point: SyncPoint) {
+        self.shared.poll_abort(self.rank);
         if let Some(p) = &self.perturb {
             p.pause(point);
         }
         if let Some(f) = &self.faults {
             f.maybe_stall(point);
+            f.maybe_crash(point);
+        }
+    }
+
+    /// Marks a solver phase transition in one call: updates this rank's
+    /// failure-classification label, the crash injector's phase filter,
+    /// and the telemetry phase series.
+    pub fn set_phase(&self, name: &'static str, index: u64) {
+        self.shared.set_phase_label(self.rank, name);
+        if let Some(f) = &self.faults {
+            f.set_phase(index as usize);
+        }
+        self.telemetry_phase(index);
+    }
+
+    /// Per-visit crash-trigger hook; the traversal drain loop calls this
+    /// after every executed visit (see
+    /// [`faults::FaultPlan::crash_after_visits`]).
+    pub(crate) fn fault_visit_tick(&self) {
+        if let Some(f) = &self.faults {
+            f.visit_tick();
         }
     }
 
@@ -497,6 +531,13 @@ pub struct WorldConfig {
     /// counters bit-identical; `monitor: true` additionally renders a
     /// live per-rank heartbeat line to stderr.
     pub telemetry: TelemetryConfig,
+    /// Cooperative world deadline (off by default). When set, every sync
+    /// point polls the deadline; the first rank to observe expiry records
+    /// a [`FailureReason::DeadlineExceeded`] primary failure and the
+    /// abort epoch unwinds everyone else, so [`World::try_run_config`]
+    /// returns a [`WorldFailure`] with `deadline_exceeded` set instead of
+    /// hanging. Resolution is "the next sync point", not preemption.
+    pub deadline: Option<std::time::Duration>,
 }
 
 /// The simulated cluster.
@@ -514,14 +555,43 @@ impl World {
     }
 
     /// [`World::run`] with explicit [`WorldConfig`] (schedule
-    /// perturbation).
+    /// perturbation). Rank panics propagate — recovery supervisors should
+    /// use [`World::try_run_config`] instead.
     pub fn run_config<T, F>(p: usize, config: WorldConfig, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
+        match Self::try_run_config(p, config, f) {
+            Ok(out) => out,
+            Err(wf) => std::panic::resume_unwind(wf.into_panic_payload()),
+        }
+    }
+
+    /// [`World::run_config`] that survives rank death: every rank closure
+    /// runs under `catch_unwind`; a dying rank raises the world's abort
+    /// epoch so survivors unblock from barriers, collectives, and channel
+    /// waits at their next sync point, every rank joins promptly, the
+    /// telemetry rings are drained for a flight-recorder dump, and the
+    /// run surfaces a structured [`WorldFailure`] instead of a panic.
+    pub fn try_run_config<T, F>(
+        p: usize,
+        config: WorldConfig,
+        f: F,
+    ) -> Result<RunOutput<T>, WorldFailure>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
         assert!(p >= 1, "need at least one rank");
+        failure::install_quiet_abort_hook();
         let shared = Arc::new(Shared::new(p));
+        if let Some(d) = config.deadline {
+            // Cooperative cancellation is inherently wall-clock; the
+            // deadline never influences what a completed solve computes.
+            // stcheck: allow(wallclock): arming the cooperative deadline.
+            shared.set_deadline(Some(std::time::Instant::now() + d));
+        }
         let counters: Vec<_> = (0..p).map(|_| Arc::new(RankCounters::default())).collect();
         let memory: Vec<_> = (0..p).map(|_| Arc::new(MemoryTracker::default())).collect();
         let perturbers: Vec<Option<Arc<SchedulePerturber>>> = (0..p)
@@ -537,7 +607,7 @@ impl World {
         let samplers = telemetry::make_samplers(p, config.telemetry);
         let monitor_stop = AtomicBool::new(false);
 
-        let results: Vec<T> = std::thread::scope(|scope| {
+        let outcome: Result<Vec<T>, WorldFailure> = std::thread::scope(|scope| {
             let monitor = match &samplers {
                 Some(s) if config.telemetry.monitor_enabled() => {
                     let s = s.clone();
@@ -562,31 +632,74 @@ impl World {
                         lineage_seq: AtomicU64::new(0),
                     };
                     let f = &f;
-                    scope.spawn(move || f(&mut comm))
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        // stlint: catch-unwind-justify — rank isolation: a
+                        // dying rank must raise the abort epoch right here,
+                        // before its thread exits, so survivors unblock from
+                        // barriers and collectives instead of deadlocking
+                        // the world; the payload is classified into a
+                        // RankFailure and surfaced by the supervisor.
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                        if let Err(payload) = &result {
+                            shared.record_panic_payload(rank, payload.as_ref());
+                        }
+                        result
+                    })
                 })
                 .collect();
-            // Join every rank before propagating a panic: the scope would
-            // wait for the stragglers anyway, and a full join means the
-            // telemetry rings are quiescent and safe to drain for the
-            // flight recorder.
-            let joined: Vec<std::thread::Result<T>> =
-                handles.into_iter().map(|h| h.join()).collect();
+            // Join every rank before reporting: the scope would wait for
+            // the stragglers anyway (the abort epoch guarantees they
+            // arrive), and a full join means the telemetry rings are
+            // quiescent and safe to drain for the flight recorder.
+            let joined: Vec<Result<T, Box<dyn std::any::Any + Send>>> = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => Err(payload),
+                })
+                .collect();
             monitor_stop.store(true, Ordering::Release);
             if let Some(m) = monitor {
                 let _ = m.join();
             }
-            match joined.into_iter().collect::<std::thread::Result<Vec<T>>>() {
-                Ok(results) => results,
-                Err(payload) => {
-                    telemetry::write_flight_dump_env(
-                        &telemetry::drain_samplers(&samplers),
-                        "panic",
-                    );
-                    std::panic::resume_unwind(payload)
+            let mut results = Vec::with_capacity(p);
+            let mut primary: Option<Box<dyn std::any::Any + Send>> = None;
+            let mut any_failed = false;
+            for r in joined {
+                match r {
+                    Ok(v) => results.push(v),
+                    Err(payload) => {
+                        any_failed = true;
+                        if primary.is_none() && !payload.is::<CooperativeAbort>() {
+                            primary = Some(payload);
+                        }
+                    }
                 }
+            }
+            if any_failed {
+                // This is the abort-path flight dump: with the epoch in
+                // place every rank joins even after a mid-phase crash, so
+                // — unlike the old post-join-only dump — it actually fires.
+                let reason = if shared.deadline_exceeded.load(Ordering::SeqCst) {
+                    "deadline"
+                } else {
+                    "panic"
+                };
+                telemetry::write_flight_dump_env(&telemetry::drain_samplers(&samplers), reason);
+                Err(WorldFailure {
+                    failures: std::mem::take(&mut *shared.failures.lock()),
+                    aborted_ranks: shared.aborted_ranks.load(Ordering::SeqCst),
+                    deadline_exceeded: shared.deadline_exceeded.load(Ordering::SeqCst),
+                    primary,
+                })
+            } else {
+                Ok(results)
             }
         });
 
+        let results = outcome?;
         let reports = (0..p)
             .map(|rank| RankReport {
                 counters: counters[rank].snapshot(),
@@ -594,7 +707,7 @@ impl World {
                 peak_memory_by_label: memory[rank].peaks(),
             })
             .collect();
-        RunOutput {
+        Ok(RunOutput {
             results,
             reports,
             audit_violations: shared.audit.take_violations(),
@@ -606,7 +719,7 @@ impl World {
             metrics: metrics::drain_registries(&metric_regs),
             fault_stats: shared.faults.snapshot(),
             telemetry: telemetry::drain_samplers(&samplers),
-        }
+        })
     }
 }
 
@@ -1291,6 +1404,114 @@ mod tests {
             run_traversal(comm, &chan, QueueKind::Fifo, |_| 0, init, |_, _| {})
         });
         assert!(out.telemetry.is_empty());
+    }
+
+    /// Satellite-1 regression: a mid-phase panic with peers parked on a
+    /// barrier the dead rank will never reach used to deadlock the world,
+    /// so the post-join flight dump never fired. With the abort epoch,
+    /// every rank joins and a `FLIGHT_panic_*.json` lands on disk.
+    #[test]
+    fn mid_phase_panic_aborts_world_and_dumps_flight() {
+        let dir = std::env::temp_dir().join(format!("flight_abort_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var(telemetry::FLIGHT_RECORDER_DIR_ENV, &dir);
+        let config = WorldConfig {
+            telemetry: TelemetryConfig::Ring {
+                sample_every: 1,
+                monitor: false,
+            },
+            ..WorldConfig::default()
+        };
+        let err = World::try_run_config(4, config, |comm| {
+            comm.set_phase("voronoi", 0);
+            if comm.rank() == 1 {
+                panic!("boom in voronoi");
+            }
+            // Survivors head for a rendezvous the dead rank never reaches.
+            comm.barrier();
+        })
+        .expect_err("a dead rank must fail the world");
+        std::env::remove_var(telemetry::FLIGHT_RECORDER_DIR_ENV);
+        assert_eq!(err.failures.len(), 1, "{err}");
+        assert_eq!(err.failures[0].rank, 1);
+        assert_eq!(err.failures[0].phase, "voronoi");
+        assert!(
+            matches!(&err.failures[0].reason, FailureReason::Panic(m) if m.contains("boom")),
+            "{err}"
+        );
+        assert_eq!(err.aborted_ranks, 3, "all three survivors must unwind");
+        let dumped = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("FLIGHT_panic_") && n.ends_with(".json"))
+            });
+        assert!(dumped, "no FLIGHT_panic_*.json in {dir:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_trips_cooperative_abort() {
+        let config = WorldConfig {
+            deadline: Some(std::time::Duration::from_millis(50)),
+            ..WorldConfig::default()
+        };
+        let err = World::try_run_config(2, config, |comm| {
+            let chan = comm.open_channels::<Vec<u32>>("spin");
+            // A ring that never terminates: every visit re-arms the token.
+            let init = if comm.rank() == 0 { vec![0u32] } else { vec![] };
+            run_traversal(
+                comm,
+                &chan,
+                QueueKind::Fifo,
+                |_| 0,
+                init,
+                |v, pusher| {
+                    pusher.push((pusher.rank() + 1) % 2, v.wrapping_add(1));
+                },
+            );
+        })
+        .expect_err("unbounded traversal must trip the deadline");
+        assert!(err.deadline_exceeded, "{err}");
+        assert_eq!(err.failures.len(), 1, "{err}");
+        assert_eq!(err.failures[0].reason, FailureReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn injected_crash_stop_is_classified_and_survivors_abort() {
+        let plan = FaultPlan::from_spec("crash_rank=1,crash_at_sync=4,seed=11").unwrap();
+        let config = WorldConfig {
+            faults: Some(plan),
+            ..WorldConfig::default()
+        };
+        let err = World::try_run_config(3, config, |comm| {
+            comm.set_phase("spin", 0);
+            for _ in 0..64 {
+                comm.barrier();
+            }
+        })
+        .expect_err("armed crash plan must kill rank 1");
+        assert_eq!(err.injected_crashes(), 1, "{err}");
+        assert_eq!(err.failures.len(), 1, "{err}");
+        assert_eq!(err.failures[0].rank, 1);
+        assert_eq!(err.failures[0].phase, "spin");
+        assert!(err
+            .primary
+            .as_ref()
+            .is_some_and(|p| p.is::<InjectedCrash>()));
+    }
+
+    #[test]
+    #[should_panic(expected = "legacy boom")]
+    fn run_config_reraises_the_primary_panic() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                panic!("legacy boom");
+            }
+            comm.barrier();
+        });
     }
 }
 

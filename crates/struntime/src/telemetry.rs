@@ -536,12 +536,15 @@ pub fn write_flight_dump(
 }
 
 /// Writes a flight-recorder dump if the [`FLIGHT_RECORDER_DIR_ENV`]
-/// environment variable is set and the dump is non-empty; a no-op
-/// otherwise. Write errors are reported to stderr rather than
-/// propagated — the flight recorder must never turn a diagnosable
-/// failure into a different failure.
+/// environment variable is set and telemetry was recording; a no-op
+/// otherwise. The guard is "no rank series" (telemetry off), not "no
+/// samples": a world that dies before its first sample still leaves a
+/// dump, because an empty-but-present record is itself diagnostic.
+/// Write errors are reported to stderr rather than propagated — the
+/// flight recorder must never turn a diagnosable failure into a
+/// different failure.
 pub fn write_flight_dump_env(dump: &TelemetryDump, reason: &str) -> Option<PathBuf> {
-    if dump.is_empty() {
+    if dump.ranks.is_empty() {
         return None;
     }
     let dir = std::env::var_os(FLIGHT_RECORDER_DIR_ENV)?;

@@ -620,6 +620,7 @@ where
                 );
             }
             stats.processed += 1;
+            comm.fault_visit_tick();
             // Sample queue depth sparsely (every 256 visitors, starting
             // at the first) so the trace stays light on big runs but
             // tiny test graphs still get at least one sample.

@@ -58,8 +58,14 @@
 //! the fault path (nonzero injection counters). The faulted solves run
 //! with telemetry sampling on while the baselines keep it off, so the
 //! sweep doubles as the proof that observation never perturbs the
-//! result. Exit code 0 means every combination matched; 1 means a
-//! divergence or a plan that injected nothing; 2 means usage error.
+//! result. A second sweep injects seeded crash-stop rank deaths
+//! (visit- and sync-triggered, across phases) at ranks {2, 4} per queue
+//! discipline and asserts the supervisor restored from a phase
+//! checkpoint and the recovered tree is bit-identical; a final smoke
+//! checks an expired `deadline` surfaces as the structured
+//! `DeadlineExceeded` error. Exit code 0 means every combination
+//! matched; 1 means a divergence or a plan that injected nothing; 2
+//! means usage error.
 //!
 //! `bench-guard` compares the freshly generated
 //! `BENCH_fig3_strong_scaling.json` in the given directory (default:
@@ -367,6 +373,108 @@ fn chaos() -> ExitCode {
             }
         }
     }
+    // Crash-stop recovery sweep: seeded crash plans (visit-triggered in
+    // voronoi, sync-triggered in mst and edge_pruning) across every queue
+    // discipline × ranks {2, 4}. Each faulted solve must actually crash,
+    // restore from a phase checkpoint, and still produce a tree
+    // bit-identical to the undisturbed baseline.
+    let crash_plans = [
+        "crash_rank=1,crash_after_visits=3,crash_phase=0,seed=7",
+        "crash_rank=0,crash_at_sync=2,crash_phase=3,seed=11",
+        "crash_rank=1,crash_at_sync=2,crash_phase=4,seed=13",
+    ];
+    for (qname, queue) in queues {
+        for p in [2usize, 4] {
+            let base_cfg = steiner::SolverConfig {
+                num_ranks: p,
+                queue,
+                ..steiner::SolverConfig::default()
+            };
+            let baseline = match steiner::solve(&g, &seeds, &base_cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  FAIL {qname} p={p} crash baseline: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            for spec in crash_plans {
+                combos += 1;
+                let plan = match steiner::FaultPlan::from_spec(spec) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        eprintln!("xtask chaos: bad crash plan {spec:?}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let cfg = steiner::SolverConfig {
+                    faults: Some(plan),
+                    ..base_cfg
+                };
+                match steiner::solve(&g, &seeds, &cfg) {
+                    Ok(r) if r.tree != baseline.tree => {
+                        eprintln!(
+                            "  FAIL {qname} p={p} {spec}: recovered tree diverged \
+                             (distance {} vs undisturbed {})",
+                            r.tree.total_distance(),
+                            baseline.tree.total_distance()
+                        );
+                        failures += 1;
+                    }
+                    Ok(r) if r.recovery.crashes_injected == 0 => {
+                        eprintln!(
+                            "  FAIL {qname} p={p} {spec}: plan injected no crash \
+                             (crash path not exercised)"
+                        );
+                        failures += 1;
+                    }
+                    Ok(r) if r.recovery.restores == 0 => {
+                        eprintln!(
+                            "  FAIL {qname} p={p} {spec}: crashed but never restored \
+                             from a checkpoint"
+                        );
+                        failures += 1;
+                    }
+                    Ok(r) => println!(
+                        "  ok {qname} p={p} {spec}: tree identical after \
+                         {} crash(es), {} restore(s), {} phase(s) replayed \
+                         ({} checkpoints)",
+                        r.recovery.crashes_injected,
+                        r.recovery.restores,
+                        r.recovery.replayed_phases,
+                        r.recovery.checkpoints_taken,
+                    ),
+                    Err(e) => {
+                        eprintln!("  FAIL {qname} p={p} {spec}: solve failed: {e}");
+                        failures += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Deadline smoke: an already-expired budget must surface as the
+    // structured error, not a hang or a panic.
+    combos += 1;
+    let deadline_cfg = steiner::SolverConfig {
+        num_ranks: 2,
+        deadline: Some(std::time::Duration::ZERO),
+        ..steiner::SolverConfig::default()
+    };
+    match steiner::solve(&g, &seeds, &deadline_cfg) {
+        Err(stgraph::error::SteinerError::DeadlineExceeded { .. }) => {
+            println!("  ok deadline=0: structured DeadlineExceeded");
+        }
+        Ok(_) => {
+            eprintln!("  FAIL deadline=0: solve completed despite an expired budget");
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("  FAIL deadline=0: expected DeadlineExceeded, got: {e}");
+            failures += 1;
+        }
+    }
+
     if failures == 0 {
         println!("xtask chaos: {combos} faulted solves bit-identical to fault-free baselines");
         ExitCode::SUCCESS

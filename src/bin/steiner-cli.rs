@@ -7,6 +7,8 @@
 //!                      [--ranks P] [--queue fifo|priority|bucketed[:DELTA]]
 //!                      [--refine] [--improve ROUNDS] [--dot out.dot]
 //!                      [--faults drop=0.1,dup=0.05,seed=7]
+//!                      [--crash crash_rank=1,crash_at_sync=3,seed=7]
+//!                      [--deadline MS] [--no-recover]
 //!                      [--trace trace.json] [--report report.json] [--analyze]
 //!                      [--telemetry] [--monitor]
 //! steiner-cli compare  --graph graph.bin --select K[:STRATEGY]
@@ -50,7 +52,8 @@ const USAGE: &str = "usage:
   steiner-cli solve    --graph FILE (--seeds A,B,C | --select K[:STRATEGY])
                        [--ranks P] [--queue fifo|priority|bucketed[:DELTA]]
                        [--refine] [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
-                       [--faults SPEC] [--trace FILE] [--report FILE] [--analyze]
+                       [--faults SPEC] [--crash SPEC] [--deadline MS] [--no-recover]
+                       [--trace FILE] [--report FILE] [--analyze]
                        [--telemetry] [--monitor]
 
 --queue picks the visitor-queue discipline: `priority` (default) settles
@@ -62,11 +65,12 @@ derive the bucket width from the graph's mean edge weight;
 
 --trace writes a Chrome-trace/Perfetto JSON timeline of the solve (one
 lane per simulated rank); --report writes the machine-readable RunReport
-(schema v5, with latency quantiles from the runtime's histograms, the
-fault/retransmit counters, per-rank stale-relaxation drop counts, and —
-when telemetry is on — the sampled timeseries plus per-phase peak-memory
-watermarks); --analyze turns on tracing and prints the
-causality-DAG readout (critical path, load imbalance) after the solve.
+(schema v6, with latency quantiles from the runtime's histograms, the
+fault/retransmit counters, per-rank stale-relaxation drop counts, the
+crash-recovery counters, and — when telemetry is on — the sampled
+timeseries plus per-phase peak-memory watermarks); --analyze turns on
+tracing and prints the causality-DAG readout (critical path, load
+imbalance) after the solve.
 --telemetry samples the runtime gauges into bounded per-rank rings on a
 deterministic step-keyed cadence (observation never changes the tree);
 --monitor additionally renders a live per-rank heartbeat to stderr while
@@ -77,6 +81,16 @@ FLIGHT_*.json flight-recorder file for `xtask analyze`.
 `drop=0.1,dup=0.05,delay=0.1,delay_us=200,stall=0.05,seed=7` (probs in
 [0, 0.5]); the runtime's reliability protocol recovers and the tree is
 bit-identical to a fault-free solve.
+--crash injects a deterministic crash-stop rank death, e.g.
+`crash_rank=1,crash_at_sync=3,seed=7` or
+`crash_after_visits=100,crash_phase=0`; the supervisor restores the
+survivors from the last complete phase checkpoint and the recovered
+tree is bit-identical to an undisturbed solve. --no-recover disables
+phase checkpointing (a crash then fails the solve as unrecoverable);
+--deadline bounds the solve's wall-clock time in milliseconds —
+on expiry the ranks are cooperatively aborted and the solve returns a
+structured deadline-exceeded error (plus a flight dump when
+FLIGHT_RECORDER_DIR is set and telemetry is on).
   steiner-cli compare  --graph FILE --select K[:STRATEGY]
   steiner-cli repl     --graph FILE [--select K[:STRATEGY]] [--ranks P]
                        [--queue KIND] [--faults SPEC] [--trace FILE] [--report FILE]
@@ -100,7 +114,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         };
         let boolean = matches!(
             name,
-            "tiny" | "refine" | "analyze" | "telemetry" | "monitor"
+            "tiny" | "refine" | "analyze" | "telemetry" | "monitor" | "no-recover"
         );
         if boolean {
             flags.insert(name.to_string(), String::new());
@@ -183,13 +197,51 @@ fn flag_num(flags: &HashMap<String, String>, name: &str, default: u64) -> Result
     }
 }
 
-/// Parses `--faults SPEC` into a plan (`None` when the flag is absent).
+/// Parses `--faults SPEC` into a plan (`None` when the flag is absent),
+/// then merges `--crash SPEC` on top: the crash spec's trigger and
+/// filter keys override the base plan's, so message faults and a seeded
+/// crash compose (`--faults drop=0.1,seed=7 --crash crash_at_sync=3`).
 fn fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, String> {
-    match flags.get("faults") {
+    let mut plan = match flags.get("faults") {
+        None => None,
+        Some(spec) => Some(
+            FaultPlan::from_spec(spec).map_err(|e| format!("bad --faults value {spec:?}: {e}"))?,
+        ),
+    };
+    if let Some(spec) = flags.get("crash") {
+        let crash =
+            FaultPlan::from_spec(spec).map_err(|e| format!("bad --crash value {spec:?}: {e}"))?;
+        if !crash.crash_armed() {
+            return Err(format!(
+                "--crash value {spec:?} arms no crash trigger \
+                 (want crash=P, crash_at_sync=N, or crash_after_visits=N)"
+            ));
+        }
+        let mut base = plan.unwrap_or_default();
+        base.crash_p = crash.crash_p;
+        base.crash_rank = crash.crash_rank;
+        base.crash_at_sync = crash.crash_at_sync;
+        base.crash_after_visits = crash.crash_after_visits;
+        base.crash_phase = crash.crash_phase;
+        base.crash_limit = crash.crash_limit;
+        if !flags.contains_key("faults") {
+            base.seed = crash.seed;
+        }
+        plan = Some(base);
+    }
+    Ok(plan)
+}
+
+/// Parses `--deadline MS` into a wall-clock budget for the solve.
+fn deadline(flags: &HashMap<String, String>) -> Result<Option<std::time::Duration>, String> {
+    match flags.get("deadline") {
         None => Ok(None),
-        Some(spec) => FaultPlan::from_spec(spec)
-            .map(Some)
-            .map_err(|e| format!("bad --faults value {spec:?}: {e}")),
+        Some(v) => {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("bad --deadline value {v:?} (want milliseconds)"))?;
+            Ok(Some(std::time::Duration::from_millis(ms)))
+        }
     }
 }
 
@@ -332,6 +384,8 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
         metrics,
         telemetry,
         faults: fault_plan(flags)?,
+        deadline: deadline(flags)?,
+        checkpoints: !flags.contains_key("no-recover"),
         ..SolverConfig::default()
     };
     let t = Instant::now();
@@ -375,6 +429,18 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
         println!(
             "faults recovered {} retransmits, {} dedup discards, {} acks, {} retries",
             fs.retransmits, fs.dedup_discards, fs.acks, fs.retries
+        );
+    }
+    if report.recovery.crashes_injected > 0 || report.recovery.restores > 0 {
+        let rc = report.recovery;
+        println!(
+            "recovery         {} crash(es), {} restore(s), {} phase(s) replayed \
+             ({} checkpoints, {} bytes peak)",
+            rc.crashes_injected,
+            rc.restores,
+            rc.replayed_phases,
+            rc.checkpoints_taken,
+            rc.checkpoint_bytes
         );
     }
     write_solve_artifacts(&report, flags)?;
@@ -542,6 +608,8 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
                     metrics: obs_metrics,
                     telemetry: obs_telemetry,
                     faults: obs_faults,
+                    deadline: deadline(flags)?,
+                    checkpoints: !flags.contains_key("no-recover"),
                     ..SolverConfig::default()
                 };
                 let t = Instant::now();

@@ -148,6 +148,96 @@ fn repl_executes_scripted_session() {
 }
 
 #[test]
+fn crash_flag_recovers_and_reports_restores() {
+    let dir = tempdir();
+    let graph = generate_graph(&dir);
+    let report = dir.join("crash_report.json");
+    let out = cli()
+        .args([
+            "solve",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--select",
+            "8",
+            "--ranks",
+            "4",
+            "--crash",
+            "crash_rank=1,crash_after_visits=3,crash_phase=0,seed=7",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovery"), "{text}");
+    assert!(text.contains("total distance"), "{text}");
+    let doc = stgraph::json::parse(&std::fs::read_to_string(&report).expect("report written"))
+        .expect("report parses");
+    let recovery = doc.get("recovery").expect("recovery section");
+    assert_eq!(
+        recovery.get("crashes_injected").and_then(|v| v.as_u64()),
+        Some(1),
+        "{doc}"
+    );
+    assert!(
+        recovery.get("restores").and_then(|v| v.as_u64()).unwrap() >= 1,
+        "{doc}"
+    );
+}
+
+#[test]
+fn crash_flag_without_recovery_fails_structured() {
+    let dir = tempdir();
+    let graph = generate_graph(&dir);
+    let out = cli()
+        .args([
+            "solve",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--select",
+            "8",
+            "--ranks",
+            "2",
+            "--crash",
+            "crash_rank=1,crash_at_sync=2,seed=7",
+            "--no-recover",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unrecoverable"), "{err}");
+}
+
+#[test]
+fn deadline_zero_fails_with_deadline_error() {
+    let dir = tempdir();
+    let graph = generate_graph(&dir);
+    let out = cli()
+        .args([
+            "solve",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--select",
+            "8",
+            "--ranks",
+            "2",
+            "--deadline",
+            "0",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deadline"), "{err}");
+}
+
+#[test]
 fn bad_arguments_fail_with_usage() {
     let out = cli().args(["solve"]).output().expect("spawn");
     assert!(!out.status.success());
