@@ -22,10 +22,17 @@
 //! what the pre-filter code visited). Trees are asserted bit-identical
 //! across disciplines at every scale point.
 //!
+//! A third run per scale point exercises `--mst dist`: the distributed
+//! Borůvka pipeline that replaces the replicated binom(|S|,2)
+//! `Allreduce(MIN)` + Prim with per-component slot reductions and
+//! pointer-jumping merges. The `mst` column names the pipeline and
+//! `b-rounds` its Borůvka round count (`-` for replicated rows); the
+//! dist tree is asserted bit-identical to the replicated one.
+//!
 //! Run: `cargo run -p bench --release --bin fig3_strong_scaling [--quick]`
 
 use bench::{banner, fmt_count, fmt_dur, load_dataset, pick_seeds, quick_mode, BenchReport, Table};
-use steiner::{auto_delta, solve_partitioned, Phase, QueueKind, SolverConfig};
+use steiner::{auto_delta, solve_partitioned, MstMode, Phase, QueueKind, SolverConfig};
 use stgraph::datasets::Dataset;
 use stgraph::json::Json;
 use stgraph::partition::partition_graph;
@@ -64,6 +71,7 @@ fn main() {
             let mut table = Table::new([
                 "ranks",
                 "queue",
+                "mst",
                 "voronoi",
                 "local_min",
                 "other",
@@ -72,6 +80,7 @@ fn main() {
                 "visits",
                 "stale",
                 "churn-cut",
+                "b-rounds",
             ]);
             for &p in rank_ladder {
                 // Delegate hubs like the paper's HavoqGT configuration:
@@ -82,39 +91,56 @@ fn main() {
                 // the filtered priority run reconstructs it.
                 let mut prio_unfiltered = 0u64;
                 let mut prio_tree = None;
-                for queue in [QueueKind::Priority, QueueKind::Bucketed { delta }] {
+                let runs = [
+                    (QueueKind::Priority, MstMode::Replicated),
+                    (QueueKind::Bucketed { delta }, MstMode::Replicated),
+                    (QueueKind::Priority, MstMode::Dist),
+                ];
+                for (queue, mst_mode) in runs {
                     let cfg = SolverConfig {
                         num_ranks: p,
                         queue,
+                        mst_mode,
                         delegate_threshold: Some(64),
                         ..SolverConfig::default()
                     };
                     let report = solve_partitioned(&pg, &seeds, &cfg).expect("seeds connected");
+                    let mst_label = match mst_mode {
+                        MstMode::Replicated => "repl",
+                        MstMode::Dist => "dist",
+                    };
+                    let label_suffix = match mst_mode {
+                        MstMode::Replicated => String::new(),
+                        MstMode::Dist => "_mst-dist".to_string(),
+                    };
                     bench_report.add_solve(
                         format!(
-                            "{}_s{}_p{}_{}",
+                            "{}_s{}_p{}_{}{}",
                             dataset.name(),
                             seeds.len(),
                             p,
-                            queue.name()
+                            queue.name(),
+                            label_suffix
                         ),
                         Json::obj()
                             .with("graph", dataset.name())
                             .with("num_seeds", seeds.len())
                             .with("ranks", p)
-                            .with("queue", queue_label(queue).as_str()),
+                            .with("queue", queue_label(queue).as_str())
+                            .with("mst", mst_label),
                         &report,
                     );
                     let visits: u64 = report.rank_work.iter().sum();
                     let stale: u64 = report.stale_drops.iter().sum();
-                    if queue == QueueKind::Priority {
+                    if queue == QueueKind::Priority && mst_mode == MstMode::Replicated {
                         prio_unfiltered = visits + stale;
                         prio_tree = Some(report.tree.clone());
                     } else {
                         assert_eq!(
                             Some(&report.tree),
                             prio_tree.as_ref(),
-                            "disciplines must converge to bit-identical trees"
+                            "disciplines and MST pipelines must converge \
+                             to bit-identical trees"
                         );
                     }
                     let churn_cut = if prio_unfiltered > 0 {
@@ -125,6 +151,10 @@ fn main() {
                     } else {
                         "n/a".to_string()
                     };
+                    let b_rounds = report
+                        .boruvka
+                        .as_ref()
+                        .map_or("-".to_string(), |s| s.rounds.to_string());
                     let t = report.phase_times;
                     let other =
                         report.time_to_solution() - t[Phase::Voronoi] - t[Phase::LocalMinEdge];
@@ -132,6 +162,7 @@ fn main() {
                     table.row([
                         p.to_string(),
                         queue_label(queue),
+                        mst_label.to_string(),
                         fmt_dur(t[Phase::Voronoi]),
                         fmt_dur(t[Phase::LocalMinEdge]),
                         fmt_dur(other),
@@ -140,6 +171,7 @@ fn main() {
                         fmt_count(visits),
                         fmt_count(stale),
                         churn_cut,
+                        b_rounds,
                     ]);
                 }
             }
@@ -151,6 +183,8 @@ fn main() {
     println!("(up to 90% efficiency on CLW/WDC); speedup grows as ranks double.");
     println!("churn-cut is measured against the unfiltered priority baseline");
     println!("(visits + stale of the priority row — what pre-filter code visited).");
+    println!("mst=dist rows run the distributed Borůvka pipeline (b-rounds =");
+    println!("slot-reduction rounds); their trees are asserted bit-identical to repl.");
     println!("Note: sim-speedup is work-based (see header); wall-clock on this host");
     println!("reflects single-machine thread multiplexing, not cluster scaling.");
     bench_report.finish();

@@ -7,6 +7,13 @@
 //! Expected shape: APSP/VC ratio grows roughly with |S|; at |S| = 1000 the
 //! paper sees ~56x (LVJ) and ~32x (PTN).
 //!
+//! The `pair-buf` / `slot-buf` columns are the per-rank reduction
+//! footprints the same |S| implies downstream: the replicated pipeline's
+//! dense `binom(|S|, 2)` pair buffer versus the `--mst dist` Borůvka
+//! pipeline's one-slot-per-component vector (first round, its maximum) —
+//! the quadratic-vs-linear gap that motivates the dist mode for large
+//! seed sets. Computed, not measured: no solve runs here.
+//!
 //! Run: `cargo run -p bench --release --bin table1_apsp_vs_vc [--quick]`
 
 use baselines::apsp::SeedApsp;
@@ -30,7 +37,9 @@ fn main() {
     let reps = if quick_mode() { 1 } else { 3 };
 
     let mut report = BenchReport::new("table1_apsp_vs_vc");
-    let mut table = Table::new(["graph", "|S|", "APSP", "VC", "APSP/VC"]);
+    let mut table = Table::new([
+        "graph", "|S|", "APSP", "VC", "APSP/VC", "pair-buf", "slot-buf",
+    ]);
     for dataset in [Dataset::Lvj, Dataset::Ptn] {
         let g = load_dataset(dataset);
         for &k in seed_counts {
@@ -41,12 +50,16 @@ fn main() {
             let vc = median_time(reps, || {
                 std::hint::black_box(voronoi_cells(&g, &seeds));
             });
+            let pair_buf = steiner::boruvka::dense_pair_bytes(seeds.len());
+            let slot_buf = steiner::boruvka::slot_bytes(seeds.len());
             table.row([
                 dataset.name().to_string(),
                 seeds.len().to_string(),
                 fmt_dur(apsp),
                 fmt_dur(vc),
                 format!("{:.1}x", apsp.as_secs_f64() / vc.as_secs_f64().max(1e-9)),
+                format!("{pair_buf} B"),
+                format!("{slot_buf} B"),
             ]);
             report.add_metrics(
                 format!("{}_s{}", dataset.name(), seeds.len()),
@@ -56,7 +69,9 @@ fn main() {
                 Json::obj()
                     .with("apsp_us", apsp.as_micros() as u64)
                     .with("vc_us", vc.as_micros() as u64)
-                    .with("ratio", apsp.as_secs_f64() / vc.as_secs_f64().max(1e-9)),
+                    .with("ratio", apsp.as_secs_f64() / vc.as_secs_f64().max(1e-9))
+                    .with("pair_buf_bytes", pair_buf)
+                    .with("slot_buf_bytes", slot_buf),
             );
         }
     }
@@ -65,5 +80,7 @@ fn main() {
     println!("Paper reference (absolute values differ; the growing APSP/VC gap is the shape):");
     println!("  LVJ: 49.7s/30.0s, 539.2s/35.1s, 5813.3s/104.5s (1.7x -> 15.4x -> 55.6x)");
     println!("  PTN: 26.7s/12.9s, 270.3s/26.6s, 2767.4s/85.5s (2.1x -> 10.2x -> 32.4x)");
+    println!("pair-buf/slot-buf: per-rank reduction footprint of --mst replicated's");
+    println!("dense pair buffer vs --mst dist's first-round slot vector (computed).");
     report.finish();
 }

@@ -53,9 +53,16 @@ pub type PairKey = (u32, u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReduceMode {
     /// Dense `binom(|S|, 2)` buffer with `Allreduce(MIN)` — the paper's
-    /// approach. `chunk` bounds the shared buffer (`None` = one shot).
+    /// approach. `chunk` bounds only the *shared collective slot* (§V-F):
+    /// the exchange proceeds `chunk` elements at a time, so the slot
+    /// clone rank 0 hosts stays one chunk long — but the rank-local
+    /// `binom(|S|, 2)` buffer is still fully materialized regardless
+    /// (`None` = one shot, slot as large as the buffer). Use
+    /// [`ReduceMode::Sparse`] — or the solver's `--mst dist` Borůvka
+    /// mode, which skips this reduction entirely — when the *local*
+    /// footprint is the ceiling.
     Dense {
-        /// Elements per collective chunk (§V-F memory optimization).
+        /// Elements per collective chunk (§V-F slot-memory optimization).
         chunk: Option<usize>,
     },
     /// Sparse map-merge reduction; memory proportional to the number of
@@ -181,7 +188,17 @@ pub fn global_min_edges(
                 buf[pair_offset(num_seeds, si, ti)] = e;
             }
             match chunk {
-                Some(c) => comm.allreduce_chunked(&mut buf, c, min_combine),
+                Some(c) => {
+                    // The chunked exchange's bounded footprint gets its
+                    // own label, so the watermark separates the full-size
+                    // local buffer (above) from the one-chunk collective
+                    // slot §V-F actually bounds.
+                    let slot_bytes = c.min(len) * std::mem::size_of::<MinEdge>();
+                    comm.memory().record("distance_graph_dense_slot", slot_bytes);
+                    comm.allreduce_chunked(&mut buf, c, min_combine);
+                    comm.memory()
+                        .release("distance_graph_dense_slot", slot_bytes);
+                }
                 None => comm.allreduce(&mut buf, min_combine),
             }
             let mut out = Vec::new();
@@ -198,10 +215,8 @@ pub fn global_min_edges(
             out
         }
         ReduceMode::Sparse => {
-            comm.memory().record(
-                "distance_graph_sparse",
-                local.len() * std::mem::size_of::<(PairKey, MinEdge)>(),
-            );
+            let map_bytes = local.len() * std::mem::size_of::<(PairKey, MinEdge)>();
+            comm.memory().record("distance_graph_sparse", map_bytes);
             let mut wrapped = vec![local];
             comm.allreduce(&mut wrapped, |acc, other| {
                 for (&k, &e) in other {
@@ -211,11 +226,17 @@ pub fn global_min_edges(
                     }
                 }
             });
-            wrapped
+            let out = wrapped
                 .pop()
                 .expect("wrapped vec has one element")
                 .into_iter()
-                .collect()
+                .collect();
+            // Settle the label once the exchange is done (the Dense arm
+            // releases symmetrically above); leaving it recorded kept
+            // `current("distance_graph_sparse")` inflated through every
+            // later phase, skewing Fig 8 attribution.
+            comm.memory().release("distance_graph_sparse", map_bytes);
+            out
         }
     }
 }
@@ -270,6 +291,79 @@ mod tests {
                     assert!(edges.is_empty(), "k={num_seeds}, mode={mode:?}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn sparse_reduce_releases_its_memory_label() {
+        // Regression: the Sparse arm recorded `distance_graph_sparse`
+        // but never released it, so the label stayed inflated for every
+        // later phase. After the reduce the current bytes must be zero
+        // (peak still witnesses the exchange).
+        let out = struntime::World::run(2, |comm| {
+            let mut local = BTreeMap::new();
+            local.insert(
+                (0u32, 1u32),
+                MinEdge {
+                    total: 5 + comm.rank() as u64,
+                    a: 1,
+                    b: 2,
+                    weight: 3,
+                },
+            );
+            local.insert(
+                (1u32, 2u32),
+                MinEdge {
+                    total: 7,
+                    a: 4,
+                    b: 5,
+                    weight: 2,
+                },
+            );
+            let dg = global_min_edges(comm, local, 3, ReduceMode::Sparse);
+            (
+                dg.len(),
+                comm.memory().current("distance_graph_sparse"),
+                comm.memory().peaks()["distance_graph_sparse"],
+            )
+        });
+        for &(len, current, peak) in &out.results {
+            assert_eq!(len, 2);
+            assert_eq!(current, 0, "sparse label must be released post-reduce");
+            assert!(peak > 0, "peak still records the exchange footprint");
+        }
+    }
+
+    #[test]
+    fn chunked_dense_reduce_accounts_the_slot_separately() {
+        // Satellite of the Dense doc fix: the chunked exchange charges
+        // its bounded one-chunk footprint to its own label, distinct
+        // from the full-size local buffer, and settles it afterwards.
+        let out = struntime::World::run(2, |comm| {
+            let mut local = BTreeMap::new();
+            local.insert(
+                (0u32, 3u32),
+                MinEdge {
+                    total: 9,
+                    a: 8,
+                    b: 9,
+                    weight: 4,
+                },
+            );
+            let dg = global_min_edges(comm, local, 5, ReduceMode::Dense { chunk: Some(2) });
+            (
+                dg.len(),
+                comm.memory().current("distance_graph_dense_slot"),
+                comm.memory().peaks()["distance_graph_dense_slot"],
+                comm.memory().peaks()["distance_graph_dense"],
+            )
+        });
+        for &(len, current, slot_peak, dense_peak) in &out.results {
+            assert_eq!(len, 1);
+            assert_eq!(current, 0);
+            assert_eq!(slot_peak, 2 * std::mem::size_of::<MinEdge>());
+            assert_eq!(dense_peak, 10 * std::mem::size_of::<MinEdge>());
+            assert!(slot_peak < dense_peak);
         }
     }
 

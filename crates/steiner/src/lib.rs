@@ -38,6 +38,7 @@
 //! assert!(report.tree.validate(&graph).is_ok());
 //! ```
 
+pub mod boruvka;
 pub mod distance_graph;
 pub mod interactive;
 pub mod kernels;
@@ -52,6 +53,7 @@ pub mod tree_edges;
 pub mod voronoi;
 pub mod voronoi_bsp;
 
+pub use boruvka::BoruvkaStats;
 pub use phases::{Phase, PhaseTimes};
 pub use recovery::{CheckpointStore, RecoveryStats};
 pub use report::{ConfigFingerprint, RunReport};
@@ -104,6 +106,22 @@ impl ReduceModeConfig {
     }
 }
 
+/// How the `global_min_edge` + `mst` phases compute the MST of `G_1'`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MstMode {
+    /// The paper's Alg 3 Step 3: `Allreduce(MIN)` replicates the full
+    /// distance graph on every rank (dense or sparse per
+    /// [`ReduceModeConfig`]), then each rank runs Prim sequentially.
+    Replicated,
+    /// Distributed Borůvka ([`boruvka`]): each round all-reduces one
+    /// lightest-outgoing-edge slot per live component (`O(#components)`,
+    /// shrinking geometrically) and merges via pointer jumping — the
+    /// `binom(|S|, 2)` buffer never materializes. The chosen tree is
+    /// bit-identical to [`MstMode::Replicated`]; `reduce_mode` is unused
+    /// in this mode.
+    Dist,
+}
+
 /// Configuration of one distributed solve.
 #[derive(Clone, Copy, Debug)]
 pub struct SolverConfig {
@@ -117,8 +135,13 @@ pub struct SolverConfig {
     /// Degree threshold above which a vertex becomes a replicated delegate
     /// (HavoqGT vertex-cut). `None` disables delegation.
     pub delegate_threshold: Option<usize>,
-    /// Distance-graph reduction layout.
+    /// Distance-graph reduction layout (replicated MST mode only).
     pub reduce_mode: ReduceModeConfig,
+    /// MST execution mode for the `global_min_edge` + `mst` phases:
+    /// replicated Prim (the paper's Alg 3 Step 3, the default) or
+    /// distributed Borůvka rounds (`--mst dist`, see [`boruvka`]). Both
+    /// produce bit-identical trees.
+    pub mst_mode: MstMode,
     /// Apply the optional KMB steps 4–5 refinement to the output tree.
     pub refine: bool,
     /// Visitors per aggregated network batch in the asynchronous phases
@@ -177,6 +200,7 @@ impl Default for SolverConfig {
             queue: QueueKind::Priority,
             delegate_threshold: None,
             reduce_mode: ReduceModeConfig::Auto,
+            mst_mode: MstMode::Replicated,
             refine: false,
             batch_size: struntime::traversal::DEFAULT_BATCH_SIZE,
             trace: TraceConfig::Off,
@@ -238,6 +262,12 @@ pub struct SolveReport {
     /// their bytes, restores, replayed phases, cooperative aborts.
     /// All-zero for an undisturbed solve.
     pub recovery: RecoveryStats,
+    /// Per-round distributed-MST counters (rounds, slots reduced,
+    /// components remaining) when the solve ran with
+    /// [`MstMode::Dist`]; `None` for the replicated path, and after a
+    /// restore from a checkpoint taken past the Borůvka rounds the
+    /// counters come back from the checkpoint itself.
+    pub boruvka: Option<BoruvkaStats>,
 }
 
 impl SolveReport {
@@ -300,6 +330,7 @@ struct RankOutcome {
     distance_graph_edges: usize,
     visitors_processed: u64,
     stale_dropped: u64,
+    boruvka: Option<BoruvkaStats>,
 }
 
 /// The `bucketed:auto` delta heuristic: the graph's mean edge weight
@@ -388,6 +419,7 @@ pub fn solve_partitioned(
                 &seed_index,
                 config.queue,
                 reduce_mode,
+                config.mst_mode,
                 config.batch_size,
                 if recovery_armed {
                     Some((&store, resume))
@@ -490,6 +522,7 @@ pub fn solve_on(
             .collect(),
     );
     let queue = config.queue;
+    let mst_mode = config.mst_mode;
     let batch_size = config.batch_size;
     let pg_job = Arc::clone(pg);
     let seeds_job = Arc::new(seeds.clone());
@@ -501,6 +534,7 @@ pub fn solve_on(
             &seed_index,
             queue,
             reduce_mode,
+            mst_mode,
             batch_size,
             None,
         )
@@ -549,6 +583,10 @@ fn assemble_report(
         stale_drops.push(r.stale_dropped);
         dg_edges = dg_edges.max(r.distance_graph_edges);
     }
+    // The Borůvka counters are replicated (every rank's rounds are
+    // driven by identical allreduce results), so rank 0's copy
+    // represents the solve.
+    let boruvka = out.results.first().and_then(|r| r.boruvka.clone());
     let mut tree = SteinerTree::new(seeds, all_edges);
     if config.refine {
         tree = refine::refine(&tree);
@@ -573,6 +611,7 @@ fn assemble_report(
         fault_stats,
         telemetry: out.telemetry,
         recovery,
+        boruvka,
     })
 }
 
@@ -604,6 +643,7 @@ fn put_checkpoint(
     chosen: Option<&[usize]>,
     dg_len: usize,
     bridges: Option<&[MinEdge]>,
+    boruvka: Option<&BoruvkaStats>,
 ) {
     let blob = recovery::RankCheckpoint::encode(
         states,
@@ -615,6 +655,7 @@ fn put_checkpoint(
         chosen,
         dg_len,
         bridges,
+        boruvka,
     );
     let new_len = blob.len();
     let old_len = store.put(completed, comm.rank(), blob);
@@ -632,6 +673,7 @@ fn rank_main(
     seed_index: &BTreeMap<Vertex, u32>,
     queue: QueueKind,
     reduce_mode: ReduceMode,
+    mst_mode: MstMode,
     batch_size: usize,
     recovery: Option<(&CheckpointStore, Option<usize>)>,
 ) -> RankOutcome {
@@ -668,6 +710,7 @@ fn rank_main(
     let mut chosen: Option<Vec<usize>> = None;
     let mut dg_len = 0usize;
     let mut bridges: Option<Vec<MinEdge>> = None;
+    let mut boruvka_stats: Option<BoruvkaStats> = None;
 
     if let Some(c) = resume {
         let store = store.expect("resume implies a checkpoint store");
@@ -684,6 +727,7 @@ fn rank_main(
         dg = ck.dg;
         chosen = ck.chosen;
         bridges = ck.bridges;
+        boruvka_stats = ck.boruvka;
     } else if let Some(store) = store {
         // Checkpoint 0: the initial state, so a crash inside the very
         // first phase is still recoverable.
@@ -699,6 +743,7 @@ fn rank_main(
             None,
             None,
             0,
+            None,
             None,
         );
     }
@@ -738,6 +783,7 @@ fn rank_main(
                 None,
                 0,
                 None,
+                None,
             );
         }
     }
@@ -770,12 +816,18 @@ fn rank_main(
                 None,
                 0,
                 None,
+                None,
             );
         }
         local = Some(l);
     }
 
-    // Step 3: global reduction (Alg 5, collective part).
+    // Step 3: global reduction (Alg 5, collective part) — or, in
+    // `MstMode::Dist`, the fused Borůvka rounds ([`boruvka`]) that
+    // reduce one slot per live component and merge via pointer jumping,
+    // producing the chosen bridges directly. The dist checkpoint at
+    // this level therefore stores bridges (plus the round counters)
+    // instead of the distance graph.
     if completed <= Phase::GlobalMinEdge.index() {
         let t = Instant::now();
         let span = comm.trace_span(Phase::GlobalMinEdge.name());
@@ -783,44 +835,80 @@ fn rank_main(
             Phase::GlobalMinEdge.name(),
             Phase::GlobalMinEdge.index() as u64,
         );
-        let d = distance_graph::global_min_edges(
-            comm,
-            local.take().expect("local min edges computed or restored"),
-            seeds.len(),
-            reduce_mode,
-        );
-        comm.telemetry_gauge("distance_graph_edges", d.len() as u64);
-        drop(span);
-        times[Phase::GlobalMinEdge] = t.elapsed();
-        dg_len = d.len();
-        if let Some(store) = store {
-            put_checkpoint(
-                comm,
-                store,
-                3,
-                &states,
-                &times,
-                processed,
-                stale_dropped,
-                None,
-                Some(&d),
-                None,
-                dg_len,
-                None,
-            );
+        let l = local.take().expect("local min edges computed or restored");
+        match mst_mode {
+            MstMode::Replicated => {
+                let d = distance_graph::global_min_edges(comm, l, seeds.len(), reduce_mode);
+                comm.telemetry_gauge("distance_graph_edges", d.len() as u64);
+                drop(span);
+                times[Phase::GlobalMinEdge] = t.elapsed();
+                dg_len = d.len();
+                if let Some(store) = store {
+                    put_checkpoint(
+                        comm,
+                        store,
+                        3,
+                        &states,
+                        &times,
+                        processed,
+                        stale_dropped,
+                        None,
+                        Some(&d),
+                        None,
+                        dg_len,
+                        None,
+                        None,
+                    );
+                }
+                dg = Some(d);
+            }
+            MstMode::Dist => {
+                let (keyed, stats) = boruvka::distributed_mst(comm, &l, seeds.len());
+                comm.telemetry_gauge("distance_graph_edges", keyed.len() as u64);
+                drop(span);
+                times[Phase::GlobalMinEdge] = t.elapsed();
+                dg_len = keyed.len();
+                let b: Vec<MinEdge> = keyed.into_iter().map(|(_, e)| e).collect();
+                if let Some(store) = store {
+                    put_checkpoint(
+                        comm,
+                        store,
+                        3,
+                        &states,
+                        &times,
+                        processed,
+                        stale_dropped,
+                        None,
+                        None,
+                        None,
+                        dg_len,
+                        Some(&b),
+                        Some(&stats),
+                    );
+                }
+                boruvka_stats = Some(stats);
+                bridges = Some(b);
+            }
         }
-        dg = Some(d);
     }
 
-    // Step 4: sequential MST of G_1', replicated per rank.
+    // Step 4: MST of G_1' — sequential Prim replicated per rank; in
+    // dist mode the merging already happened inside the Borůvka rounds,
+    // so the phase reduces to its barrier, keeping the sync-point
+    // structure and checkpoint levels identical across modes (every
+    // rank shares `mst_mode` from the replicated config, so both arms
+    // stay in lockstep).
     if completed <= Phase::Mst.index() {
         let t = Instant::now();
         let span = comm.trace_span(Phase::Mst.name());
         comm.set_phase(Phase::Mst.name(), Phase::Mst.index() as u64);
-        let ch = mst::mst_of_distance_graph(
-            seeds.len(),
-            dg.as_deref().expect("distance graph computed or restored"),
-        );
+        let ch = match mst_mode {
+            MstMode::Replicated => Some(mst::mst_of_distance_graph(
+                seeds.len(),
+                dg.as_deref().expect("distance graph computed or restored"),
+            )),
+            MstMode::Dist => None,
+        };
         comm.barrier();
         drop(span);
         times[Phase::Mst] = t.elapsed();
@@ -835,45 +923,59 @@ fn rank_main(
                 stale_dropped,
                 None,
                 dg.as_deref(),
-                Some(&ch),
+                ch.as_deref(),
                 dg_len,
-                None,
+                bridges.as_deref(),
+                boruvka_stats.as_ref(),
             );
         }
-        chosen = Some(ch);
+        chosen = ch;
     }
 
     // A resumed run past the MST phase already passed this check in the
     // crashed attempt (a disconnected solve completes without crashing
-    // and never restores), so `chosen` being absent means spanning held.
-    if let Some(chosen) = chosen.as_deref() {
-        if !mst::spans_all_seeds(seeds.len(), chosen) {
-            return RankOutcome {
-                edges: Vec::new(),
-                times,
-                connected: false,
-                distance_graph_edges: dg_len,
-                visitors_processed: processed,
-                stale_dropped,
-            };
-        }
+    // and never restores), so absent artifacts mean spanning held. In
+    // dist mode the Borůvka loop is its own spanning witness: exactly
+    // `|S| - 1` chosen bridges iff the distance graph spans all seeds.
+    let spans = match mst_mode {
+        MstMode::Replicated => chosen
+            .as_deref()
+            .map_or(true, |ch| mst::spans_all_seeds(seeds.len(), ch)),
+        MstMode::Dist => bridges
+            .as_deref()
+            .map_or(true, |b| b.len() + 1 == seeds.len()),
+    };
+    if !spans {
+        return RankOutcome {
+            edges: Vec::new(),
+            times,
+            connected: false,
+            distance_graph_edges: dg_len,
+            visitors_processed: processed,
+            stale_dropped,
+            boruvka: boruvka_stats,
+        };
     }
 
-    // Step 5: global edge pruning — keep only MST bridges.
+    // Step 5: global edge pruning — keep only MST bridges. The Borůvka
+    // winners already are exactly the MST bridges, so in dist mode this
+    // phase, too, reduces to its barrier and checkpoint.
     if completed <= Phase::EdgePruning.index() {
         let t = Instant::now();
         let span = comm.trace_span(Phase::EdgePruning.name());
         comm.set_phase(Phase::EdgePruning.name(), Phase::EdgePruning.index() as u64);
-        let b = tree_edges::active_bridges(
-            dg.as_deref().expect("distance graph live through pruning"),
-            chosen.as_deref().expect("mst choices live through pruning"),
-        );
+        if mst_mode == MstMode::Replicated {
+            bridges = Some(tree_edges::active_bridges(
+                dg.as_deref().expect("distance graph live through pruning"),
+                chosen.as_deref().expect("mst choices live through pruning"),
+            ));
+        }
         comm.barrier();
         drop(span);
         times[Phase::EdgePruning] = t.elapsed();
         if let Some(store) = store {
             // The distance graph and MST choices are consumed; only the
-            // bridges (and the edge count for the report) survive.
+            // bridges (edge count, round counters) survive.
             put_checkpoint(
                 comm,
                 store,
@@ -886,10 +988,10 @@ fn rank_main(
                 None,
                 None,
                 dg_len,
-                Some(&b),
+                bridges.as_deref(),
+                boruvka_stats.as_ref(),
             );
         }
-        bridges = Some(b);
     }
 
     // Step 6: Steiner tree edges by predecessor tracing (Alg 6).
@@ -914,6 +1016,7 @@ fn rank_main(
         distance_graph_edges: dg_len,
         visitors_processed: processed,
         stale_dropped,
+        boruvka: boruvka_stats,
     }
 }
 
@@ -1292,6 +1395,65 @@ mod tests {
         let sparse = solve(&g, &seeds, &cfg).unwrap();
         assert_eq!(dense.tree, chunked.tree);
         assert_eq!(dense.tree, sparse.tree);
+    }
+
+    #[test]
+    fn dist_mst_matches_replicated_prim() {
+        // The tentpole's determinism contract: the Borůvka pipeline must
+        // choose a tree bit-identical to the replicated Prim path, at
+        // every rank count, and it must report its round counters.
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(53);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 7).copied().collect();
+        let reference = solve(&g, &seeds, &config(1)).unwrap();
+        assert!(reference.boruvka.is_none(), "replicated reports no rounds");
+        for p in [1, 2, 4] {
+            let cfg = SolverConfig {
+                mst_mode: MstMode::Dist,
+                ..config(p)
+            };
+            let dist = solve(&g, &seeds, &cfg).unwrap();
+            assert_eq!(dist.tree, reference.tree, "p={p}");
+            let stats = dist.boruvka.expect("dist solve reports rounds");
+            assert!(stats.rounds >= 1, "p={p}");
+            assert_eq!(stats.components.last(), Some(&1), "p={p}: converged");
+            assert_eq!(stats.edges_reduced.len(), stats.rounds as usize);
+            // Geometric shrinkage: each round's slot vector is no larger
+            // than the previous round's live-component count.
+            for w in stats.components.windows(2) {
+                assert!(w[1] <= w[0], "components must shrink: {:?}", stats);
+            }
+        }
+    }
+
+    #[test]
+    fn dist_mst_crash_at_every_phase_recovers_bit_identical() {
+        // Crash-stop coverage for the new phase structure: a crash in
+        // any phase of a dist-mode solve must restore (bridges and round
+        // counters included) and still match the replicated tree.
+        let g = stgraph::datasets::Dataset::Cts.generate_tiny(59);
+        let cc = stgraph::traversal::connected_components(&g);
+        let verts = cc.largest_component_vertices();
+        let seeds: Vec<Vertex> = verts.iter().step_by(verts.len() / 5).copied().collect();
+        let clean = solve(&g, &seeds, &config(3)).unwrap();
+        for phase in Phase::ALL {
+            let spec = format!(
+                "crash_rank=1,crash_at_sync=2,crash_phase={},seed=23",
+                phase.index()
+            );
+            let cfg = SolverConfig {
+                mst_mode: MstMode::Dist,
+                faults: Some(FaultPlan::from_spec(&spec).unwrap()),
+                ..config(3)
+            };
+            let r = solve(&g, &seeds, &cfg).unwrap();
+            assert_eq!(r.tree, clean.tree, "phase {}", phase.name());
+            assert_eq!(r.recovery.crashes_injected, 1, "phase {}", phase.name());
+            assert_eq!(r.recovery.restores, 1, "phase {}", phase.name());
+            let stats = r.boruvka.expect("round counters survive recovery");
+            assert_eq!(stats.components.last(), Some(&1), "phase {}", phase.name());
+        }
     }
 
     #[test]

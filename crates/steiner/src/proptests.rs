@@ -116,6 +116,56 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The distributed Borůvka pipeline (`--mst dist`) is pinned
+    /// bit-identical to the replicated Prim path across rank counts
+    /// {1, 2, 4} × fifo/priority/bucketed queues, fault-free and under
+    /// message faults and a seeded crash-stop — the (total, si, ti)
+    /// tie-breaking and the reliability/recovery machinery must never
+    /// let the two pipelines disagree on a tree.
+    #[test]
+    fn dist_mst_is_bit_identical_to_replicated(
+        (g, seeds) in arb_connected_instance(12, 14, 5),
+    ) {
+        use crate::{FaultPlan, MstMode};
+        let fault_plans = [
+            None,
+            Some(FaultPlan::from_spec("drop=0.15,dup=0.1,seed=23").unwrap()),
+            Some(FaultPlan::from_spec(
+                "crash_rank=1,crash_at_sync=1,crash_phase=2,seed=31",
+            ).unwrap()),
+        ];
+        for p in [1usize, 2, 4] {
+            for queue in [
+                QueueKind::Fifo,
+                QueueKind::Priority,
+                QueueKind::Bucketed { delta: crate::auto_delta(&g) },
+            ] {
+                let reference = solve(&g, &seeds, &SolverConfig {
+                    num_ranks: p, queue, ..SolverConfig::default()
+                }).unwrap();
+                for plan in fault_plans {
+                    let r = solve(&g, &seeds, &SolverConfig {
+                        num_ranks: p,
+                        queue,
+                        mst_mode: MstMode::Dist,
+                        faults: plan,
+                        ..SolverConfig::default()
+                    }).unwrap();
+                    prop_assert_eq!(&r.tree, &reference.tree,
+                        "dist tree differs at p={} queue={:?} faults={:?}",
+                        p, queue, plan.map(|pl| pl.to_spec()));
+                    let stats = r.boruvka.expect("dist solve reports rounds");
+                    prop_assert_eq!(stats.components.last(), Some(&1),
+                        "rounds did not converge at p={} queue={:?}", p, queue);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The distributed solve is a valid tree within the 2(1-1/|S|) bound.

@@ -154,8 +154,14 @@ pub(crate) struct RankCheckpoint {
     /// `dg.len()` — kept after `dg` itself is dropped so the report's
     /// edge count survives a late restore.
     pub dg_len: usize,
-    /// MST-chosen bridges (present after `edge_pruning`).
+    /// MST-chosen bridges (present after `edge_pruning`; in
+    /// `MstMode::Dist`, already present after `global_min_edge` since
+    /// the Borůvka rounds produce them directly).
     pub bridges: Option<Vec<MinEdge>>,
+    /// Borůvka round counters (dist mode only; present from the
+    /// post-`global_min_edge` boundary onward so a late restore still
+    /// reports the rounds that actually ran).
+    pub boruvka: Option<crate::boruvka::BoruvkaStats>,
 }
 
 fn encode_min_edge(e: &MinEdge, out: &mut Vec<u8>) {
@@ -216,6 +222,7 @@ impl RankCheckpoint {
         chosen: Option<&[usize]>,
         dg_len: usize,
         bridges: Option<&[MinEdge]>,
+        boruvka: Option<&crate::boruvka::BoruvkaStats>,
     ) -> Vec<u8> {
         let mut out = Vec::new();
         states.encode_checkpoint(&mut out);
@@ -244,6 +251,21 @@ impl RankCheckpoint {
                 (bridges.len() as u64).encode_into(&mut out);
                 for e in bridges {
                     encode_min_edge(e, &mut out);
+                }
+            }
+        }
+        match boruvka {
+            None => false.encode_into(&mut out),
+            Some(b) => {
+                true.encode_into(&mut out);
+                b.rounds.encode_into(&mut out);
+                (b.edges_reduced.len() as u64).encode_into(&mut out);
+                for &n in &b.edges_reduced {
+                    n.encode_into(&mut out);
+                }
+                (b.components.len() as u64).encode_into(&mut out);
+                for &n in &b.components {
+                    n.encode_into(&mut out);
                 }
             }
         }
@@ -282,6 +304,24 @@ impl RankCheckpoint {
                 v.push(decode_min_edge(blob, &mut pos)?);
             }
             Some(v)
+        } else {
+            None
+        };
+        ck.boruvka = if bool::decode_from(blob, &mut pos)? {
+            let rounds = u64::decode_from(blob, &mut pos)?;
+            let mut edges_reduced = Vec::new();
+            for _ in 0..u64::decode_from(blob, &mut pos)? {
+                edges_reduced.push(u64::decode_from(blob, &mut pos)?);
+            }
+            let mut components = Vec::new();
+            for _ in 0..u64::decode_from(blob, &mut pos)? {
+                components.push(u64::decode_from(blob, &mut pos)?);
+            }
+            Some(crate::boruvka::BoruvkaStats {
+                rounds,
+                edges_reduced,
+                components,
+            })
         } else {
             None
         };
@@ -367,6 +407,11 @@ mod tests {
             b: 5,
             weight: 2,
         }];
+        let boruvka = crate::boruvka::BoruvkaStats {
+            rounds: 2,
+            edges_reduced: vec![4, 2],
+            components: vec![2, 1],
+        };
         let blob = RankCheckpoint::encode(
             &st,
             &times,
@@ -377,6 +422,7 @@ mod tests {
             Some(&[3, 1, 4]),
             11,
             Some(&bridges),
+            Some(&boruvka),
         );
         let mut fresh = states();
         let ck = RankCheckpoint::decode(&blob, &mut fresh).expect("round trip");
@@ -389,6 +435,7 @@ mod tests {
         assert_eq!(ck.chosen.as_deref(), Some(&[3usize, 1, 4][..]));
         assert_eq!(ck.dg_len, 11);
         assert_eq!(ck.bridges.as_deref(), Some(&bridges[..]));
+        assert_eq!(ck.boruvka.as_ref(), Some(&boruvka));
 
         // Truncated blobs are rejected, not half-applied.
         let mut fresh = states();

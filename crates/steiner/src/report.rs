@@ -65,7 +65,16 @@ use struntime::{Gauge, QueueKind, TelemetryDump};
 /// the usual reason: v5 readers comparing phase times or work counters
 /// across runs would silently treat a crashed-and-replayed solve as
 /// comparable to an undisturbed one.
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// **v6 → v7**: adds `config.mst_mode` (`"replicated"` or `"dist"`) and
+/// the `boruvka` object (`rounds`, `edges_reduced` per round,
+/// `components` remaining per round — `null` for replicated solves; see
+/// [`crate::boruvka`]). Strict superset, and breaking for the usual
+/// reason: v6 readers diffing `global_min_edge`/`mst` phase times or
+/// collective bytes across runs would silently compare the dense
+/// `Allreduce(MIN)` pipeline against the Borůvka rounds as if they were
+/// the same work.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// The configuration a solve ran with, reduced to plain strings and
 /// numbers for the report.
@@ -81,6 +90,8 @@ pub struct ConfigFingerprint {
     /// Reduction layout (`"auto"`, `"dense"`, `"dense(chunk=N)"`,
     /// `"sparse"`).
     pub reduce_mode: String,
+    /// MST pipeline (`"replicated"` Prim or `"dist"` Borůvka; v7).
+    pub mst_mode: String,
     /// Whether KMB steps 4–5 refinement ran.
     pub refine: bool,
     /// Visitors per aggregated network batch.
@@ -105,6 +116,10 @@ impl ConfigFingerprint {
             ReduceModeConfig::Dense { chunk: Some(c) } => format!("dense(chunk={c})"),
             ReduceModeConfig::Sparse => "sparse".to_string(),
         };
+        let mst_mode = match config.mst_mode {
+            crate::MstMode::Replicated => "replicated".to_string(),
+            crate::MstMode::Dist => "dist".to_string(),
+        };
         let faults = match config.faults.filter(|pl| pl.is_active()) {
             Some(plan) => plan.to_spec(),
             None => "off".to_string(),
@@ -114,6 +129,7 @@ impl ConfigFingerprint {
             queue,
             delegate_threshold: config.delegate_threshold,
             reduce_mode,
+            mst_mode,
             refine: config.refine,
             batch_size: config.batch_size,
             faults,
@@ -126,6 +142,7 @@ impl ConfigFingerprint {
             .with("queue", self.queue.as_str())
             .with("delegate_threshold", self.delegate_threshold)
             .with("reduce_mode", self.reduce_mode.as_str())
+            .with("mst_mode", self.mst_mode.as_str())
             .with("refine", self.refine)
             .with("batch_size", self.batch_size)
             .with("faults", self.faults.as_str())
@@ -215,6 +232,9 @@ pub struct RunReport {
     pub peak_memory: Option<Json>,
     /// Crash-recovery counters (v6; all-zero for an undisturbed solve).
     pub recovery: crate::RecoveryStats,
+    /// Borůvka round counters (v7; `None` for replicated solves, which
+    /// render as `null`).
+    pub boruvka: Option<crate::BoruvkaStats>,
     /// Number of seed (terminal) vertices in the tree.
     pub tree_num_seeds: usize,
     /// Number of edges in the tree.
@@ -230,7 +250,7 @@ impl RunReport {
     /// `graph_bytes`, `state_peak_bytes`, `distance_graph_edges`,
     /// `rank_work`, `stale_drops`, `simulated_speedup`,
     /// `imbalance_ratio`, `critical_path`, `latency_quantiles`, `faults`,
-    /// `timeseries`, `peak_memory`, `recovery`, `tree`.
+    /// `timeseries`, `peak_memory`, `recovery`, `boruvka`, `tree`.
     pub fn to_json(&self) -> Json {
         let mut phase_times = Json::obj();
         for &(name, us) in &self.phase_times_us {
@@ -305,6 +325,22 @@ impl RunReport {
                     .with("restores", self.recovery.restores)
                     .with("replayed_phases", self.recovery.replayed_phases)
                     .with("aborted_ranks", self.recovery.aborted_ranks),
+            )
+            .with(
+                "boruvka",
+                match &self.boruvka {
+                    None => Json::Null,
+                    Some(b) => Json::obj()
+                        .with("rounds", b.rounds)
+                        .with(
+                            "edges_reduced",
+                            Json::Arr(b.edges_reduced.iter().map(|&n| Json::from(n)).collect()),
+                        )
+                        .with(
+                            "components",
+                            Json::Arr(b.components.iter().map(|&n| Json::from(n)).collect()),
+                        ),
+                },
             )
             .with(
                 "tree",
@@ -417,6 +453,7 @@ impl SolveReport {
             timeseries,
             peak_memory,
             recovery: self.recovery,
+            boruvka: self.boruvka.clone(),
             tree_num_seeds: self.tree.seeds.len(),
             tree_num_edges: self.tree.num_edges(),
             tree_total_distance: self.tree.total_distance(),
@@ -477,6 +514,15 @@ pub fn validate_run(run: &Json) -> Result<(), String> {
                     .to_string(),
             );
         }
+        Some(6) => {
+            return Err(
+                "schema_version 6 report found; v7 adds config.mst_mode (replicated or \
+                 dist) and the boruvka object (rounds, edges_reduced, components — null \
+                 for replicated solves) (no v6 key was removed or renamed) — regenerate \
+                 the report with current binaries to migrate"
+                    .to_string(),
+            );
+        }
         _ => {
             return Err(format!("schema_version must be {SCHEMA_VERSION}"));
         }
@@ -491,6 +537,10 @@ pub fn validate_run(run: &Json) -> Result<(), String> {
         .get("queue")
         .and_then(|v| v.as_str())
         .ok_or("config.queue must be a string")?;
+    config
+        .get("mst_mode")
+        .and_then(|v| v.as_str())
+        .ok_or("config.mst_mode must be a string (\"replicated\" or \"dist\")")?;
     let phases = run.get("phase_times_us").ok_or("missing phase_times_us")?;
     for p in Phase::ALL {
         phases
@@ -606,6 +656,22 @@ pub fn validate_run(run: &Json) -> Result<(), String> {
             .get(key)
             .and_then(|v| v.as_u64())
             .ok_or_else(|| format!("recovery.{key} must be an integer"))?;
+    }
+    let boruvka = run.get("boruvka").ok_or("missing boruvka")?;
+    if !boruvka.is_null() {
+        boruvka
+            .get("rounds")
+            .and_then(|v| v.as_u64())
+            .ok_or("boruvka.rounds must be an integer")?;
+        for key in ["edges_reduced", "components"] {
+            let col = boruvka
+                .get(key)
+                .and_then(|v| v.as_arr())
+                .ok_or_else(|| format!("boruvka.{key} must be an array"))?;
+            if col.iter().any(|n| n.as_u64().is_none()) {
+                return Err(format!("boruvka.{key} elements must be integers"));
+            }
+        }
     }
     let tree = run.get("tree").ok_or("missing tree")?;
     for key in ["num_seeds", "num_edges", "total_distance"] {
@@ -730,6 +796,7 @@ mod tests {
         assert_eq!(fp.num_ranks, 2);
         assert_eq!(fp.queue, "adversarial:99");
         assert_eq!(fp.reduce_mode, "dense(chunk=16)");
+        assert_eq!(fp.mst_mode, "replicated");
         assert!(!fp.refine);
     }
 
@@ -1011,6 +1078,71 @@ mod tests {
         bad.insert("recovery", Json::from("nope"));
         let err = validate_run(&bad).unwrap_err();
         assert!(err.contains("recovery"), "{err}");
+    }
+
+    #[test]
+    fn v6_run_report_rejected_with_migration_note() {
+        let mut doc = sample_report().run_report().to_json();
+        doc.insert("schema_version", 6u64);
+        let err = validate_run(&doc).unwrap_err();
+        assert!(err.contains("schema_version 6"), "{err}");
+        assert!(err.contains("mst_mode"), "{err}");
+        assert!(err.contains("boruvka"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn v7_boruvka_null_for_replicated_solves() {
+        let report = sample_report().run_report();
+        assert!(report.boruvka.is_none());
+        let doc = report.to_json();
+        assert!(doc.get("boruvka").expect("key present").is_null());
+        assert!(validate_run(&doc).is_ok());
+        // The section is mandatory: a report missing the key is rejected.
+        let mut missing = sample_report().run_report().to_json();
+        if let Json::Obj(pairs) = &mut missing {
+            pairs.retain(|(k, _)| k != "boruvka");
+        }
+        let err = validate_run(&missing).unwrap_err();
+        assert!(err.contains("boruvka"), "{err}");
+    }
+
+    #[test]
+    fn v7_boruvka_section_populated_for_dist_solves_and_validates() {
+        let mut b = GraphBuilder::new(10);
+        for i in 0..9 {
+            b.add_edge(i as Vertex, (i + 1) as Vertex, 2);
+        }
+        let g = b.build();
+        let cfg = SolverConfig {
+            num_ranks: 2,
+            mst_mode: crate::MstMode::Dist,
+            ..SolverConfig::default()
+        };
+        let report = solve(&g, &[0, 4, 9], &cfg).unwrap().run_report();
+        assert_eq!(report.config.mst_mode, "dist");
+        let stats = report.boruvka.as_ref().expect("dist solve records rounds");
+        assert!(stats.rounds > 0);
+        assert_eq!(stats.edges_reduced.len(), stats.rounds as usize);
+        assert_eq!(stats.components.len(), stats.rounds as usize);
+        let doc = report.to_json();
+        validate_run(&doc).expect("v7 dist report validates");
+        let bv = doc.get("boruvka").unwrap();
+        assert_eq!(
+            bv.get("rounds").and_then(|v| v.as_u64()),
+            Some(stats.rounds)
+        );
+        assert_eq!(
+            bv.get("components")
+                .and_then(|v| v.as_arr())
+                .and_then(|a| a.last().cloned())
+                .and_then(|v| v.as_u64()),
+            Some(1),
+            "a connected solve ends at one component"
+        );
+        // Round-trips through the parser and still validates.
+        let reparsed = stgraph::json::parse(&doc.to_pretty()).unwrap();
+        assert!(validate_run(&reparsed).is_ok());
     }
 
     #[test]

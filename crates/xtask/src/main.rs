@@ -58,10 +58,15 @@
 //! the fault path (nonzero injection counters). The faulted solves run
 //! with telemetry sampling on while the baselines keep it off, so the
 //! sweep doubles as the proof that observation never perturbs the
-//! result. A second sweep injects seeded crash-stop rank deaths
+//! result. Both sweeps run each combination under `--mst replicated`
+//! and `--mst dist`, comparing every tree against the replicated
+//! fault-free baseline — so the matrix also pins the distributed
+//! Borůvka pipeline bit-identical to the replicated Prim path. A second
+//! sweep injects seeded crash-stop rank deaths
 //! (visit- and sync-triggered, across phases) at ranks {2, 4} per queue
 //! discipline and asserts the supervisor restored from a phase
-//! checkpoint and the recovered tree is bit-identical; a final smoke
+//! checkpoint and the recovered tree is bit-identical (for dist solves,
+//! with the Borůvka round counters intact after the restore); a final smoke
 //! checks an expired `deadline` surfaces as the structured
 //! `DeadlineExceeded` error. Exit code 0 means every combination
 //! matched; 1 means a divergence or a plan that injected nothing; 2
@@ -73,7 +78,9 @@
 //! `fig3_guard_baseline.json`: per scale point it bounds the drift of
 //! the voronoi phase's share of total time, the visit count (visitors
 //! processed), and the stale-drop counter within the baseline's recorded
-//! tolerances. Visit counts in the asynchronous runtime are
+//! tolerances; `--mst dist` scale points additionally pin their Borůvka
+//! round count exactly (the rounds are a deterministic function of the
+//! instance). Visit counts in the asynchronous runtime are
 //! schedule-dependent, so the tolerances are generous — the guard exists
 //! to catch order-of-magnitude regressions (stale churn returning, the
 //! voronoi phase losing its dominance shape), not single-percent noise.
@@ -299,6 +306,13 @@ fn chaos() -> ExitCode {
         ("adversarial", steiner::QueueKind::Adversarial { seed: 7 }),
         ("bucketed", steiner::QueueKind::Bucketed { delta: 3 }),
     ];
+    // Both MST pipelines run against the same replicated fault-free
+    // baseline, so the sweep also pins `--mst dist` bit-identical to the
+    // replicated Prim path under every fault plan.
+    let modes = [
+        ("replicated", steiner::MstMode::Replicated),
+        ("dist", steiner::MstMode::Dist),
+    ];
     let ranks = [1usize, 2, 4];
 
     let mut failures = 0usize;
@@ -318,56 +332,72 @@ fn chaos() -> ExitCode {
                     continue;
                 }
             };
-            for spec in plans {
-                combos += 1;
-                let plan = match steiner::FaultPlan::from_spec(spec) {
-                    Ok(plan) => plan,
-                    Err(e) => {
-                        eprintln!("xtask chaos: bad plan {spec:?}: {e}");
-                        return ExitCode::from(2);
-                    }
-                };
-                // Telemetry on for the faulted run only: the tree-equality
-                // check below then also proves sampling never perturbs the
-                // solve (the step-keyed cadence is deterministic).
-                let cfg = steiner::SolverConfig {
-                    faults: Some(plan),
-                    telemetry: steiner::TelemetryConfig::ring(),
-                    ..base_cfg
-                };
-                match steiner::solve(&g, &seeds, &cfg) {
-                    Ok(r) if r.tree != baseline.tree => {
-                        eprintln!(
-                            "  FAIL {qname} p={p} {spec}: tree diverged \
-                             (distance {} vs fault-free {})",
-                            r.tree.total_distance(),
-                            baseline.tree.total_distance()
-                        );
-                        failures += 1;
-                    }
-                    Ok(r) if p > 1 && r.fault_stats.injected() == 0 => {
-                        eprintln!(
-                            "  FAIL {qname} p={p} {spec}: plan injected nothing \
-                             (fault path not exercised)"
-                        );
-                        failures += 1;
-                    }
-                    Ok(r) if r.telemetry.is_empty() => {
-                        eprintln!("  FAIL {qname} p={p} {spec}: telemetry ring sampled nothing");
-                        failures += 1;
-                    }
-                    Ok(r) => println!(
-                        "  ok {qname} p={p} {spec}: tree identical \
-                         ({} drops, {} dups, {} delays, {} retransmits, {} dedups)",
-                        r.fault_stats.drops,
-                        r.fault_stats.dups,
-                        r.fault_stats.delays,
-                        r.fault_stats.retransmits,
-                        r.fault_stats.dedup_discards,
-                    ),
-                    Err(e) => {
-                        eprintln!("  FAIL {qname} p={p} {spec}: solve failed: {e}");
-                        failures += 1;
+            for (mname, mst_mode) in modes {
+                for spec in plans {
+                    combos += 1;
+                    let plan = match steiner::FaultPlan::from_spec(spec) {
+                        Ok(plan) => plan,
+                        Err(e) => {
+                            eprintln!("xtask chaos: bad plan {spec:?}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    // Telemetry on for the faulted run only: the
+                    // tree-equality check below then also proves sampling
+                    // never perturbs the solve (the step-keyed cadence is
+                    // deterministic).
+                    let cfg = steiner::SolverConfig {
+                        mst_mode,
+                        faults: Some(plan),
+                        telemetry: steiner::TelemetryConfig::ring(),
+                        ..base_cfg
+                    };
+                    match steiner::solve(&g, &seeds, &cfg) {
+                        Ok(r) if r.tree != baseline.tree => {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: tree diverged \
+                                 (distance {} vs fault-free {})",
+                                r.tree.total_distance(),
+                                baseline.tree.total_distance()
+                            );
+                            failures += 1;
+                        }
+                        Ok(r) if p > 1 && r.fault_stats.injected() == 0 => {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: plan injected \
+                                 nothing (fault path not exercised)"
+                            );
+                            failures += 1;
+                        }
+                        Ok(r) if r.telemetry.is_empty() => {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: telemetry ring \
+                                 sampled nothing"
+                            );
+                            failures += 1;
+                        }
+                        Ok(r)
+                            if mst_mode == steiner::MstMode::Dist && r.boruvka.is_none() =>
+                        {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: dist solve \
+                                 reported no Borůvka rounds"
+                            );
+                            failures += 1;
+                        }
+                        Ok(r) => println!(
+                            "  ok {qname} p={p} mst={mname} {spec}: tree identical \
+                             ({} drops, {} dups, {} delays, {} retransmits, {} dedups)",
+                            r.fault_stats.drops,
+                            r.fault_stats.dups,
+                            r.fault_stats.delays,
+                            r.fault_stats.retransmits,
+                            r.fault_stats.dedup_discards,
+                        ),
+                        Err(e) => {
+                            eprintln!("  FAIL {qname} p={p} mst={mname} {spec}: solve failed: {e}");
+                            failures += 1;
+                        }
                     }
                 }
             }
@@ -375,9 +405,11 @@ fn chaos() -> ExitCode {
     }
     // Crash-stop recovery sweep: seeded crash plans (visit-triggered in
     // voronoi, sync-triggered in mst and edge_pruning) across every queue
-    // discipline × ranks {2, 4}. Each faulted solve must actually crash,
-    // restore from a phase checkpoint, and still produce a tree
-    // bit-identical to the undisturbed baseline.
+    // discipline × ranks {2, 4} × both MST pipelines. Each faulted solve
+    // must actually crash, restore from a phase checkpoint, and still
+    // produce a tree bit-identical to the undisturbed replicated baseline
+    // — the `--mst dist` column proves crash recovery covers the Borůvka
+    // phase structure too.
     let crash_plans = [
         "crash_rank=1,crash_after_visits=3,crash_phase=0,seed=7",
         "crash_rank=0,crash_at_sync=2,crash_phase=3,seed=11",
@@ -398,55 +430,69 @@ fn chaos() -> ExitCode {
                     continue;
                 }
             };
-            for spec in crash_plans {
-                combos += 1;
-                let plan = match steiner::FaultPlan::from_spec(spec) {
-                    Ok(plan) => plan,
-                    Err(e) => {
-                        eprintln!("xtask chaos: bad crash plan {spec:?}: {e}");
-                        return ExitCode::from(2);
-                    }
-                };
-                let cfg = steiner::SolverConfig {
-                    faults: Some(plan),
-                    ..base_cfg
-                };
-                match steiner::solve(&g, &seeds, &cfg) {
-                    Ok(r) if r.tree != baseline.tree => {
-                        eprintln!(
-                            "  FAIL {qname} p={p} {spec}: recovered tree diverged \
-                             (distance {} vs undisturbed {})",
-                            r.tree.total_distance(),
-                            baseline.tree.total_distance()
-                        );
-                        failures += 1;
-                    }
-                    Ok(r) if r.recovery.crashes_injected == 0 => {
-                        eprintln!(
-                            "  FAIL {qname} p={p} {spec}: plan injected no crash \
-                             (crash path not exercised)"
-                        );
-                        failures += 1;
-                    }
-                    Ok(r) if r.recovery.restores == 0 => {
-                        eprintln!(
-                            "  FAIL {qname} p={p} {spec}: crashed but never restored \
-                             from a checkpoint"
-                        );
-                        failures += 1;
-                    }
-                    Ok(r) => println!(
-                        "  ok {qname} p={p} {spec}: tree identical after \
-                         {} crash(es), {} restore(s), {} phase(s) replayed \
-                         ({} checkpoints)",
-                        r.recovery.crashes_injected,
-                        r.recovery.restores,
-                        r.recovery.replayed_phases,
-                        r.recovery.checkpoints_taken,
-                    ),
-                    Err(e) => {
-                        eprintln!("  FAIL {qname} p={p} {spec}: solve failed: {e}");
-                        failures += 1;
+            for (mname, mst_mode) in modes {
+                for spec in crash_plans {
+                    combos += 1;
+                    let plan = match steiner::FaultPlan::from_spec(spec) {
+                        Ok(plan) => plan,
+                        Err(e) => {
+                            eprintln!("xtask chaos: bad crash plan {spec:?}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    let cfg = steiner::SolverConfig {
+                        mst_mode,
+                        faults: Some(plan),
+                        ..base_cfg
+                    };
+                    match steiner::solve(&g, &seeds, &cfg) {
+                        Ok(r) if r.tree != baseline.tree => {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: recovered tree \
+                                 diverged (distance {} vs undisturbed {})",
+                                r.tree.total_distance(),
+                                baseline.tree.total_distance()
+                            );
+                            failures += 1;
+                        }
+                        Ok(r) if r.recovery.crashes_injected == 0 => {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: plan injected \
+                                 no crash (crash path not exercised)"
+                            );
+                            failures += 1;
+                        }
+                        Ok(r) if r.recovery.restores == 0 => {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: crashed but \
+                                 never restored from a checkpoint"
+                            );
+                            failures += 1;
+                        }
+                        Ok(r)
+                            if mst_mode == steiner::MstMode::Dist && r.boruvka.is_none() =>
+                        {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: dist recovery \
+                                 lost the Borůvka round counters"
+                            );
+                            failures += 1;
+                        }
+                        Ok(r) => println!(
+                            "  ok {qname} p={p} mst={mname} {spec}: tree identical after \
+                             {} crash(es), {} restore(s), {} phase(s) replayed \
+                             ({} checkpoints)",
+                            r.recovery.crashes_injected,
+                            r.recovery.restores,
+                            r.recovery.replayed_phases,
+                            r.recovery.checkpoints_taken,
+                        ),
+                        Err(e) => {
+                            eprintln!(
+                                "  FAIL {qname} p={p} mst={mname} {spec}: solve failed: {e}"
+                            );
+                            failures += 1;
+                        }
                     }
                 }
             }
@@ -494,6 +540,11 @@ struct GuardPoint {
     visits: u64,
     /// Stale relaxations dropped unvisited (`stale_drops.total`).
     stale: u64,
+    /// Borůvka rounds for `--mst dist` points (v7 `boruvka.rounds`,
+    /// `None` for replicated points). Deterministic — the slot-min and
+    /// pointer-jumping make the round count a pure function of the
+    /// instance — so the guard holds it exact, not within a tolerance.
+    boruvka_rounds: Option<u64>,
 }
 
 fn guard_points(doc: &stgraph::json::Json) -> Result<Vec<GuardPoint>, String> {
@@ -532,11 +583,17 @@ fn guard_points(doc: &stgraph::json::Json) -> Result<Vec<GuardPoint>, String> {
             .and_then(|s| s.get("total"))
             .and_then(|v| v.as_u64())
             .ok_or("missing stale_drops.total")?;
+        let boruvka_rounds = run
+            .get("boruvka")
+            .filter(|v| !v.is_null())
+            .and_then(|b| b.get("rounds"))
+            .and_then(|v| v.as_u64());
         points.push(GuardPoint {
             label,
             voronoi_share: voronoi_us as f64 / total_us as f64,
             visits,
             stale,
+            boruvka_rounds,
         });
     }
     if points.is_empty() {
@@ -577,11 +634,15 @@ fn bench_guard(dir: &std::path::Path, update_baseline: bool) -> ExitCode {
         let entries: Vec<Json> = fresh
             .iter()
             .map(|p| {
-                Json::obj()
+                let mut entry = Json::obj()
                     .with("label", p.label.as_str())
                     .with("voronoi_share", p.voronoi_share)
                     .with("visits", p.visits)
-                    .with("stale", p.stale)
+                    .with("stale", p.stale);
+                if let Some(rounds) = p.boruvka_rounds {
+                    entry.insert("boruvka_rounds", rounds);
+                }
+                entry
             })
             .collect();
         let doc = Json::obj()
@@ -682,6 +743,15 @@ fn bench_guard(dir: &std::path::Path, update_baseline: bool) -> ExitCode {
             bad.push(format!(
                 "stale drops {} drifted from {} (tol ±{stale_slack:.0})",
                 now.stale, b_stale
+            ));
+        }
+        // Borůvka round counts are deterministic per instance, so any
+        // change at all means the tie-breaking or hooking logic moved.
+        let b_rounds = base.get("boruvka_rounds").and_then(|v| v.as_u64());
+        if b_rounds.is_some() && now.boruvka_rounds != b_rounds {
+            bad.push(format!(
+                "boruvka rounds {:?} changed from {:?} (deterministic, tol 0)",
+                now.boruvka_rounds, b_rounds
             ));
         }
         if bad.is_empty() {

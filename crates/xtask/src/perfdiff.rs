@@ -136,6 +136,19 @@ fn metrics_of(run: &Json) -> BTreeMap<String, Metric> {
     {
         counter("visits/stale_drops".to_string(), stale);
     }
+    // v7 Borůvka round counters — present (non-null) only for `--mst
+    // dist` runs, so replicated-vs-replicated diffs skip them.
+    if let Some(bv) = run.get("boruvka").filter(|v| !v.is_null()) {
+        if let Some(rounds) = bv.get("rounds").and_then(|v| v.as_u64()) {
+            counter("boruvka/rounds".to_string(), rounds);
+        }
+        if let Some(reduced) = bv.get("edges_reduced").and_then(|v| v.as_arr()) {
+            counter(
+                "boruvka/edges_reduced".to_string(),
+                reduced.iter().filter_map(|n| n.as_u64()).sum(),
+            );
+        }
+    }
     out
 }
 
@@ -292,5 +305,38 @@ mod tests {
     #[test]
     fn non_report_inputs_are_errors() {
         assert!(diff(&Json::obj(), &Json::obj(), false).is_err());
+    }
+
+    #[test]
+    fn boruvka_round_counters_are_compared_when_present() {
+        let with_rounds = |rounds: u64, reduced: Vec<u64>| {
+            let mut run = sample_run(10_000);
+            run.insert(
+                "boruvka",
+                Json::obj().with("rounds", rounds).with(
+                    "edges_reduced",
+                    Json::Arr(reduced.into_iter().map(Json::from).collect()),
+                ),
+            );
+            run
+        };
+        // An extra round (and the extra slots it reduces) past the
+        // counter floor is a regression; null-vs-null diffs stay silent.
+        let a = with_rounds(3, vec![200, 100, 50]);
+        let b = with_rounds(4, vec![200, 100, 50, 180]);
+        let d = diff(&a, &b, true).unwrap();
+        assert!(
+            d.lines
+                .iter()
+                .any(|l| l.starts_with("REGRESSION") && l.contains("boruvka/edges_reduced")),
+            "{:?}",
+            d.lines
+        );
+        let quiet = diff(&sample_run(10_000), &sample_run(10_000), true).unwrap();
+        assert!(
+            quiet.lines.iter().all(|l| !l.contains("boruvka/")),
+            "replicated runs must not emit boruvka metrics: {:?}",
+            quiet.lines
+        );
     }
 }

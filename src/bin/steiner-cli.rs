@@ -5,6 +5,7 @@
 //! steiner-cli stats    --graph graph.bin
 //! steiner-cli solve    --graph graph.bin (--seeds 1,2,3 | --select K[:STRATEGY])
 //!                      [--ranks P] [--queue fifo|priority|bucketed[:DELTA]]
+//!                      [--mst replicated|dist]
 //!                      [--refine] [--improve ROUNDS] [--dot out.dot]
 //!                      [--faults drop=0.1,dup=0.05,seed=7]
 //!                      [--crash crash_rank=1,crash_at_sync=3,seed=7]
@@ -27,8 +28,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 use steiner::interactive::InteractiveSession;
 use steiner::{
-    solve, FaultPlan, MetricsConfig, QueueKind, SolveReport, SolverConfig, TelemetryConfig,
-    TraceConfig,
+    solve, FaultPlan, MetricsConfig, MstMode, QueueKind, SolveReport, SolverConfig,
+    TelemetryConfig, TraceConfig,
 };
 use stgraph::csr::{CsrGraph, Vertex};
 use stgraph::datasets::Dataset;
@@ -51,6 +52,7 @@ const USAGE: &str = "usage:
   steiner-cli stats    --graph FILE
   steiner-cli solve    --graph FILE (--seeds A,B,C | --select K[:STRATEGY])
                        [--ranks P] [--queue fifo|priority|bucketed[:DELTA]]
+                       [--mst replicated|dist]
                        [--refine] [--improve ROUNDS] [--dot FILE] [--out TREE_FILE]
                        [--faults SPEC] [--crash SPEC] [--deadline MS] [--no-recover]
                        [--trace FILE] [--report FILE] [--analyze]
@@ -63,11 +65,18 @@ same stale-relaxation filter as priority). `bucketed` / `bucketed:auto`
 derive the bucket width from the graph's mean edge weight;
 `bucketed:DELTA` pins it explicitly (DELTA >= 1).
 
+--mst picks the distance-graph MST pipeline: `replicated` (default)
+allreduces the full pair buffer and runs Prim on every rank; `dist`
+runs distributed Borůvka rounds that reduce one lightest-outgoing-edge
+slot per live component and merge via pointer jumping — same tree,
+bit-identical, but the binom(K,2) edge buffer never materializes.
+
 --trace writes a Chrome-trace/Perfetto JSON timeline of the solve (one
 lane per simulated rank); --report writes the machine-readable RunReport
-(schema v6, with latency quantiles from the runtime's histograms, the
+(schema v7, with latency quantiles from the runtime's histograms, the
 fault/retransmit counters, per-rank stale-relaxation drop counts, the
-crash-recovery counters, and — when telemetry is on — the sampled
+crash-recovery counters, the Borůvka round counters under --mst dist,
+and — when telemetry is on — the sampled
 timeseries plus per-phase peak-memory watermarks); --analyze turns on
 tracing and prints the causality-DAG readout (critical path, load
 imbalance) after the solve.
@@ -93,7 +102,8 @@ structured deadline-exceeded error (plus a flight dump when
 FLIGHT_RECORDER_DIR is set and telemetry is on).
   steiner-cli compare  --graph FILE --select K[:STRATEGY]
   steiner-cli repl     --graph FILE [--select K[:STRATEGY]] [--ranks P]
-                       [--queue KIND] [--faults SPEC] [--trace FILE] [--report FILE]
+                       [--queue KIND] [--mst MODE] [--faults SPEC]
+                       [--trace FILE] [--report FILE]
                        [--telemetry] [--monitor]
 
 repl commands: add V | remove V | seeds | tree | solve | dot FILE | help | quit
@@ -371,6 +381,17 @@ fn queue_kind(flags: &HashMap<String, String>, g: &CsrGraph) -> Result<QueueKind
     }
 }
 
+/// Parses `--mst` into the MST pipeline choice.
+fn mst_mode(flags: &HashMap<String, String>) -> Result<MstMode, String> {
+    match flags.get("mst").map(String::as_str) {
+        None | Some("replicated") => Ok(MstMode::Replicated),
+        Some("dist") => Ok(MstMode::Dist),
+        Some(other) => Err(format!(
+            "unknown mst mode {other:?} (want `replicated` or `dist`)"
+        )),
+    }
+}
+
 fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     let g = load_graph(flags)?;
     let seeds = seeds_from_flags(&g, flags)?;
@@ -379,6 +400,7 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     let config = SolverConfig {
         num_ranks: rank_count(flags)?,
         queue,
+        mst_mode: mst_mode(flags)?,
         refine: flags.contains_key("refine"),
         trace,
         metrics,
@@ -418,6 +440,14 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
             report.telemetry.num_samples(),
             report.telemetry.ranks.len(),
             report.telemetry.sample_every,
+        );
+    }
+    if let Some(stats) = &report.boruvka {
+        println!(
+            "boruvka        {} round(s), {} edge(s) reduced, components {:?}",
+            stats.rounds,
+            stats.edges_reduced_total(),
+            stats.components
         );
     }
     if config.faults.is_some_and(|pl| pl.is_active()) {
@@ -604,6 +634,7 @@ fn cmd_repl(flags: &HashMap<String, String>) -> Result<(), String> {
                 let config = SolverConfig {
                     num_ranks: rank_count(flags)?,
                     queue: queue_kind(flags, &g)?,
+                    mst_mode: mst_mode(flags)?,
                     trace: obs_trace,
                     metrics: obs_metrics,
                     telemetry: obs_telemetry,
